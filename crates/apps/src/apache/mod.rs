@@ -1,0 +1,17 @@
+//! A miniature of the Apache httpd worker MPM.
+//!
+//! Two buggy subsystems from the paper's case studies:
+//!
+//! - [`fdqueue`]: the listener/worker handoff of Apache-I (§5.4.2) — the
+//!   listener holds the timeout mutex while waiting for an idle worker,
+//!   while workers need that mutex before they can announce availability.
+//! - [`buffered_log`]: `ap_buffered_log_writer` of Apache-II (§5.4.3) — a
+//!   completely unsynchronized shared log buffer.
+
+pub mod buffered_log;
+pub mod fdqueue;
+
+pub use buffered_log::{
+    validate_log, BuggyBufferedLog, LockedBufferedLog, LogValidation, LogWriter, TmBufferedLog,
+};
+pub use fdqueue::{run_apache1, Apache1Config, Apache1Outcome, Apache1Variant};

@@ -1,0 +1,25 @@
+//! # txfix-apps: miniatures of the paper's three buggy applications
+//!
+//! The study applies TM to bugs in Mozilla, Apache httpd and MySQL. Those
+//! codebases do not translate to Rust, so this crate rebuilds the *buggy
+//! subsystems themselves* — the handful of locks, queues, buffers and
+//! protocols whose interaction constitutes each bug — together with the
+//! developers' fixes and the TM fixes, behind variant-selectable APIs:
+//!
+//! - [`spidermonkey`]: the object ownership (title-locking) protocol,
+//!   `setSlotLock`, and a SunSpider-like interpreter workload (Mozilla-I,
+//!   §5.4.1);
+//! - [`apache`]: the listener/worker timeout-queue handoff (Apache-I,
+//!   §5.4.2) and the buffered log writer (Apache-II, §5.4.3);
+//! - [`mysql`]: `lock_open`, table storage and the binlog with the
+//!   delete-all/insert ordering violation (MySQL-I, §5.4.4).
+//!
+//! Each subsystem exposes buggy / developer-fix / TM-fix variants with
+//! identical workloads, so the corpus can demonstrate the bugs and the
+//! benchmark harness can reproduce Table 4's relative performance.
+
+#![warn(missing_docs)]
+
+pub mod apache;
+pub mod mysql;
+pub mod spidermonkey;

@@ -1,0 +1,39 @@
+//! The object-store interface every SpiderMonkey variant implements.
+
+use std::fmt::Debug;
+
+/// Uniform interface over the buggy, developer-fixed and TM-fixed object
+/// layers, so scenarios and benchmarks can drive any of them with the same
+/// workload.
+///
+/// `thread` is a small dense thread index (the workload assigns one per
+/// worker); object and slot indices address a fixed grid created up front.
+pub trait ObjectStore: Send + Sync + Debug {
+    /// Store `value` into `slots[slot]` of object `obj`.
+    fn set_slot(&self, thread: usize, obj: usize, slot: usize, value: i64);
+
+    /// Read `slots[slot]` of object `obj`.
+    fn get_slot(&self, thread: usize, obj: usize, slot: usize) -> i64;
+
+    /// Atomically move the value in `(src, slot)` to `(dst, slot)` — the
+    /// cross-object operation that needs `setSlotLock` plus both scopes and
+    /// triggers the Mozilla-I deadlock in the ownership protocol.
+    ///
+    /// Returns `false` if the operation had to be abandoned (only the buggy
+    /// variant does this, when its deadlock timeout fires).
+    fn move_slot(&self, thread: usize, src: usize, dst: usize, slot: usize) -> bool;
+
+    /// Called by the workload when `thread` reaches a request boundary or
+    /// finishes: the store may release any per-thread affinity state (the
+    /// ownership protocol relinquishes the thread's titles here). Default:
+    /// nothing to release.
+    fn quiesce(&self, thread: usize) {
+        let _ = thread;
+    }
+
+    /// Number of objects in the store.
+    fn object_count(&self) -> usize;
+
+    /// Diagnostic name of the variant.
+    fn variant_name(&self) -> &'static str;
+}

@@ -1,0 +1,40 @@
+//! CS2: Apache-I (§5.4.2) — saturated listener/worker handoff, developer
+//! fix vs. Recipe 3. Paper shape: TM fix ~15–22% slower under stress.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use txfix_apps::apache::{run_apache1, Apache1Config, Apache1Variant};
+
+fn cfg(variant: Apache1Variant) -> Apache1Config {
+    Apache1Config {
+        variant,
+        workers: 4,
+        connections: 400,
+        process_cost: Duration::from_micros(20),
+        ..Default::default()
+    }
+}
+
+fn bench_handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apache_i");
+    g.sample_size(10);
+
+    g.bench_function("developer_fix_unlock_before_wait", |b| {
+        b.iter(|| {
+            let out = run_apache1(&cfg(Apache1Variant::DevFix));
+            assert_eq!(out.completed, 400);
+        })
+    });
+
+    g.bench_function("recipe3_revocable_lock_retry", |b| {
+        b.iter(|| {
+            let out = run_apache1(&cfg(Apache1Variant::TmFix));
+            assert_eq!(out.completed, 400);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_handoff);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation A3: hardware capacity bounds and fallback cost.
+//!
+//! The hardware-TM result of §5.4.1 relies on transactions fitting the
+//! hardware's tracking capacity. This bench sweeps the transaction
+//! footprint across a fixed capacity bound and measures the cost of the
+//! software fallback engaging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txfix_htm::{hybrid_atomic, CommitPath, HtmConfig};
+use txfix_stm::TVar;
+
+fn bench_capacity_sweep(c: &mut Criterion) {
+    let vars: Vec<TVar<u64>> = (0..512).map(|_| TVar::new(1)).collect();
+    let cfg = HtmConfig::new().capacity(64, 64);
+
+    let mut g = c.benchmark_group("htm_capacity");
+    g.sample_size(20);
+
+    for &footprint in &[8usize, 32, 56, 72, 128, 256] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(footprint),
+            &footprint,
+            |b, &n| {
+                b.iter(|| {
+                    let (sum, report) = hybrid_atomic(&cfg, |txn| {
+                        let mut s = 0;
+                        for v in &vars[..n] {
+                            s += v.read(txn)?;
+                        }
+                        Ok(s)
+                    })
+                    .expect("sweep transaction");
+                    assert_eq!(sum, n as u64);
+                    // Shape check: within capacity commits in hardware,
+                    // beyond it falls back.
+                    if n < 60 {
+                        assert_eq!(report.path, CommitPath::Hardware);
+                    } else if n > 70 {
+                        assert_eq!(report.path, CommitPath::SoftwareFallback);
+                    }
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_capacity_sweep);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! CS4: MySQL-I (§5.4.4) — delete-all stress across tables, developer fix
+//! vs. Recipe 4. Paper shape: atomic/lock serialization runs at ~50%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txfix_apps::mysql::{MiniDb, MysqlVariant};
+
+const TABLES: usize = 4;
+const OPS: u64 = 100;
+
+fn stress(variant: MysqlVariant) {
+    let db = MiniDb::new(variant, TABLES);
+    for t in 0..TABLES {
+        for i in 0..8 {
+            db.insert(t, i, i as i64);
+        }
+    }
+    std::thread::scope(|s| {
+        for dt in 0..TABLES {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..OPS {
+                    db.delete_all(dt);
+                    db.insert(dt, i, i as i64);
+                }
+            });
+        }
+    });
+}
+
+fn bench_delete_stress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mysql_i");
+    g.sample_size(10);
+
+    g.bench_function("developer_fix_table_lock", |b| b.iter(|| stress(MysqlVariant::DevFix)));
+    g.bench_function("recipe4_serialized_atomic", |b| {
+        b.iter(|| stress(MysqlVariant::TmRecipe4))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_delete_stress);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation A2: contention management in deadlock preemption (Recipe 3).
+//!
+//! §4.4 warns that a preempted transaction which "restarts and acquires
+//! locks before the other threads finish" livelocks, and prescribes
+//! exponential backoff. This bench runs a two-thread opposite-order lock
+//! storm under each backoff policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use txfix_core::{preemptible, PreemptOptions};
+use txfix_stm::BackoffPolicy;
+use txfix_txlock::TxMutex;
+
+const MOVES: u64 = 100;
+
+fn storm(policy: BackoffPolicy) {
+    let a = Arc::new(TxMutex::new("a2.a", 0u64));
+    let b = Arc::new(TxMutex::new("a2.b", 0u64));
+    let opts = PreemptOptions { backoff: policy, ..Default::default() };
+    std::thread::scope(|s| {
+        for t in 0..2usize {
+            let (a, b) = (a.clone(), b.clone());
+            let opts = opts.clone();
+            s.spawn(move || {
+                for _ in 0..MOVES {
+                    preemptible(&opts, |txn| {
+                        let (first, second) = if t == 0 { (&a, &b) } else { (&b, &a) };
+                        first.lock_tx(txn)?;
+                        second.lock_tx(txn)?;
+                        first.with_held(|v| *v += 1);
+                        second.with_held(|v| *v += 1);
+                        Ok(())
+                    })
+                    .expect("storm transaction");
+                }
+            });
+        }
+    });
+    assert_eq!(*a.lock().unwrap(), 2 * MOVES);
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preemption_backoff");
+    g.sample_size(10);
+
+    g.bench_function("no_backoff", |b| b.iter(|| storm(BackoffPolicy::None)));
+    g.bench_function("spin_512", |b| b.iter(|| storm(BackoffPolicy::Spin { iters: 512 })));
+    g.bench_function("exp_jitter_default", |b| {
+        b.iter(|| {
+            storm(BackoffPolicy::ExpJitter {
+                base: Duration::from_micros(5),
+                max: Duration::from_millis(2),
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation A1: instrumentation overhead of synchronization mechanisms.
+//!
+//! Reproduces the claim behind §3.2 — "software TM implementations may
+//! slow down critical sections by 3–5×" — by timing a short critical
+//! section (read-modify-write of one word, plus a second shared word to
+//! make it multi-location) under each mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use txfix_htm::{hybrid_atomic, HtmConfig};
+use txfix_stm::{atomic_with, OverheadModel, TVar, TxnOptions};
+use txfix_txlock::TxMutex;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm_overhead");
+    g.sample_size(20);
+
+    // Baseline: plain mutex around plain data.
+    let m = parking_lot::Mutex::new((0u64, 0u64));
+    g.bench_function("parking_lot_mutex", |b| {
+        b.iter(|| {
+            let mut v = m.lock();
+            v.0 = v.0.wrapping_add(1);
+            v.1 = v.1.wrapping_add(v.0);
+            black_box(v.1)
+        })
+    });
+
+    // The revocable lock's non-transactional path.
+    let tm = TxMutex::new("bench.txmutex", (0u64, 0u64));
+    g.bench_function("txmutex_plain", |b| {
+        b.iter(|| {
+            let mut v = tm.lock().expect("uncontended");
+            v.0 = v.0.wrapping_add(1);
+            v.1 = v.1.wrapping_add(v.0);
+            black_box(v.1)
+        })
+    });
+
+    let a = TVar::new(0u64);
+    let bb = TVar::new(0u64);
+    let mut tx_bench = |name: &str, overhead: OverheadModel| {
+        let opts = TxnOptions::default().overhead(overhead);
+        let (a, bb) = (a.clone(), bb.clone());
+        g.bench_function(name, move |bch| {
+            bch.iter(|| {
+                atomic_with(&opts, |txn| {
+                    let x = a.read(txn)?;
+                    a.write(txn, x.wrapping_add(1))?;
+                    let y = bb.read(txn)?;
+                    bb.write(txn, y.wrapping_add(x))?;
+                    Ok(y)
+                })
+                .expect("uncontended transaction")
+            })
+        });
+    };
+
+    tx_bench("stm_native", OverheadModel::NONE);
+    tx_bench("stm_software_model", OverheadModel::SOFTWARE_TM);
+    tx_bench("stm_hardware_model", OverheadModel::HARDWARE_TM);
+
+    // Eager (encounter-time locking, undo log) — the write policy of the
+    // paper's actual platform (Intel's STM).
+    {
+        let opts = TxnOptions::default().write_policy(txfix_stm::WritePolicy::Eager);
+        let (a, bb) = (a.clone(), bb.clone());
+        g.bench_function("stm_eager_native", move |bch| {
+            bch.iter(|| {
+                atomic_with(&opts, |txn| {
+                    let x = a.read(txn)?;
+                    a.write(txn, x.wrapping_add(1))?;
+                    let y = bb.read(txn)?;
+                    bb.write(txn, y.wrapping_add(x))?;
+                    Ok(y)
+                })
+                .expect("uncontended eager transaction")
+            })
+        });
+    }
+
+    let cfg = HtmConfig::new();
+    let (a2, b2) = (a.clone(), bb.clone());
+    g.bench_function("hybrid_htm", move |bch| {
+        bch.iter(|| {
+            hybrid_atomic(&cfg, |txn| {
+                let x = a2.read(txn)?;
+                a2.write(txn, x.wrapping_add(1))?;
+                let y = b2.read(txn)?;
+                b2.write(txn, y.wrapping_add(x))?;
+                Ok(y)
+            })
+            .expect("uncontended hybrid transaction")
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

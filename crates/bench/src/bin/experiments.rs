@@ -1,0 +1,109 @@
+//! Run every experiment and print paper-reported vs. measured values —
+//! the source of EXPERIMENTS.md's results section.
+//!
+//! Pass `--full` for benchmark-scale case-study runs.
+
+use txfix_bench::{
+    apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison,
+    CaseComparison, Scale,
+};
+use txfix_core::{table1, table2, table3, CorpusSummary};
+
+fn check(label: &str, paper: u64, measured: u64) {
+    let ok = if paper == measured { "ok " } else { "MISMATCH" };
+    println!("  [{ok}] {label:58} paper {paper:>4}   measured {measured:>4}");
+}
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let bugs = txfix_corpus::all_bugs();
+    let s = CorpusSummary::compute(&bugs);
+
+    println!("== T1–T3: study tables =============================================\n");
+    print!("{}", table1(&bugs));
+    println!();
+    print!("{}", table2(&bugs));
+    println!();
+    print!("{}", table3(&bugs));
+
+    println!("\n== Stated aggregates (paper prose vs. dataset) =====================\n");
+    check("bugs examined", 60, s.total as u64);
+    check("deadlocks examined", 22, s.deadlocks.total as u64);
+    check("atomicity violations examined", 38, s.atomicity.total as u64);
+    check("bugs TM can fix", 43, s.fixable() as u64);
+    check("deadlocks TM can fix", 12, s.deadlocks.fixable as u64);
+    check("atomicity violations TM can fix", 31, s.atomicity.fixable as u64);
+    check("fixed by straightforward recipes 1 and 2", 40, s.fixed_by_simple_recipes as u64);
+    check("fixed only by recipe 3", 3, s.fixed_only_by_recipe3 as u64);
+    check("recipe-1 fixes simplified by recipe 3", 6, s.simplified_by_recipe3 as u64);
+    check("recipe-2 fixes simplified by recipe 4", 14, s.simplified_by_recipe4 as u64);
+    check("TM fixes judged simpler/preferable", 34, s.tm_preferred as u64);
+    check("implemented and tested fixes", 18, s.implemented as u64);
+    check("implemented deadlock fixes", 7, s.implemented_deadlock as u64);
+    check("implemented atomicity fixes", 11, s.implemented_atomicity as u64);
+    check("AVs with completely missing synchronization", 22, s.av_complete_missing as u64);
+    check("... fixable by recipe 2", 17, s.av_complete_missing_fixable as u64);
+    check("... fixable with a single atomic block", 12, s.av_single_block as u64);
+    check("... single-block fixes judged easy", 9, s.av_single_block_easy as u64);
+    check("... single-block fixes judged medium", 3, s.av_single_block_medium as u64);
+    check("fixes needing condition variables", 5, s.downcall_condvar as u64);
+    check("fixes needing retry", 2, s.downcall_retry as u64);
+    check("fixes needing I/O in transactions", 8, s.downcall_io as u64);
+    check("fixes with very long transactions", 7, s.downcall_long_action as u64);
+    check("unfixable multi-module non-preemptible deadlocks", 5, s.multi_module_non_preemptible as u64);
+
+    println!("\n== Scenario sweep: 18 implemented fixes ============================\n");
+    for sc in txfix_corpus::all_scenarios() {
+        let buggy = sc.run(txfix_corpus::Variant::Buggy);
+        let dev = sc.run(txfix_corpus::Variant::DevFix);
+        let tm = sc.run(txfix_corpus::Variant::TmFix);
+        println!(
+            "  {:22} buggy: {:9} dev fix: {:8} tm fix: {:8}",
+            sc.key(),
+            if buggy.is_bug() { "BUG SEEN" } else { "no bug?!" },
+            if dev.is_bug() { "BROKEN?!" } else { "clean" },
+            if tm.is_bug() { "BROKEN?!" } else { "clean" },
+        );
+    }
+
+    println!("\n== CS1–CS4: case-study performance (relative to developer fix) ====\n");
+    let cases: Vec<CaseComparison> = vec![
+        mozilla_i_comparison(scale),
+        apache_i_comparison(scale),
+        apache_ii_comparison(scale),
+        mysql_i_comparison(scale),
+    ];
+    for c in &cases {
+        println!("{}", c.render());
+    }
+    println!("Summary (TM fix relative to developer fix):");
+    for c in &cases {
+        println!(
+            "  {:10} {:28} paper {:>6.1}%   measured {:>6.1}%",
+            c.case,
+            c.recipe,
+            c.paper_relative * 100.0,
+            c.measured_relative() * 100.0
+        );
+    }
+    if let Some(m) = mozilla_hw(&cases) {
+        println!(
+            "  {:10} {:28} paper {:>6.1}%   measured {:>6.1}%",
+            "Mozilla-I", "recipe 1 on hardware TM", 99.3, m * 100.0
+        );
+    }
+    if let Some(m) = mozilla_r3(&cases) {
+        println!(
+            "  {:10} {:28} paper {:>6.1}%   measured {:>6.1}%",
+            "Mozilla-I", "recipe 3 preemption", 85.0, m * 100.0
+        );
+    }
+}
+
+fn mozilla_hw(cases: &[CaseComparison]) -> Option<f64> {
+    cases.first()?.measurements.get(2).map(|m| m.relative_to_dev)
+}
+
+fn mozilla_r3(cases: &[CaseComparison]) -> Option<f64> {
+    cases.first()?.measurements.get(3).map(|m| m.relative_to_dev)
+}

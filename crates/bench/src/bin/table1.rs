@@ -1,0 +1,15 @@
+//! Regenerate Table 1: concurrency bugs that TM can fix.
+
+fn main() {
+    let bugs = txfix_corpus::all_bugs();
+    print!("{}", txfix_core::table1(&bugs));
+    let s = txfix_core::CorpusSummary::compute(&bugs);
+    println!(
+        "\nTM can fix {} of {} bugs ({:.0}%); {} judged simpler than the developers' fix ({:.0}%).",
+        s.fixable(),
+        s.total,
+        100.0 * s.fixable() as f64 / s.total as f64,
+        s.tm_preferred,
+        100.0 * s.tm_preferred as f64 / s.total as f64,
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 2: difficulty of developers' vs. TM fixes.
+
+fn main() {
+    let bugs = txfix_corpus::all_bugs();
+    print!("{}", txfix_core::table2(&bugs));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 3: downcalls performed by the TM fixes' atomic blocks.
+
+fn main() {
+    let bugs = txfix_corpus::all_bugs();
+    print!("{}", txfix_core::table3(&bugs));
+}

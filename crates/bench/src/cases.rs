@@ -1,0 +1,368 @@
+//! Case-study performance comparisons (paper §5.4, Table 4).
+//!
+//! Each runner drives the developer-fixed and TM-fixed variants of one
+//! case study with the same workload and reports throughput relative to
+//! the developers' fix — the paper's metric. Absolute numbers depend on
+//! the host; the *shape* (who wins, by roughly what factor) is the
+//! reproduction target recorded in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+use txfix_apps::apache::buffered_log::{make_record, RECORD_LEN};
+use txfix_apps::apache::{
+    run_apache1, Apache1Config, Apache1Variant, LockedBufferedLog, LogWriter, TmBufferedLog,
+};
+use txfix_apps::mysql::{MiniDb, MysqlVariant};
+use txfix_apps::spidermonkey::{
+    run_script_workload, HwModelStore, ObjectStore, OwnershipMode, OwnershipStore, PreemptStore,
+    ScriptParams, StmStore,
+};
+use txfix_stm::OverheadModel;
+use txfix_xcall::SimFs;
+
+/// How big a run to perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke-scale run (CI, `table4`).
+    Quick,
+    /// Full benchmark-scale run (`experiments`, criterion).
+    Full,
+}
+
+impl Scale {
+    fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One measured variant.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Variant label.
+    pub name: String,
+    /// Operations per second (higher is better).
+    pub ops_per_sec: f64,
+    /// Throughput relative to the developers' fix (1.0 = parity).
+    pub relative_to_dev: f64,
+}
+
+/// A full case-study comparison.
+#[derive(Clone, Debug)]
+pub struct CaseComparison {
+    /// Case-study id (e.g. "Mozilla-I").
+    pub case: &'static str,
+    /// Recipe used by the TM fix.
+    pub recipe: &'static str,
+    /// Paper-reported TM-fix performance relative to the developers' fix.
+    pub paper_relative: f64,
+    /// Measured variants (first entry is the developers' fix).
+    pub measurements: Vec<Measurement>,
+}
+
+impl CaseComparison {
+    /// The headline measured relative performance: the *primary* TM fix
+    /// (second measurement) vs. the developers' fix.
+    pub fn measured_relative(&self) -> f64 {
+        self.measurements.get(1).map(|m| m.relative_to_dev).unwrap_or(f64::NAN)
+    }
+
+    /// Render a small report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} ({}) — paper: TM at {:.1}% of developer fix\n",
+            self.case,
+            self.recipe,
+            self.paper_relative * 100.0
+        );
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "  {:38} {:>12.0} ops/s   {:>6.1}% of dev fix\n",
+                m.name,
+                m.ops_per_sec,
+                m.relative_to_dev * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Best-of-N throughput: repeated runs damp single-core scheduler noise
+/// (the best run is the least interfered-with one).
+fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..n.max(1)).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+fn finish(case: &'static str, recipe: &'static str, paper: f64, raw: Vec<(String, f64)>) -> CaseComparison {
+    let dev = raw.first().map(|r| r.1).unwrap_or(1.0);
+    CaseComparison {
+        case,
+        recipe,
+        paper_relative: paper,
+        measurements: raw
+            .into_iter()
+            .map(|(name, ops)| Measurement {
+                name,
+                ops_per_sec: ops,
+                relative_to_dev: if dev > 0.0 { ops / dev } else { f64::NAN },
+            })
+            .collect(),
+    }
+}
+
+/// Mozilla-I (§5.4.1): four interpreter threads over the shared runtime.
+///
+/// Measured variants: developers' fix (ownership protocol with
+/// drop-before-block), Recipe 1 on software TM (paper: 21%), Recipe 1 on
+/// the hardware model (paper: 99.3%), Recipe 3 preemption (paper: 85%).
+pub fn mozilla_i_comparison(scale: Scale) -> CaseComparison {
+    let params = ScriptParams {
+        threads: 4,
+        objects_per_thread: 8,
+        slots: 8,
+        shared_objects: 4,
+        iterations: scale.pick(4_000, 40_000),
+        cross_object_period: 64,
+        // Calibrated interpreter work per op: property accesses are a large
+        // minority of a SunSpider iteration, not all of it.
+        compute_ns: 250,
+    };
+    let total = params.total_objects();
+
+    let run = |store: &dyn ObjectStore| -> f64 {
+        best_of(3, || run_script_workload(store, &params).ops_per_sec)
+    };
+
+    let dev = OwnershipStore::new(OwnershipMode::DevFix, total, params.slots);
+    let sw = StmStore::software(total, params.slots);
+    let hw = HwModelStore::new(total, params.slots);
+    let pre = PreemptStore::new(total, params.slots);
+
+    let raw = vec![
+        ("developer fix (ownership protocol)".to_string(), run(&dev)),
+        ("recipe 1, software TM".to_string(), run(&sw)),
+        ("recipe 1, hardware TM model".to_string(), run(&hw)),
+        ("recipe 3, preemptible locks".to_string(), run(&pre)),
+    ];
+    finish("Mozilla-I", "recipe 1 (and 3)", 0.21, raw)
+}
+
+/// Apache-I (§5.4.2): saturated listener/worker handoff. Paper: TM fix at
+/// ~78–85% of the developers' fix under stress.
+pub fn apache_i_comparison(scale: Scale) -> CaseComparison {
+    let connections = scale.pick(300, 2_000);
+    let base = Apache1Config {
+        workers: 4,
+        connections,
+        process_cost: Duration::from_micros(20),
+        ..Default::default()
+    };
+    let run = |variant| -> f64 {
+        best_of(3, || {
+            let out = run_apache1(&Apache1Config { variant, ..base });
+            assert!(!out.deadlocked);
+            out.completed as f64 / out.elapsed.as_secs_f64().max(1e-9)
+        })
+    };
+    let raw = vec![
+        ("developer fix (unlock before wait)".to_string(), run(Apache1Variant::DevFix)),
+        ("recipe 3 (revocable lock + retry)".to_string(), run(Apache1Variant::TmFix)),
+    ];
+    finish("Apache-I", "recipe 3", 0.85, raw)
+}
+
+/// Apache-II (§5.4.3): request loop with one buffered-log write per
+/// request. Paper: TM fix ~96.5% of the developers' per-log locks.
+pub fn apache_ii_comparison(scale: Scale) -> CaseComparison {
+    const THREADS: usize = 4;
+    let requests = scale.pick(1_000u64, 10_000);
+    // Parsing, handler dispatch and response generation dwarf the log
+    // append in a real request; `ab` measures whole requests (~80µs/request
+    // ≈ 12.5k req/s, typical for static content on one core).
+    let request_work = Duration::from_micros(80);
+
+    let run = |log: &dyn LogWriter| -> f64 {
+        best_of(3, || {
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    s.spawn(move || {
+                        for i in 0..requests {
+                            // Serve the (simulated) request, then log it.
+                            busy(request_work);
+                            log.write_record(&make_record(t, i));
+                        }
+                    });
+                }
+            });
+            log.flush();
+            (THREADS as u64 * requests) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        })
+    };
+
+    let fs = SimFs::new();
+    let dev = LockedBufferedLog::new(&fs, "dev.log", 64 * RECORD_LEN);
+    let tm = TmBufferedLog::with_overhead(&fs, "tm.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
+    let raw = vec![
+        ("developer fix (per-log lock)".to_string(), run(&dev)),
+        ("recipe 2 (atomic block + x-call)".to_string(), run(&tm)),
+    ];
+    finish("Apache-II", "recipe 2", 0.965, raw)
+}
+
+/// MySQL-I (§5.4.4): repeated delete-all on different tables plus insert
+/// traffic. Paper: TM fix at ~50% of the developers' fix on the delete
+/// stress — Recipe 4's atomic/lock serialization costs *concurrency*:
+/// deletes on different tables run in parallel under per-table locks but
+/// strictly serially under the domain-exclusive atomic section.
+///
+/// On hosts with ≥ 4 cores this is measured as wall-clock throughput. On
+/// smaller hosts (where no parallelism exists to lose) the comparison
+/// falls back to an Amdahl model over *measured* per-operation costs: the
+/// developer fix parallelizes all work across the tables, while Recipe 4
+/// serializes the deletes. The fallback is labeled in the measurement
+/// names.
+pub fn mysql_i_comparison(scale: Scale) -> CaseComparison {
+    const TABLES: usize = 4;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= TABLES {
+        mysql_i_wall_clock(scale, TABLES)
+    } else {
+        mysql_i_modeled(scale, TABLES)
+    }
+}
+
+fn mysql_i_wall_clock(scale: Scale, tables: usize) -> CaseComparison {
+    let deletes = scale.pick(400u64, 4_000);
+    let run = |variant| -> f64 {
+        // Raise the per-row engine work so the table section dominates
+        // lock overhead, as it does in a real storage engine.
+        let db = MiniDb::new(variant, tables).with_row_cost(4_000);
+        for t in 0..tables {
+            for i in 0..8 {
+                db.insert(t, i, i as i64);
+            }
+        }
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for dt in 0..tables {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..deletes {
+                        db.delete_all(dt);
+                        db.insert(dt, i, i as i64);
+                        db.insert(dt, i + deletes, i as i64);
+                    }
+                });
+            }
+        });
+        (tables as u64 * deletes * 3) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+    let raw = vec![
+        ("developer fix (table lock through log)".to_string(), run(MysqlVariant::DevFix)),
+        ("recipe 4 (atomic/lock serialization)".to_string(), run(MysqlVariant::TmRecipe4)),
+    ];
+    finish("MySQL-I", "recipe 4", 0.50, raw)
+}
+
+fn mysql_i_modeled(scale: Scale, tables: usize) -> CaseComparison {
+    // Measure single-threaded per-op costs (one delete-all : two inserts,
+    // the stress mix), then model `tables`-way execution: the developer
+    // fix parallelizes everything; recipe 4 serializes the deletes and
+    // excludes concurrent inserts while one runs.
+    let rounds = scale.pick(300u64, 3_000);
+    let measure = |variant| -> (f64, f64) {
+        let db = MiniDb::new(variant, tables).with_row_cost(4_000);
+        for i in 0..8 {
+            db.insert(0, i, i as i64);
+        }
+        let d0 = Instant::now();
+        for _ in 0..rounds {
+            db.delete_all(0);
+        }
+        let delete_cost = d0.elapsed().as_secs_f64() / rounds as f64;
+        let i0 = Instant::now();
+        for i in 0..(2 * rounds) {
+            db.insert(0, i, i as i64);
+        }
+        let insert_cost = i0.elapsed().as_secs_f64() / (2 * rounds) as f64;
+        (delete_cost, insert_cost)
+    };
+
+    let ops = (tables as u64 * rounds) as f64; // deletes; inserts = 2x
+    let model = |(d, i): (f64, f64), serial_deletes: bool| -> f64 {
+        let delete_work = ops * d;
+        let insert_work = 2.0 * ops * i;
+        let time = if serial_deletes {
+            delete_work + insert_work / tables as f64
+        } else {
+            (delete_work + insert_work) / tables as f64
+        };
+        3.0 * ops / time.max(1e-12)
+    };
+
+    let dev = model(measure(MysqlVariant::DevFix), false);
+    let tm = model(measure(MysqlVariant::TmRecipe4), true);
+    let raw = vec![
+        (format!("developer fix (modeled {tables}-way, measured op costs)"), dev),
+        (format!("recipe 4 (modeled {tables}-way, deletes serialized)"), tm),
+    ];
+    finish("MySQL-I", "recipe 4", 0.50, raw)
+}
+
+fn busy(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparisons_produce_sane_relatives() {
+        for c in [
+            mozilla_i_comparison(Scale::Quick),
+            apache_i_comparison(Scale::Quick),
+            apache_ii_comparison(Scale::Quick),
+            mysql_i_comparison(Scale::Quick),
+        ] {
+            assert!(c.measurements.len() >= 2, "{}", c.case);
+            assert!((c.measurements[0].relative_to_dev - 1.0).abs() < 1e-9);
+            for m in &c.measurements {
+                assert!(m.ops_per_sec > 0.0, "{}: {m:?}", c.case);
+                assert!(m.relative_to_dev.is_finite());
+            }
+            assert!(!c.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn tm_fixes_cost_performance_in_the_paper_direction() {
+        // Shape assertions (generous bounds — CI machines vary): the
+        // software-TM Recipe 1 fix is markedly slower than the developers'
+        // fix, and Recipe 4 costs concurrency on the delete stress.
+        let m = mozilla_i_comparison(Scale::Quick);
+        let sw = &m.measurements[1];
+        assert!(
+            sw.relative_to_dev < 0.8,
+            "software TM should be well below the dev fix, got {:.2}",
+            sw.relative_to_dev
+        );
+        let hw = &m.measurements[2];
+        assert!(
+            hw.relative_to_dev > sw.relative_to_dev,
+            "hardware model should beat software TM"
+        );
+
+        let my = mysql_i_comparison(Scale::Quick);
+        assert!(
+            my.measured_relative() < 0.95,
+            "recipe 4 serialization should cost concurrency, got {:.2}",
+            my.measured_relative()
+        );
+    }
+}

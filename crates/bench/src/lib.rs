@@ -1,0 +1,16 @@
+//! # txfix-bench: the evaluation harness
+//!
+//! One runner per paper artifact (DESIGN.md §4). The `table1`–`table4`
+//! binaries print the paper's tables from the corpus and the case-study
+//! comparisons; `experiments` runs everything and prints paper-reported
+//! vs. measured values; the criterion benches under `benches/` measure the
+//! same comparisons with statistical rigor plus the three ablations.
+
+#![warn(missing_docs)]
+
+pub mod cases;
+
+pub use cases::{
+    apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison,
+    CaseComparison, Measurement, Scale,
+};

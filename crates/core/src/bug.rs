@@ -1,0 +1,256 @@
+//! The bug description model.
+//!
+//! A [`BugRecord`] captures what the paper's authors extracted from each
+//! bug report: what kind of bug it is, the structural characteristics that
+//! determine whether (and how) transactional memory can fix it, what the
+//! fix's atomic blocks would call into (Table 3's "downcalls"), and how the
+//! developers actually fixed it. The recipe-applicability analysis
+//! ([`crate::analysis`]) and difficulty model ([`crate::difficulty`]) are
+//! pure functions of this record, so the paper's Tables 1–3 can be
+//! re-derived from the corpus dataset.
+
+use std::fmt;
+
+/// The application a bug was reported against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum App {
+    /// Mozilla (browser engine, incl. SpiderMonkey and NSPR).
+    Mozilla,
+    /// Apache httpd.
+    Apache,
+    /// MySQL server.
+    MySql,
+}
+
+impl App {
+    /// All applications, in the paper's table order.
+    pub const ALL: [App; 3] = [App::Mozilla, App::Apache, App::MySql];
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            App::Mozilla => write!(f, "Mozilla"),
+            App::Apache => write!(f, "Apache"),
+            App::MySql => write!(f, "MySQL"),
+        }
+    }
+}
+
+/// The two bug classes the paper studies (order violations are excluded,
+/// §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BugKind {
+    /// Circular wait between threads (locks, or locks + condition
+    /// variables).
+    Deadlock,
+    /// Code not protected from interleaving with other accesses to the
+    /// same shared data.
+    AtomicityViolation,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::Deadlock => write!(f, "deadlock"),
+            BugKind::AtomicityViolation => write!(f, "atomicity violation"),
+        }
+    }
+}
+
+/// How much synchronization the buggy atomicity-violation code had.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MissingSync {
+    /// No synchronization at all around the conflicting regions — the
+    /// best case for TM (Recipe 2, §5.3.2).
+    Complete,
+    /// Asymmetric: most regions follow the locking discipline, some do not
+    /// (Recipe 4's target, e.g. MySQL-I).
+    Partial,
+    /// Synchronization present but using the wrong lock
+    /// (Mozilla#18025/#133773).
+    WrongLock,
+    /// Hand-rolled ad hoc mechanism (ownership flags, custom
+    /// check/abort/redo as in MySQL#16582).
+    AdHoc,
+}
+
+/// What the TM fix's atomic blocks call into (paper Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Downcalls {
+    /// Condition-variable operations inside the atomic block (needs
+    /// transactional condvars).
+    pub condvar: bool,
+    /// A blocking `retry` replaces a condition-variable wait.
+    pub retry: bool,
+    /// File/socket/pipe I/O (needs xCalls).
+    pub io: bool,
+    /// Very long actions (millions of instructions, e.g. GC).
+    pub long_action: bool,
+    /// Calls into other library/module functions that must be executed
+    /// transactionally.
+    pub library: bool,
+}
+
+impl Downcalls {
+    /// No downcalls.
+    pub const NONE: Downcalls =
+        Downcalls { condvar: false, retry: false, io: false, long_action: false, library: false };
+
+    /// Whether any downcall category is present.
+    pub fn any(&self) -> bool {
+        self.condvar || self.retry || self.io || self.long_action || self.library
+    }
+
+    /// Whether the downcalls force extra safety reasoning in the fix.
+    /// File/socket I/O does *not*: the x-call wrappers make it routine
+    /// (the paper judges the I/O-bearing Apache-II fix easy). Library
+    /// downcalls, very long actions and condition variables do (the
+    /// "reason that wrapping downcalls inside the atomic block was safe"
+    /// judgment behind the medium ratings of §5.3.2).
+    pub fn needs_reasoning(&self) -> bool {
+        self.long_action || self.library || self.condvar
+    }
+}
+
+/// Structural characteristics that decide recipe applicability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BugChars {
+    // -- deadlock structure ------------------------------------------------
+    /// The deadlock is a pure lock-acquisition cycle (pairs of locks taken
+    /// out of order).
+    pub lock_cycle: bool,
+    /// The circular wait goes through a condition-variable wait.
+    pub cv_wait: bool,
+    /// The blocked threads need *two-way* communication (nested monitor
+    /// lockout): the waiter can only be signalled by a thread that needs
+    /// the waiter's lock **and** the waiter cannot make progress without
+    /// the signal. TM cannot fix these (§5.3.1).
+    pub two_way_communication: bool,
+    /// Locks involved span more than one module.
+    pub multi_module: bool,
+    /// State unrelated to the deadlocking locks changes while they are
+    /// held (irreversible effects), so no participant can be rolled back.
+    pub non_preemptible: bool,
+    /// The deadlock stems from a design error (e.g. waiting on a destroyed
+    /// component, Mozilla#27486), not from the mutual-exclusion mechanism.
+    pub design_flaw: bool,
+    // -- atomicity-violation structure --------------------------------------
+    /// How much synchronization the buggy code had (AV bugs only).
+    pub missing_sync: Option<MissingSync>,
+    /// The region must atomically issue a long-latency operation and later
+    /// process its completion callback (Mozilla#19421). Unfixable.
+    pub long_latency_callback: bool,
+    /// Needs exactly-once execution semantics beyond atomicity. Unfixable.
+    pub exactly_once: bool,
+    /// The atomicity that is violated is of I/O visible across processes
+    /// (kernel/process or process/process, e.g. Apache#7617). Unfixable.
+    pub cross_process_io: bool,
+    // -- fix shape -----------------------------------------------------------
+    /// The whole TM fix is a single atomic block.
+    pub single_atomic_block: bool,
+    /// The TM fix carries side benefits beyond this bug — it fixes other
+    /// reported bugs or retires a fragile protocol (e.g. Mozilla-I's
+    /// Recipe 1 fix also resolved four later deadlock reports). Breaks
+    /// difficulty ties in TM's favor.
+    pub fix_extra_benefits: bool,
+    /// Number of code regions that must be modified by the TM fix.
+    pub fix_sites: u8,
+    /// What the fix's atomic blocks call into.
+    pub downcalls: Downcalls,
+}
+
+/// Fix difficulty, as judged in the paper (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Difficulty {
+    /// Few code changes, local reasoning.
+    Easy,
+    /// Either distributed changes or some non-local reasoning.
+    Medium,
+    /// Deep understanding or compensation logic required.
+    Hard,
+}
+
+impl fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Difficulty::Easy => write!(f, "easy"),
+            Difficulty::Medium => write!(f, "medium"),
+            Difficulty::Hard => write!(f, "hard"),
+        }
+    }
+}
+
+/// What the developers did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DevFix {
+    /// Difficulty of the final developer fix, as judged by the criteria of
+    /// §5.2.
+    pub difficulty: Difficulty,
+    /// Lines added + modified by the developer fix.
+    pub loc: u32,
+    /// Number of fix attempts visible in the bug history (≥1).
+    pub attempts: u8,
+}
+
+/// One studied concurrency bug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BugRecord {
+    /// Bug-tracker identifier, e.g. `"Mozilla#54743"`. IDs named in the
+    /// paper are used verbatim; reconstructed entries set
+    /// [`synthetic_id`](BugRecord::synthetic_id).
+    pub id: &'static str,
+    /// Application the bug belongs to.
+    pub app: App,
+    /// Deadlock or atomicity violation.
+    pub kind: BugKind,
+    /// Whether the ID was synthesized during dataset reconstruction (the
+    /// paper's per-bug table is not public; see DESIGN.md).
+    pub synthetic_id: bool,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Structural characteristics.
+    pub chars: BugChars,
+    /// The developers' fix.
+    pub dev_fix: DevFix,
+    /// Key of the executable reproduction in `txfix-corpus`, for the 18
+    /// bugs whose fixes the study implemented and tested.
+    pub scenario: Option<&'static str>,
+}
+
+impl BugRecord {
+    /// Whether this bug's fix was implemented and tested (18 of 60).
+    pub fn is_implemented(&self) -> bool {
+        self.scenario.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_display_matches_paper_names() {
+        assert_eq!(App::Mozilla.to_string(), "Mozilla");
+        assert_eq!(App::Apache.to_string(), "Apache");
+        assert_eq!(App::MySql.to_string(), "MySQL");
+    }
+
+    #[test]
+    fn downcalls_any_and_reasoning() {
+        assert!(!Downcalls::NONE.any());
+        let d = Downcalls { retry: true, ..Downcalls::NONE };
+        assert!(d.any());
+        assert!(!d.needs_reasoning(), "retry alone does not force downcall reasoning");
+        let d = Downcalls { io: true, ..Downcalls::NONE };
+        assert!(!d.needs_reasoning(), "x-call I/O is routine (Apache-II judged easy)");
+        let d = Downcalls { library: true, ..Downcalls::NONE };
+        assert!(d.needs_reasoning());
+    }
+
+    #[test]
+    fn difficulty_orders_easy_to_hard() {
+        assert!(Difficulty::Easy < Difficulty::Medium);
+        assert!(Difficulty::Medium < Difficulty::Hard);
+    }
+}

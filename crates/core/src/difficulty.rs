@@ -1,0 +1,212 @@
+//! The difficulty model of §5.2: rate each TM fix as easy/medium/hard from
+//! its structural characteristics, and compare against the developers'
+//! fix to decide which is preferable.
+
+use crate::analysis::{Analysis, Recipe};
+use crate::bug::{BugRecord, Difficulty};
+
+/// Which fix the study judges preferable for a fixable bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preference {
+    /// The TM fix has strictly lower combined effort.
+    Tm,
+    /// The developers' fix is as easy as TM's or easier (the paper favors
+    /// the developers' fix on ties — "as easy as TM or easier").
+    Developers,
+}
+
+/// Rate the TM fix for `bug` given its `analysis`.
+///
+/// The rules transcribe the judgments spelled out in §5.3–§5.4:
+///
+/// - Recipe 3 fixes are **hard** when a condition-variable wait must be
+///   argued equivalent to a `retry`, otherwise **medium** (reasoning that
+///   preemption is safe);
+/// - Recipe 1 fixes scale with how many sites must switch from locks to
+///   atomic regions (Mozilla-I's 15-file change is hard);
+/// - Recipe 2/4 fixes are **easy** when a single atomic block suffices,
+///   **medium** when downcalls must be argued safe or a handful of sites
+///   change, **hard** when the rewrite is distributed.
+///
+/// Returns `None` for unfixable bugs.
+pub fn tm_difficulty(bug: &BugRecord, analysis: &Analysis) -> Option<Difficulty> {
+    let plan = analysis.plan()?;
+    let c = &bug.chars;
+    let d = match plan.primary {
+        Recipe::DeadlockPreemption => {
+            if c.downcalls.retry {
+                Difficulty::Hard
+            } else {
+                Difficulty::Medium
+            }
+        }
+        Recipe::ReplaceLocks => {
+            if c.fix_sites > 10 {
+                Difficulty::Hard
+            } else if c.fix_sites > 3 {
+                Difficulty::Medium
+            } else {
+                Difficulty::Easy
+            }
+        }
+        Recipe::WrapAll | Recipe::WrapUnprotected => {
+            if c.fix_sites > 10 {
+                Difficulty::Hard
+            } else if c.fix_sites > 3 {
+                Difficulty::Medium
+            } else if c.single_atomic_block && !c.downcalls.needs_reasoning() {
+                Difficulty::Easy
+            } else if c.downcalls.needs_reasoning() {
+                Difficulty::Medium
+            } else {
+                Difficulty::Easy
+            }
+        }
+    };
+    Some(d)
+}
+
+/// Compare the TM fix against the developers' fix.
+///
+/// TM wins on strictly lower effort, or on equal effort when the TM fix
+/// has side benefits (retires a fragile protocol / fixes further bugs, as
+/// with Mozilla-I). Otherwise the developers' fix is favored ("as easy as
+/// TM or easier", §5.3.1).
+///
+/// Returns `None` for unfixable bugs (no TM fix to compare).
+pub fn preference(bug: &BugRecord, analysis: &Analysis) -> Option<Preference> {
+    let tm = tm_difficulty(bug, analysis)?;
+    let dev = bug.dev_fix.difficulty;
+    Some(if tm < dev || (tm == dev && bug.chars.fix_extra_benefits) {
+        Preference::Tm
+    } else {
+        Preference::Developers
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::bug::{App, BugChars, BugKind, DevFix, Downcalls, MissingSync};
+
+    fn record(kind: BugKind, chars: BugChars, dev: Difficulty) -> BugRecord {
+        BugRecord {
+            id: "Test#1",
+            app: App::Apache,
+            kind,
+            synthetic_id: true,
+            summary: "test",
+            chars,
+            dev_fix: DevFix { difficulty: dev, loc: 10, attempts: 1 },
+            scenario: None,
+        }
+    }
+
+    #[test]
+    fn single_block_no_downcalls_is_easy() {
+        let b = record(
+            BugKind::AtomicityViolation,
+            BugChars {
+                missing_sync: Some(MissingSync::Complete),
+                single_atomic_block: true,
+                fix_sites: 1,
+                ..Default::default()
+            },
+            Difficulty::Medium,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), Some(Difficulty::Easy));
+        assert_eq!(preference(&b, &a), Some(Preference::Tm));
+    }
+
+    #[test]
+    fn single_block_with_io_downcall_stays_easy() {
+        // Apache-II: one atomic block whose flush is an x-call — the paper
+        // judges it easy.
+        let b = record(
+            BugKind::AtomicityViolation,
+            BugChars {
+                missing_sync: Some(MissingSync::Complete),
+                single_atomic_block: true,
+                fix_sites: 1,
+                downcalls: Downcalls { io: true, ..Downcalls::NONE },
+                ..Default::default()
+            },
+            Difficulty::Medium,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), Some(Difficulty::Easy));
+        assert_eq!(preference(&b, &a), Some(Preference::Tm));
+    }
+
+    #[test]
+    fn single_block_with_library_downcall_is_medium() {
+        let b = record(
+            BugKind::AtomicityViolation,
+            BugChars {
+                missing_sync: Some(MissingSync::Complete),
+                single_atomic_block: true,
+                fix_sites: 1,
+                downcalls: Downcalls { library: true, ..Downcalls::NONE },
+                ..Default::default()
+            },
+            Difficulty::Medium,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), Some(Difficulty::Medium));
+        // Tie goes to the developers.
+        assert_eq!(preference(&b, &a), Some(Preference::Developers));
+    }
+
+    #[test]
+    fn wide_lock_replacement_is_hard() {
+        let b = record(
+            BugKind::Deadlock,
+            BugChars { lock_cycle: true, fix_sites: 15, ..Default::default() },
+            Difficulty::Hard,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), Some(Difficulty::Hard));
+    }
+
+    #[test]
+    fn retry_based_preemption_is_hard() {
+        let b = record(
+            BugKind::Deadlock,
+            BugChars {
+                cv_wait: true,
+                fix_sites: 2,
+                downcalls: Downcalls { retry: true, ..Downcalls::NONE },
+                ..Default::default()
+            },
+            Difficulty::Hard,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), Some(Difficulty::Hard));
+    }
+
+    #[test]
+    fn plain_preemption_is_medium() {
+        let b = record(
+            BugKind::Deadlock,
+            BugChars { cv_wait: true, fix_sites: 1, ..Default::default() },
+            Difficulty::Hard,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), Some(Difficulty::Medium));
+        assert_eq!(preference(&b, &a), Some(Preference::Tm));
+    }
+
+    #[test]
+    fn unfixable_has_no_difficulty() {
+        let b = record(
+            BugKind::Deadlock,
+            BugChars { design_flaw: true, ..Default::default() },
+            Difficulty::Hard,
+        );
+        let a = analyze(&b);
+        assert_eq!(tm_difficulty(&b, &a), None);
+        assert_eq!(preference(&b, &a), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Runtime combinators for the four fix recipes.
+//!
+//! These are thin, *intent-revealing* entry points over the substrate
+//! crates: a developer fixing a bug picks the recipe and gets the right
+//! combination of atomic regions, revocable locks, preemption priority,
+//! backoff and serialization without re-deriving it.
+
+use txfix_stm::{
+    atomic_with, BackoffPolicy, StmResult, Txn, TxnError, TxnOptions, TxnReport,
+};
+use txfix_tmsync::{serial_atomic_with, SerialDomain};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// **Recipe 1 — replace deadlock-prone locks.** Remove the locks that form
+/// the cycle and run every former critical section as an atomic region.
+///
+/// Functionally identical to [`txfix_stm::atomic`]; having a named entry
+/// point keeps fixed call sites self-documenting and lets the benchmark
+/// harness attribute costs to recipes.
+pub fn replace_locks_atomic<T>(body: impl FnMut(&mut Txn) -> StmResult<T>) -> T {
+    txfix_stm::atomic(body)
+}
+
+/// **Recipe 2 — wrap all.** Wrap every conflicting code region in an
+/// atomic region (with x-calls for I/O inside the region).
+///
+/// Functionally identical to [`txfix_stm::atomic`].
+pub fn wrap_all_atomic<T>(body: impl FnMut(&mut Txn) -> StmResult<T>) -> T {
+    txfix_stm::atomic(body)
+}
+
+/// Options for [`preemptible`] (Recipe 3).
+#[derive(Clone, Debug)]
+pub struct PreemptOptions {
+    /// Victim priority: lower values abort first when a deadlock cycle
+    /// forms. The paper recommends making the *infrequent / low-priority*
+    /// thread preemptible; give it a negative priority.
+    pub priority: i32,
+    /// Backoff between preemptions — exponential with jitter by default,
+    /// which is what prevents the livelock discussed in §4.4.
+    pub backoff: BackoffPolicy,
+    /// Give up after this many attempts (`None` = keep trying).
+    pub max_attempts: Option<u64>,
+}
+
+impl Default for PreemptOptions {
+    fn default() -> Self {
+        PreemptOptions {
+            priority: -1,
+            backoff: BackoffPolicy::ExpJitter {
+                base: Duration::from_micros(50),
+                max: Duration::from_millis(5),
+            },
+            max_attempts: None,
+        }
+    }
+}
+
+/// **Recipe 3 — asymmetric deadlock preemption.** Run `body` as an
+/// abortable transaction registered as a *preferred deadlock victim*:
+/// locks acquired with [`TxMutex::lock_tx`] inside the body are revocable,
+/// and when a deadlock cycle forms, this transaction aborts, releases its
+/// locks, backs off exponentially and retries — letting the other
+/// (unmodified, lock-based) threads make progress.
+///
+/// The body may also use [`Txn::retry`] in place of a condition-variable
+/// wait, the combination used in the Apache-I case study (§5.4.2).
+///
+/// # Errors
+///
+/// [`TxnError::RetryLimit`] if `opts.max_attempts` is exhausted;
+/// [`TxnError::Cancelled`] if the body cancels.
+///
+/// [`TxMutex::lock_tx`]: txfix_txlock::TxMutex::lock_tx
+pub fn preemptible<T>(
+    opts: &PreemptOptions,
+    mut body: impl FnMut(&mut Txn) -> StmResult<T>,
+) -> Result<T, TxnError> {
+    let mut txn_opts = TxnOptions::default().backoff(opts.backoff);
+    txn_opts.max_attempts = opts.max_attempts;
+    let priority = opts.priority;
+    atomic_with(&txn_opts, move |txn| {
+        txfix_txlock::enlist_preemptible(txn, priority);
+        body(txn)
+    })
+}
+
+/// Like [`preemptible`], additionally returning the execution report
+/// (attempt/preemption counts — the observable cost of Recipe 3).
+///
+/// # Errors
+///
+/// Same as [`preemptible`].
+pub fn preemptible_report<T>(
+    opts: &PreemptOptions,
+    mut body: impl FnMut(&mut Txn) -> StmResult<T>,
+) -> Result<(T, TxnReport), TxnError> {
+    let mut txn_opts = TxnOptions::default().backoff(opts.backoff);
+    txn_opts.max_attempts = opts.max_attempts;
+    let priority = opts.priority;
+    txfix_stm::atomic_report(&txn_opts, move |txn| {
+        txfix_txlock::enlist_preemptible(txn, priority);
+        body(txn)
+    })
+}
+
+/// **Recipe 4 — wrap unprotected.** Run `body` as an atomic region
+/// serialized against every lock-based critical section in `domain`
+/// (see [`SerialDomain`]): only the buggy region changes, the code that
+/// already uses locks correctly stays untouched.
+pub fn wrap_unprotected_atomic<T>(
+    domain: &Arc<SerialDomain>,
+    body: impl FnMut(&mut Txn) -> StmResult<T>,
+) -> T {
+    serial_atomic_with(domain, &TxnOptions::default(), body)
+        .expect("default serial atomic region cannot fail terminally")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use txfix_stm::TVar;
+    use txfix_tmsync::SerialMutex;
+    use txfix_txlock::TxMutex;
+
+    #[test]
+    fn recipe1_and_2_are_atomic_regions() {
+        let v = TVar::new(0u32);
+        replace_locks_atomic(|txn| v.modify(txn, |x| x + 1));
+        wrap_all_atomic(|txn| v.modify(txn, |x| x + 1));
+        assert_eq!(v.load(), 2);
+    }
+
+    #[test]
+    fn preemptible_resolves_ab_ba_against_plain_locks() {
+        use std::sync::Barrier;
+        let a = Arc::new(TxMutex::new("r3-A", 0u32));
+        let b = Arc::new(TxMutex::new("r3-B", 0u32));
+        let barrier = Arc::new(Barrier::new(2));
+
+        std::thread::scope(|s| {
+            let (a1, b1, bar) = (a.clone(), b.clone(), barrier.clone());
+            s.spawn(move || {
+                let _ga = a1.lock().unwrap();
+                bar.wait();
+                let _gb = b1.lock().unwrap();
+            });
+            let (a2, b2, bar) = (a.clone(), b.clone(), barrier.clone());
+            s.spawn(move || {
+                let mut synced = false;
+                let (_, report) = preemptible_report(&PreemptOptions::default(), |txn| {
+                    b2.lock_tx(txn)?;
+                    if !synced {
+                        synced = true;
+                        bar.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    a2.lock_tx(txn)
+                })
+                .unwrap();
+                assert!(report.preemptions >= 1, "expected at least one preemption");
+            });
+        });
+        assert!(!a.is_locked() && !b.is_locked());
+    }
+
+    #[test]
+    fn preemptible_respects_attempt_limit() {
+        let r: Result<(), TxnError> = preemptible(
+            &PreemptOptions { max_attempts: Some(2), ..Default::default() },
+            |txn| txn.restart(),
+        );
+        assert_eq!(r, Err(TxnError::RetryLimit { attempts: 2 }));
+    }
+
+    #[test]
+    fn recipe4_serializes_against_domain_locks() {
+        let domain = SerialDomain::new();
+        let counter = Arc::new(SerialMutex::new(domain.clone(), 0u64));
+        let tv = TVar::new(0u64);
+        std::thread::scope(|s| {
+            let (d, tv) = (domain.clone(), tv.clone());
+            s.spawn(move || {
+                for _ in 0..100 {
+                    wrap_unprotected_atomic(&d, |txn| tv.modify(txn, |x| x + 1));
+                }
+            });
+            let c = counter.clone();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    *c.lock() += 1;
+                }
+            });
+        });
+        assert_eq!(tv.load(), 100);
+        assert_eq!(*counter.lock(), 100);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests over the analysis and difficulty models: for *any*
+//! structurally valid bug description, the decision procedure must be
+//! total, consistent and aligned with the paper's stated rules.
+
+use proptest::prelude::*;
+use txfix_core::{
+    analyze, preference, tm_difficulty, Analysis, App, BugChars, BugKind, BugRecord, DevFix,
+    Difficulty, Downcalls, MissingSync, Recipe, UnfixableReason,
+};
+
+fn downcalls() -> impl Strategy<Value = Downcalls> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(condvar, retry, io, long_action, library)| Downcalls {
+            condvar,
+            retry,
+            io,
+            long_action,
+            library,
+        },
+    )
+}
+
+fn deadlock_chars() -> impl Strategy<Value = BugChars> {
+    (
+        any::<bool>(), // cv_wait (else lock_cycle)
+        any::<bool>(), // two_way
+        any::<bool>(), // multi_module
+        any::<bool>(), // non_preemptible
+        any::<bool>(), // design_flaw
+        0u8..20,
+        downcalls(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(cv, two_way, mm, np, design, sites, dc, extra)| BugChars {
+                lock_cycle: !cv,
+                cv_wait: cv,
+                two_way_communication: two_way && cv,
+                multi_module: mm,
+                non_preemptible: np,
+                design_flaw: design,
+                fix_sites: sites,
+                downcalls: dc,
+                fix_extra_benefits: extra,
+                ..Default::default()
+            },
+        )
+}
+
+fn av_chars() -> impl Strategy<Value = BugChars> {
+    (
+        prop_oneof![
+            Just(MissingSync::Complete),
+            Just(MissingSync::Partial),
+            Just(MissingSync::WrongLock),
+            Just(MissingSync::AdHoc),
+        ],
+        any::<bool>(), // long_latency
+        any::<bool>(), // exactly_once
+        any::<bool>(), // cross_process
+        any::<bool>(), // single block
+        0u8..20,
+        downcalls(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(ms, ll, eo, cp, single, sites, dc, extra)| BugChars {
+                missing_sync: Some(ms),
+                long_latency_callback: ll,
+                exactly_once: eo,
+                cross_process_io: cp,
+                single_atomic_block: single,
+                fix_sites: sites,
+                downcalls: dc,
+                fix_extra_benefits: extra,
+                ..Default::default()
+            },
+        )
+}
+
+fn dev_fix() -> impl Strategy<Value = DevFix> {
+    (
+        prop_oneof![Just(Difficulty::Easy), Just(Difficulty::Medium), Just(Difficulty::Hard)],
+        1u32..200,
+        1u8..5,
+    )
+        .prop_map(|(difficulty, loc, attempts)| DevFix { difficulty, loc, attempts })
+}
+
+fn record(kind: BugKind, chars: BugChars, dev: DevFix) -> BugRecord {
+    BugRecord {
+        id: "Prop#1",
+        app: App::Apache,
+        kind,
+        synthetic_id: true,
+        summary: "generated",
+        chars,
+        dev_fix: dev,
+        scenario: None,
+    }
+}
+
+proptest! {
+    /// Fixability, difficulty and preference are mutually consistent for
+    /// every deadlock shape: a plan exists iff a difficulty exists iff a
+    /// preference exists.
+    #[test]
+    fn deadlock_analysis_is_total_and_consistent(chars in deadlock_chars(), dev in dev_fix()) {
+        let b = record(BugKind::Deadlock, chars, dev);
+        let a = analyze(&b);
+        prop_assert_eq!(a.is_fixable(), tm_difficulty(&b, &a).is_some());
+        prop_assert_eq!(a.is_fixable(), preference(&b, &a).is_some());
+        if let Analysis::Fixable(plan) = &a {
+            // Deadlocks are fixed by deadlock recipes only.
+            prop_assert!(matches!(
+                plan.primary,
+                Recipe::ReplaceLocks | Recipe::DeadlockPreemption
+            ));
+            // CV-wait deadlocks can never be fixed by plain lock
+            // replacement (§5.3.1).
+            if b.chars.cv_wait {
+                prop_assert_eq!(plan.primary, Recipe::DeadlockPreemption);
+            }
+            // Non-preemptible bugs are never "simplified" by preemption.
+            if b.chars.non_preemptible {
+                prop_assert_ne!(plan.simplified_by, Some(Recipe::DeadlockPreemption));
+            }
+        }
+    }
+
+    /// Unfixable deadlocks always carry one of the paper's stated reasons,
+    /// and the structural blockers force unfixability.
+    #[test]
+    fn deadlock_unfixability_reasons_are_faithful(chars in deadlock_chars(), dev in dev_fix()) {
+        let b = record(BugKind::Deadlock, chars, dev);
+        match analyze(&b) {
+            Analysis::Unfixable(r) => {
+                prop_assert!(matches!(
+                    r,
+                    UnfixableReason::TwoWayCommunication
+                        | UnfixableReason::DesignFlaw
+                        | UnfixableReason::MultiModuleNonPreemptible
+                ));
+            }
+            Analysis::Fixable(_) => {
+                prop_assert!(!b.chars.two_way_communication);
+                prop_assert!(!b.chars.design_flaw);
+                prop_assert!(!(b.chars.multi_module && b.chars.non_preemptible));
+            }
+        }
+    }
+
+    /// Atomicity analysis: every fixable AV is fixed by Recipe 2 (the
+    /// paper's "recipes 1 and 2 suffice" for AVs), asymmetric violations
+    /// are simplified by Recipe 4, and the unfixable reasons are the
+    /// stated ones.
+    #[test]
+    fn atomicity_analysis_is_faithful(chars in av_chars(), dev in dev_fix()) {
+        let b = record(BugKind::AtomicityViolation, chars, dev);
+        match analyze(&b) {
+            Analysis::Fixable(plan) => {
+                prop_assert_eq!(plan.primary, Recipe::WrapAll);
+                let asym = !matches!(b.chars.missing_sync, Some(MissingSync::Complete));
+                prop_assert_eq!(plan.simplified_by.is_some(), asym);
+                prop_assert!(!b.chars.long_latency_callback);
+                prop_assert!(!b.chars.exactly_once);
+                prop_assert!(!b.chars.cross_process_io);
+            }
+            Analysis::Unfixable(r) => {
+                prop_assert!(matches!(
+                    r,
+                    UnfixableReason::LongLatencyCallback
+                        | UnfixableReason::ExactlyOnce
+                        | UnfixableReason::CrossProcessIo
+                ));
+            }
+        }
+    }
+
+    /// The difficulty model is monotone in fix breadth: widening the fix
+    /// (more sites) never makes it easier.
+    #[test]
+    fn difficulty_is_monotone_in_fix_sites(chars in av_chars(), dev in dev_fix(), extra in 1u8..10) {
+        let b1 = record(BugKind::AtomicityViolation, chars, dev);
+        let mut wider = chars;
+        wider.fix_sites = chars.fix_sites.saturating_add(extra);
+        let b2 = record(BugKind::AtomicityViolation, wider, dev);
+        let a1 = analyze(&b1);
+        let a2 = analyze(&b2);
+        if let (Some(d1), Some(d2)) = (tm_difficulty(&b1, &a1), tm_difficulty(&b2, &a2)) {
+            prop_assert!(d2 >= d1, "widening the fix made it easier: {d1:?} -> {d2:?}");
+        }
+    }
+
+    /// Preference never favors TM when the TM fix is strictly harder.
+    #[test]
+    fn preference_respects_difficulty(chars in av_chars(), dev in dev_fix()) {
+        let b = record(BugKind::AtomicityViolation, chars, dev);
+        let a = analyze(&b);
+        if let (Some(td), Some(p)) = (tm_difficulty(&b, &a), preference(&b, &a)) {
+            if td > b.dev_fix.difficulty {
+                prop_assert_eq!(p, txfix_core::Preference::Developers);
+            }
+            if td < b.dev_fix.difficulty {
+                prop_assert_eq!(p, txfix_core::Preference::Tm);
+            }
+        }
+    }
+}

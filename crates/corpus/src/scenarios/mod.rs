@@ -1,0 +1,109 @@
+//! Executable reproductions of the 18 implemented fixes.
+//!
+//! Each scenario packages one studied bug as a small concurrent program
+//! with three interchangeable variants. Running the **buggy** variant
+//! *demonstrates* the bug — a detected deadlock or an observed invariant
+//! violation — under a forced interleaving (barriers pin the racy window,
+//! so demonstrations are deterministic, not probabilistic). The
+//! **developers' fix** and the **TM fix** run the same workload and must
+//! come out clean.
+//!
+//! Deadlock demonstrations never hang: buggy lock cycles are caught by
+//! `txfix-txlock`'s wait-for-graph detector, and lock/wait cycles (which
+//! the lock graph cannot see) by watchdog timeouts.
+
+mod atomicity;
+mod deadlock;
+
+use std::fmt;
+
+/// Which implementation of the scenario to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The code as shipped, exhibiting the bug.
+    Buggy,
+    /// What the application developers did.
+    DevFix,
+    /// The paper's TM fix (per the bug's recipe).
+    TmFix,
+}
+
+impl Variant {
+    /// All variants.
+    pub const ALL: [Variant; 3] = [Variant::Buggy, Variant::DevFix, Variant::TmFix];
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Buggy => write!(f, "buggy"),
+            Variant::DevFix => write!(f, "developer fix"),
+            Variant::TmFix => write!(f, "TM fix"),
+        }
+    }
+}
+
+/// What a scenario run observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The workload completed with every invariant intact.
+    Correct,
+    /// The bug manifested (deadlock detected / invariant violated), with a
+    /// description of what was seen.
+    BugObserved(String),
+}
+
+impl Outcome {
+    /// Whether the bug manifested.
+    pub fn is_bug(&self) -> bool {
+        matches!(self, Outcome::BugObserved(_))
+    }
+}
+
+/// One executable bug reproduction.
+pub trait BugScenario: Send + Sync {
+    /// The scenario key (matches
+    /// [`BugRecord::scenario`](txfix_core::BugRecord::scenario)).
+    fn key(&self) -> &'static str;
+    /// Human-readable one-liner.
+    fn describe(&self) -> &'static str;
+    /// Execute the given variant once and report what was observed.
+    fn run(&self, variant: Variant) -> Outcome;
+}
+
+/// All 18 scenarios, in corpus order (deadlocks first).
+pub fn all_scenarios() -> Vec<Box<dyn BugScenario>> {
+    let mut v = deadlock::scenarios();
+    v.extend(atomicity::scenarios());
+    v
+}
+
+/// Look up a scenario by key.
+pub fn scenario_by_key(key: &str) -> Option<Box<dyn BugScenario>> {
+    all_scenarios().into_iter().find(|s| s.key() == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::keys;
+
+    #[test]
+    fn registry_covers_all_18_keys() {
+        let scenarios = all_scenarios();
+        assert_eq!(scenarios.len(), 18);
+        for key in keys::ALL {
+            assert!(
+                scenarios.iter().any(|s| s.key() == key),
+                "scenario {key} missing from registry"
+            );
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for s in all_scenarios() {
+            assert!(!s.describe().is_empty(), "{}", s.key());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Contention management: what a transaction does between an abort and the
+//! next attempt.
+//!
+//! The paper relies on randomized exponential backoff to avoid livelock in
+//! deadlock preemption (Recipe 3, §4.4) — a preempted transaction that
+//! restarts immediately may reacquire its locks before the other deadlocked
+//! threads make progress. The policies here are also the subject of the A2
+//! ablation benchmark.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+/// Policy for waiting between transaction attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackoffPolicy {
+    /// Retry immediately. Prone to livelock under contention; included as
+    /// an ablation baseline.
+    None,
+    /// Busy-spin for a bounded, constant number of iterations.
+    Spin {
+        /// Spin-loop iterations per failed attempt.
+        iters: u32,
+    },
+    /// Randomized exponential backoff (the default): sleep for a uniformly
+    /// random duration in `[0, base * 2^attempt)`, capped at `max`.
+    ExpJitter {
+        /// Backoff unit for the first retry.
+        base: Duration,
+        /// Upper bound on any single backoff.
+        max: Duration,
+    },
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy::ExpJitter { base: Duration::from_micros(5), max: Duration::from_millis(2) }
+    }
+}
+
+/// Stateful backoff driver for one transaction attempt loop.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    policy: BackoffPolicy,
+    failures: u32,
+}
+
+impl Backoff {
+    pub(crate) fn new(policy: BackoffPolicy) -> Backoff {
+        Backoff { policy, failures: 0 }
+    }
+
+    /// Record a failure and wait according to the policy.
+    pub(crate) fn wait(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+        match self.policy {
+            BackoffPolicy::None => {}
+            BackoffPolicy::Spin { iters } => {
+                for _ in 0..iters {
+                    std::hint::spin_loop();
+                }
+            }
+            BackoffPolicy::ExpJitter { base, max } => {
+                let exp = self.failures.min(16);
+                let window = base
+                    .saturating_mul(1u32 << exp.min(31))
+                    .min(max)
+                    .max(Duration::from_nanos(1));
+                let nanos = window.as_nanos() as u64;
+                let jittered = xorshift_below(nanos.max(1));
+                std::thread::sleep(Duration::from_nanos(jittered));
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn failures(&self) -> u32 {
+        self.failures
+    }
+}
+
+thread_local! {
+    static RNG_STATE: Cell<u64> = Cell::new(seed());
+}
+
+fn seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let tid = std::thread::current().id();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    use std::hash::{Hash, Hasher};
+    tid.hash(&mut h);
+    t.subsec_nanos().hash(&mut h);
+    h.finish() | 1
+}
+
+/// Cheap thread-local xorshift; we deliberately avoid a `rand` dependency on
+/// the hot abort path.
+pub(crate) fn xorshift_below(bound: u64) -> u64 {
+    RNG_STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x % bound
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn default_policy_is_exponential_with_jitter() {
+        match BackoffPolicy::default() {
+            BackoffPolicy::ExpJitter { base, max } => {
+                assert!(base < max);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+
+    #[test]
+    fn none_policy_does_not_block() {
+        let mut b = Backoff::new(BackoffPolicy::None);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            b.wait();
+        }
+        assert!(start.elapsed().as_millis() < 200);
+        assert_eq!(b.failures(), 1000);
+    }
+
+    #[test]
+    fn exp_jitter_stays_below_cap() {
+        let max = Duration::from_millis(1);
+        let mut b = Backoff::new(BackoffPolicy::ExpJitter { base: Duration::from_micros(1), max });
+        // Even after many failures a single wait is bounded by max (plus
+        // scheduling slop, so allow a generous margin).
+        for _ in 0..30 {
+            b.wait();
+        }
+        let start = Instant::now();
+        b.wait();
+        assert!(start.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn xorshift_respects_bound() {
+        for bound in [1u64, 2, 7, 1000] {
+            for _ in 0..100 {
+                assert!(xorshift_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn xorshift_is_not_constant() {
+        let vals: Vec<u64> = (0..32).map(|_| xorshift_below(u64::MAX)).collect();
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+    }
+}

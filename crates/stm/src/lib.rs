@@ -1,0 +1,79 @@
+//! # txfix-stm: a software transactional memory runtime
+//!
+//! This crate reproduces the TM substrate of *Applying Transactional Memory
+//! to Concurrency Bugs* (Volos, Tack, Swift, Lu — ASPLOS 2012): a word-based
+//! software transactional memory in the style of TL2 / Intel's STM runtime,
+//! providing the `atomic { ... }` construct the paper's four fix recipes are
+//! built on.
+//!
+//! ## Features
+//!
+//! - **Atomic regions**: [`atomic`] executes a closure as a memory
+//!   transaction over [`TVar`]s, with commit-time validation against a
+//!   global version clock and automatic re-execution on conflict.
+//! - **Atomic vs. relaxed transactions** (paper §5.1): [`atomic_relaxed`]
+//!   transactions may contain unsafe operations through
+//!   [`Txn::unsafe_op`], which makes them irrevocable (the runtime falls
+//!   back to a global lock, like Intel's STM).
+//! - **Explicit rollback**: [`Txn::restart`] reproduces the paper's `abort`
+//!   statement; [`Txn::retry`] aborts and blocks until a variable in the
+//!   read set changes.
+//! - **Commit-before-wait**: [`Txn::wait_on`] commits the work done so far
+//!   and blocks on a [`WaitPoint`] (the hook used by transactional
+//!   condition variables in `txfix-tmsync`).
+//! - **External resources**: revocable locks and transactional I/O enlist
+//!   in a transaction via [`Txn::enlist`], [`Txn::on_commit`] and
+//!   [`Txn::on_abort`], and deadlock detectors can preempt a transaction
+//!   through its [`KillHandle`].
+//! - **Cost modelling**: [`OverheadModel`] charges calibrated
+//!   per-read/write/commit costs so benchmarks reproduce the 3–5×
+//!   instrumentation overhead of software TM and the near-zero overhead of
+//!   the simulated hardware TM.
+//! - **Capacity bounds**: [`TxnOptions::capacity`] models bounded hardware
+//!   read/write sets (used by `txfix-htm`).
+//!
+//! ## Example
+//!
+//! ```
+//! use txfix_stm::{atomic, TVar};
+//!
+//! let checking = TVar::new(100i64);
+//! let savings = TVar::new(0i64);
+//!
+//! // Move 40 between accounts; no interleaving ever observes money
+//! // created or destroyed.
+//! atomic(|txn| {
+//!     let c = checking.read(txn)?;
+//!     let s = savings.read(txn)?;
+//!     checking.write(txn, c - 40)?;
+//!     savings.write(txn, s + 40)
+//! });
+//!
+//! assert_eq!(checking.load() + savings.load(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod clock;
+mod contention;
+mod error;
+mod notifier;
+mod overhead;
+mod runtime;
+mod serial;
+mod stats;
+mod tvar;
+mod txn;
+
+pub use contention::BackoffPolicy;
+pub use error::{Abort, CapacityKind, ConflictKind, StmResult, TxnError, WaitPoint};
+pub use overhead::OverheadModel;
+pub use runtime::{atomic, atomic_relaxed, atomic_report, atomic_with, TxnReport};
+pub use stats::{stats, StatsSnapshot};
+pub use tvar::{TVar, VarId};
+pub use txn::{KillHandle, TxResource, Txn, TxnKind, TxnOptions, WritePolicy};
+
+/// Current value of the global version clock (diagnostic).
+pub fn clock_now() -> u64 {
+    clock::now()
+}

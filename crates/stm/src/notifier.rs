@@ -1,0 +1,86 @@
+//! Global commit notification used by blocking `retry`.
+//!
+//! A transaction executing [`Txn::retry`](crate::Txn::retry) aborts and must
+//! block until *some* variable it read changes. Rather than per-variable
+//! waiter lists, we keep a single epoch counter bumped by every committed
+//! writer; a retrying transaction re-validates its read-set snapshot on each
+//! epoch change. This admits spurious wakeups (cheap) but no lost wakeups.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+pub(crate) struct Notifier {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    pub(crate) const fn new() -> Notifier {
+        Notifier { epoch: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    /// Current epoch; capture *before* checking the condition you will wait
+    /// on, so a concurrent commit is never missed.
+    pub(crate) fn epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Announce that a commit published new values.
+    pub(crate) fn notify(&self) {
+        let mut e = self.epoch.lock();
+        *e += 1;
+        drop(e);
+        self.cv.notify_all();
+    }
+
+    /// Block until the epoch advances past `seen`, or `timeout` elapses.
+    /// Returns `true` if the epoch advanced.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        let mut e = self.epoch.lock();
+        if *e > seen {
+            return true;
+        }
+        self.cv.wait_for(&mut e, timeout);
+        *e > seen
+    }
+}
+
+static NOTIFIER: Notifier = Notifier::new();
+
+pub(crate) fn global() -> &'static Notifier {
+    &NOTIFIER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wait_past_returns_immediately_if_epoch_already_advanced() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        n.notify();
+        let start = Instant::now();
+        assert!(n.wait_past(seen, Duration::from_secs(5)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn wait_past_times_out_without_notification() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        assert!(!n.wait_past(seen, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn notify_wakes_concurrent_waiter() {
+        let n = std::sync::Arc::new(Notifier::new());
+        let seen = n.epoch();
+        let n2 = n.clone();
+        let h = std::thread::spawn(move || n2.wait_past(seen, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        n.notify();
+        assert!(h.join().unwrap());
+    }
+}

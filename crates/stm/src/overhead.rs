@@ -1,0 +1,124 @@
+//! Instrumentation-cost model.
+//!
+//! The paper's performance results are driven by the *relative* cost of
+//! synchronization mechanisms: Intel's software TM instruments every
+//! transactional load/store and slows critical sections down by 3–5×, while
+//! the simulated hardware TM (LogTM-SE) tracks accesses at near-zero cost.
+//! Running this reproduction on stock hardware, the barrier costs of a real
+//! STM compiler are not present, so benchmarks opt into an explicit cost
+//! model: a calibrated busy-wait charged per transactional read, write,
+//! begin and commit. Tests and ordinary users leave the model at
+//! [`OverheadModel::NONE`] (zero cost).
+
+use std::time::Instant;
+
+/// Per-operation costs, in nanoseconds, charged inside the STM runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OverheadModel {
+    /// Charged when a transaction begins.
+    pub begin_ns: u64,
+    /// Charged on every transactional read (the read barrier).
+    pub read_ns: u64,
+    /// Charged on every transactional write (the write barrier).
+    pub write_ns: u64,
+    /// Fixed cost charged at commit.
+    pub commit_ns: u64,
+    /// Cost charged at commit per read-set plus write-set entry
+    /// (validation and write-back work).
+    pub commit_per_entry_ns: u64,
+}
+
+impl OverheadModel {
+    /// No modelled overhead: the runtime's native cost only.
+    pub const NONE: OverheadModel = OverheadModel {
+        begin_ns: 0,
+        read_ns: 0,
+        write_ns: 0,
+        commit_ns: 0,
+        commit_per_entry_ns: 0,
+    };
+
+    /// A software-TM profile: heavyweight read/write barriers. Calibrated so
+    /// that short critical sections slow down by roughly 3–5× relative to an
+    /// uncontended lock, matching the paper's characterization of Intel's
+    /// STM (§3.2).
+    pub const SOFTWARE_TM: OverheadModel = OverheadModel {
+        begin_ns: 120,
+        read_ns: 45,
+        write_ns: 70,
+        commit_ns: 150,
+        commit_per_entry_ns: 25,
+    };
+
+    /// A hardware-TM profile: accesses tracked by hardware at almost no
+    /// cost, small fixed begin/commit cost (LogTM-SE-like, §5.4.1).
+    pub const HARDWARE_TM: OverheadModel = OverheadModel {
+        begin_ns: 30,
+        read_ns: 0,
+        write_ns: 0,
+        commit_ns: 40,
+        commit_per_entry_ns: 0,
+    };
+
+    /// Whether every cost in the model is zero.
+    pub fn is_free(&self) -> bool {
+        *self == OverheadModel::NONE
+    }
+}
+
+/// Busy-wait for approximately `ns` nanoseconds.
+///
+/// Used to charge modelled instrumentation costs. Spinning (rather than
+/// sleeping) matches what an instrumented barrier does: it consumes CPU on
+/// the critical path.
+#[inline]
+pub(crate) fn charge(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_free() {
+        assert!(OverheadModel::NONE.is_free());
+        assert!(!OverheadModel::SOFTWARE_TM.is_free());
+        assert!(!OverheadModel::HARDWARE_TM.is_free());
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(OverheadModel::default(), OverheadModel::NONE);
+    }
+
+    #[test]
+    fn charge_zero_returns_immediately() {
+        let start = Instant::now();
+        charge(0);
+        assert!(start.elapsed().as_millis() < 50);
+    }
+
+    #[test]
+    fn charge_waits_roughly_the_requested_time() {
+        let start = Instant::now();
+        charge(2_000_000); // 2 ms
+        let elapsed = start.elapsed();
+        assert!(elapsed.as_nanos() >= 2_000_000);
+    }
+
+    #[test]
+    fn software_profile_is_heavier_than_hardware() {
+        let s = OverheadModel::SOFTWARE_TM;
+        let h = OverheadModel::HARDWARE_TM;
+        assert!(s.read_ns > h.read_ns);
+        assert!(s.write_ns > h.write_ns);
+        assert!(s.commit_ns > h.commit_ns);
+    }
+}

@@ -1,0 +1,203 @@
+//! The `atomic` entry points: execute a transaction body until it commits,
+//! handling conflicts, explicit aborts, blocking retry, commit-before-wait
+//! and capacity overflow.
+
+use crate::contention::Backoff;
+use crate::error::{Abort, ConflictKind, StmResult, TxnError};
+use crate::notifier;
+use crate::stats;
+use crate::txn::{Txn, TxnKind, TxnOptions};
+
+/// Diagnostic information about one completed `atomic` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Total body executions, including the committing one.
+    pub attempts: u64,
+    /// Whether the committing attempt was irrevocable.
+    pub committed_irrevocably: bool,
+    /// Times the transaction blocked in `retry`.
+    pub blocked_retries: u64,
+    /// Times the transaction committed-and-waited on a wait point.
+    pub waits: u64,
+    /// Aborts caused by deadlock victimization or external kills.
+    pub preemptions: u64,
+}
+
+/// Execute `body` as an atomic transaction, retrying until it commits, and
+/// return its result.
+///
+/// This is the reproduction of the paper's `atomic { ... }` language
+/// construct. The body may be re-executed many times; it must confine its
+/// side effects to transactional operations (reads/writes of
+/// [`TVar`](crate::TVar)s, revocable locks, x-calls, hooks).
+///
+/// # Examples
+///
+/// ```
+/// use txfix_stm::{atomic, TVar};
+///
+/// let a = TVar::new(1u32);
+/// let b = TVar::new(2u32);
+/// let sum = atomic(|txn| {
+///     let x = a.read(txn)?;
+///     let y = b.read(txn)?;
+///     b.write(txn, x + y)?;
+///     Ok(x + y)
+/// });
+/// assert_eq!(sum, 3);
+/// assert_eq!(b.load(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the body calls [`Txn::cancel`]; use [`atomic_with`] to observe
+/// cancellation as an error.
+pub fn atomic<T>(body: impl FnMut(&mut Txn) -> StmResult<T>) -> T {
+    atomic_with(&TxnOptions::default(), body)
+        .expect("default atomic transaction cannot fail terminally")
+}
+
+/// Execute `body` as a *relaxed* transaction, which may perform unsafe
+/// operations via [`Txn::unsafe_op`] at the cost of irrevocability.
+///
+/// # Panics
+///
+/// Panics if the body calls [`Txn::cancel`].
+pub fn atomic_relaxed<T>(body: impl FnMut(&mut Txn) -> StmResult<T>) -> T {
+    atomic_with(&TxnOptions::default().kind(TxnKind::Relaxed), body)
+        .expect("default relaxed transaction cannot fail terminally")
+}
+
+/// Execute `body` with explicit [`TxnOptions`].
+///
+/// # Errors
+///
+/// - [`TxnError::Cancelled`] if the body cancelled;
+/// - [`TxnError::RetryLimit`] if `opts.max_attempts` was exceeded;
+/// - [`TxnError::Capacity`] if a hardware capacity bound was exceeded.
+pub fn atomic_with<T>(
+    opts: &TxnOptions,
+    body: impl FnMut(&mut Txn) -> StmResult<T>,
+) -> Result<T, TxnError> {
+    atomic_report(opts, body).map(|(v, _)| v)
+}
+
+/// Like [`atomic_with`], additionally returning a [`TxnReport`] describing
+/// how the transaction executed (attempt count, irrevocability, blocking).
+///
+/// # Errors
+///
+/// Same as [`atomic_with`].
+pub fn atomic_report<T>(
+    opts: &TxnOptions,
+    mut body: impl FnMut(&mut Txn) -> StmResult<T>,
+) -> Result<(T, TxnReport), TxnError> {
+    let mut backoff = Backoff::new(opts.backoff);
+    let mut report = TxnReport::default();
+
+    loop {
+        report.attempts += 1;
+        if let Some(max) = opts.max_attempts {
+            if report.attempts > max {
+                return Err(TxnError::RetryLimit { attempts: report.attempts - 1 });
+            }
+        }
+
+        let mut txn = Txn::begin(opts, report.attempts);
+        let outcome = body(&mut txn);
+
+        match outcome {
+            Ok(value) => match txn.commit() {
+                Ok(()) => {
+                    report.committed_irrevocably = txn.was_irrevocable();
+                    return Ok((value, report));
+                }
+                Err(abort) => {
+                    txn.abort();
+                    handle_abort(abort, &mut backoff, &mut report)?;
+                }
+            },
+            Err(Abort::Wait(wp)) => {
+                // Commit-before-wait: publish the work done so far, then
+                // block, then re-execute the body as a fresh transaction.
+                let ticket = wp.prepare();
+                match txn.commit() {
+                    Ok(()) => {
+                        stats::bump_waits();
+                        report.waits += 1;
+                        wp.wait(ticket);
+                    }
+                    Err(abort) => {
+                        txn.abort();
+                        handle_abort(abort, &mut backoff, &mut report)?;
+                    }
+                }
+            }
+            Err(Abort::Retry) => {
+                stats::bump_retries();
+                report.blocked_retries += 1;
+                let seen = notifier::global().epoch();
+                let snapshot = txn.take_read_snapshot();
+                txn.abort();
+                if snapshot.is_empty() {
+                    // Retrying with an empty read set would block forever;
+                    // treat as plain backoff so the caller's loop progresses.
+                    backoff.wait();
+                } else {
+                    while !snapshot.changed() {
+                        if !notifier::global().wait_past(seen, opts.retry_timeout) {
+                            break; // timeout: re-execute anyway
+                        }
+                    }
+                }
+            }
+            Err(abort) => {
+                txn.abort();
+                handle_abort(abort, &mut backoff, &mut report)?;
+            }
+        }
+    }
+}
+
+fn handle_abort(
+    abort: Abort,
+    backoff: &mut Backoff,
+    report: &mut TxnReport,
+) -> Result<(), TxnError> {
+    match abort {
+        Abort::Conflict(ConflictKind::ReadValidation) => {
+            stats::bump_conflicts_validation();
+            backoff.wait();
+            Ok(())
+        }
+        Abort::Conflict(ConflictKind::OrecBusy) => {
+            stats::bump_conflicts_orec();
+            backoff.wait();
+            Ok(())
+        }
+        Abort::Restart => {
+            stats::bump_explicit_restarts();
+            Ok(())
+        }
+        Abort::Deadlock => {
+            stats::bump_deadlock_aborts();
+            report.preemptions += 1;
+            backoff.wait();
+            Ok(())
+        }
+        Abort::Killed => {
+            stats::bump_kills();
+            report.preemptions += 1;
+            backoff.wait();
+            Ok(())
+        }
+        Abort::Cancel => Err(TxnError::Cancelled),
+        Abort::Capacity(kind) => {
+            stats::bump_capacity();
+            Err(TxnError::Capacity { kind, attempts: report.attempts })
+        }
+        Abort::Retry | Abort::Wait(_) => {
+            unreachable!("retry/wait are handled before generic abort handling")
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The global serialization lock backing irrevocable (inevitable)
+//! transactions.
+//!
+//! Like Intel's STM (paper §5.1), a transaction that must perform an
+//! operation with un-undoable side effects "reverts to a global lock":
+//! it acquires this lock exclusively, which drains and then excludes all
+//! concurrent commits, making the transaction's reads stable and its commit
+//! infallible. Ordinary commits hold the lock in shared mode only for the
+//! duration of the commit protocol, so revocable transactions continue to
+//! run and commit concurrently with each other.
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+static SERIAL: RwLock<()> = RwLock::new(());
+
+/// Shared guard held by ordinary commits while they publish values.
+pub(crate) fn shared() -> RwLockReadGuard<'static, ()> {
+    SERIAL.read()
+}
+
+/// Exclusive guard held by an irrevocable transaction from the moment it
+/// becomes inevitable until its commit completes.
+pub(crate) fn exclusive() -> RwLockWriteGuard<'static, ()> {
+    SERIAL.write()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn exclusive_blocks_shared() {
+        let g = exclusive();
+        let entered = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _r = shared();
+                entered.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(!entered.load(Ordering::SeqCst));
+            drop(g);
+            // Give the reader time to get the lock.
+            for _ in 0..1000 {
+                if entered.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(entered.load(Ordering::SeqCst));
+        });
+    }
+
+    #[test]
+    fn shared_guards_coexist() {
+        let _a = shared();
+        let _b = shared();
+    }
+}

@@ -1,0 +1,153 @@
+//! Global runtime counters.
+//!
+//! Cheap, always-on statistics useful for tests, benchmark reports and the
+//! ablation experiments (commit/abort rates, irrevocable entries, retry
+//! blocking). Counters are process-global; use [`StatsSnapshot::delta`]
+//! around a region of interest to measure it in isolation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        #[derive(Default)]
+        struct Counters {
+            $($name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of the global STM counters.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl StatsSnapshot {
+            /// Counter-wise difference `self - earlier` (saturating).
+            pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
+        }
+
+        impl Counters {
+            fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Transactions that committed successfully.
+    commits,
+    /// Aborts caused by read-set validation failure.
+    conflicts_validation,
+    /// Aborts caused by a busy ownership record.
+    conflicts_orec,
+    /// Explicit `restart` aborts (the paper's `abort` statement).
+    explicit_restarts,
+    /// `retry` operations that blocked waiting for a read-set change.
+    retries,
+    /// Aborts due to being selected as a deadlock victim.
+    deadlock_aborts,
+    /// Aborts due to an external kill signal.
+    kills,
+    /// Transactions that became irrevocable (inevitable) at some point.
+    irrevocable_entries,
+    /// Aborts due to a hardware capacity bound.
+    capacity_aborts,
+    /// Commit-before-wait suspensions (transactional condition variables).
+    waits,
+}
+
+static COUNTERS: Counters = Counters {
+    commits: AtomicU64::new(0),
+    conflicts_validation: AtomicU64::new(0),
+    conflicts_orec: AtomicU64::new(0),
+    explicit_restarts: AtomicU64::new(0),
+    retries: AtomicU64::new(0),
+    deadlock_aborts: AtomicU64::new(0),
+    kills: AtomicU64::new(0),
+    irrevocable_entries: AtomicU64::new(0),
+    capacity_aborts: AtomicU64::new(0),
+    waits: AtomicU64::new(0),
+};
+
+/// Take a snapshot of the global counters.
+pub fn stats() -> StatsSnapshot {
+    COUNTERS.snapshot()
+}
+
+macro_rules! bump_fns {
+    ($($name:ident => $field:ident),+ $(,)?) => {
+        $(#[inline]
+        pub(crate) fn $name() {
+            COUNTERS.$field.fetch_add(1, Ordering::Relaxed);
+        })+
+    };
+}
+
+bump_fns! {
+    bump_commits => commits,
+    bump_conflicts_validation => conflicts_validation,
+    bump_conflicts_orec => conflicts_orec,
+    bump_explicit_restarts => explicit_restarts,
+    bump_retries => retries,
+    bump_deadlock_aborts => deadlock_aborts,
+    bump_kills => kills,
+    bump_irrevocable => irrevocable_entries,
+    bump_capacity => capacity_aborts,
+    bump_waits => waits,
+}
+
+impl StatsSnapshot {
+    /// Total aborts of all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.conflicts_validation
+            + self.conflicts_orec
+            + self.explicit_restarts
+            + self.deadlock_aborts
+            + self.kills
+            + self.capacity_aborts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_counterwise() {
+        let a = StatsSnapshot { commits: 10, conflicts_orec: 2, ..Default::default() };
+        let b = StatsSnapshot { commits: 4, conflicts_orec: 5, ..Default::default() };
+        let d = a.delta(&b);
+        assert_eq!(d.commits, 6);
+        assert_eq!(d.conflicts_orec, 0); // saturating
+    }
+
+    #[test]
+    fn bumps_are_visible_in_snapshot() {
+        let before = stats();
+        bump_commits();
+        bump_retries();
+        let d = stats().delta(&before);
+        assert!(d.commits >= 1);
+        assert!(d.retries >= 1);
+    }
+
+    #[test]
+    fn total_aborts_sums_causes() {
+        let s = StatsSnapshot {
+            conflicts_validation: 1,
+            conflicts_orec: 2,
+            explicit_restarts: 3,
+            deadlock_aborts: 4,
+            kills: 5,
+            capacity_aborts: 6,
+            ..Default::default()
+        };
+        assert_eq!(s.total_aborts(), 21);
+    }
+}

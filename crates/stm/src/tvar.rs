@@ -1,0 +1,385 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is a shared memory cell whose reads and writes, when
+//! performed through a [`Txn`](crate::Txn), execute atomically and in
+//! isolation with respect to all other transactions. Each variable carries
+//! an *ownership record* (orec): a version stamp from the global clock plus
+//! a writer field used as a commit-time lock, in the style of TL2.
+
+use crate::clock;
+use crate::error::{Abort, ConflictKind, StmResult};
+use crate::notifier;
+use crate::serial;
+use parking_lot::RwLock;
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Unique identity of a [`TVar`], stable for the life of the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u64);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tvar#{}", self.0)
+    }
+}
+
+/// Writer-field sentinel for non-transactional direct stores.
+const DIRECT_WRITER: u64 = u64::MAX;
+
+/// How many times a reader re-checks a busy orec before declaring conflict.
+const READ_SPIN: usize = 128;
+
+static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+
+type Boxed = Arc<dyn Any + Send + Sync>;
+
+/// Shared state of one transactional variable (type-erased).
+pub(crate) struct VarInner {
+    pub(crate) id: u64,
+    /// Version of the most recent committed write (a global-clock value).
+    pub(crate) version: AtomicU64,
+    /// Serial of the transaction currently holding this orec for commit;
+    /// `0` when unlocked, [`DIRECT_WRITER`] during a non-transactional store.
+    pub(crate) writer: AtomicU64,
+    /// Current committed value.
+    value: RwLock<Boxed>,
+}
+
+impl VarInner {
+    fn new(value: Boxed) -> Arc<VarInner> {
+        Arc::new(VarInner {
+            id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
+            version: AtomicU64::new(clock::now()),
+            writer: AtomicU64::new(0),
+            value: RwLock::new(value),
+        })
+    }
+
+    /// Lock-free consistent read: returns the value together with the
+    /// version it was committed at, or a conflict if the orec stays busy.
+    pub(crate) fn read_consistent(&self) -> StmResult<(Boxed, u64)> {
+        for _ in 0..READ_SPIN {
+            let w1 = self.writer.load(Ordering::Acquire);
+            if w1 != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let v1 = self.version.load(Ordering::Acquire);
+            let val = self.value.read().clone();
+            let v2 = self.version.load(Ordering::Acquire);
+            let w2 = self.writer.load(Ordering::Acquire);
+            if v1 == v2 && w2 == 0 {
+                return Ok((val, v1));
+            }
+            std::hint::spin_loop();
+        }
+        Err(Abort::Conflict(ConflictKind::OrecBusy))
+    }
+
+    /// Spin until a consistent read succeeds (used by non-transactional
+    /// loads, which must not abort).
+    pub(crate) fn read_spinning(&self) -> (Boxed, u64) {
+        loop {
+            if let Ok(r) = self.read_consistent() {
+                return r;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Try to acquire this orec for commit by transaction `serial`.
+    pub(crate) fn try_lock_orec(&self, serial: u64) -> bool {
+        self.writer
+            .compare_exchange(0, serial, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Bounded-spin orec acquisition for eager (encounter-time) writes.
+    pub(crate) fn try_lock_orec_spinning(&self, serial: u64) -> bool {
+        for _ in 0..READ_SPIN {
+            let cur = self.writer.load(Ordering::Acquire);
+            if cur == serial {
+                return true;
+            }
+            if cur == 0 && self.try_lock_orec(serial) {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+        false
+    }
+
+    /// Current value without consistency checks — only for the owner of
+    /// the orec (eager writers reading their own in-place updates).
+    pub(crate) fn read_unchecked(&self) -> Arc<dyn Any + Send + Sync> {
+        self.value.read().clone()
+    }
+
+    /// Replace the value without touching the version — only while the
+    /// orec is held (eager in-place writes and their rollback).
+    pub(crate) fn set_value(&self, value: Arc<dyn Any + Send + Sync>) {
+        *self.value.write() = value;
+    }
+
+    pub(crate) fn unlock_orec(&self, serial: u64) {
+        let prev = self.writer.swap(0, Ordering::Release);
+        debug_assert_eq!(prev, serial, "orec unlocked by non-owner");
+    }
+
+    /// Publish `value` at version `wv`; caller must hold the orec.
+    pub(crate) fn publish(&self, value: Boxed, wv: u64) {
+        *self.value.write() = value;
+        self.version.store(wv, Ordering::Release);
+    }
+
+    /// Whether the orec's version still matches `version` and the orec is
+    /// either unlocked or held by `self_serial`.
+    pub(crate) fn validate(&self, version: u64, self_serial: u64) -> bool {
+        let w = self.writer.load(Ordering::Acquire);
+        if w != 0 && w != self_serial {
+            return false;
+        }
+        self.version.load(Ordering::Acquire) == version
+    }
+
+    /// Non-transactional atomic store (a degenerate single-write commit).
+    fn store_direct(&self, value: Boxed) {
+        let _g = serial::shared();
+        loop {
+            if self.try_lock_orec(DIRECT_WRITER) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let wv = clock::tick();
+        self.publish(value, wv);
+        self.writer.store(0, Ordering::Release);
+        drop(_g);
+        notifier::global().notify();
+    }
+}
+
+impl fmt::Debug for VarInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarInner")
+            .field("id", &self.id)
+            .field("version", &self.version.load(Ordering::Relaxed))
+            .field("writer", &self.writer.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A transactional memory cell holding a value of type `T`.
+///
+/// Cloning a `TVar` clones the *handle*; both handles refer to the same
+/// cell. Values are stored behind an `Arc`, so `T` only needs to be `Clone`
+/// for callers that want owned copies out of [`read`](TVar::read).
+///
+/// # Examples
+///
+/// ```
+/// use txfix_stm::{atomic, TVar};
+///
+/// let balance = TVar::new(100i64);
+/// atomic(|txn| {
+///     let b = balance.read(txn)?;
+///     balance.write(txn, b - 30)
+/// });
+/// assert_eq!(balance.load(), 70);
+/// ```
+pub struct TVar<T> {
+    inner: Arc<VarInner>,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar { inner: self.inner.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T: fmt::Debug + Send + Sync + Clone + 'static> fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TVar").field("id", &self.id()).field("value", &self.load()).finish()
+    }
+}
+
+impl<T: Send + Sync + 'static> TVar<T> {
+    /// Create a new transactional variable with initial value `value`.
+    pub fn new(value: T) -> TVar<T> {
+        TVar { inner: VarInner::new(Arc::new(value)), _marker: PhantomData }
+    }
+
+    /// Stable unique identity of this variable.
+    pub fn id(&self) -> VarId {
+        VarId(self.inner.id)
+    }
+
+    /// Read a shared handle to the current value inside a transaction.
+    ///
+    /// Unlike [`read`](TVar::read) this never clones `T`; use it for large
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflict; propagate with `?`.
+    pub fn read_arc(&self, txn: &mut crate::Txn) -> StmResult<Arc<T>> {
+        let boxed = txn.read_raw(&self.inner)?;
+        Ok(downcast::<T>(boxed))
+    }
+
+    /// Replace the value inside a transaction. The write is buffered and
+    /// becomes visible to other threads only if the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflict or capacity overflow.
+    pub fn write(&self, txn: &mut crate::Txn, value: T) -> StmResult<()> {
+        txn.write_raw(&self.inner, Arc::new(value))
+    }
+
+    /// Non-transactional atomic snapshot of the value.
+    ///
+    /// Consistent (never observes a torn or in-flight commit) but does not
+    /// participate in any transaction's conflict detection.
+    pub fn load_arc(&self) -> Arc<T> {
+        let (boxed, _) = self.inner.read_spinning();
+        downcast::<T>(boxed)
+    }
+
+    /// Non-transactional atomic store. Equivalent to a tiny transaction
+    /// that writes just this variable.
+    pub fn store(&self, value: T) {
+        self.inner.store_direct(Arc::new(value));
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// Read the current value inside a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflict; propagate with `?` so the runtime can
+    /// re-execute the transaction.
+    pub fn read(&self, txn: &mut crate::Txn) -> StmResult<T> {
+        self.read_arc(txn).map(|a| (*a).clone())
+    }
+
+    /// Apply `f` to the current value and write the result back, all within
+    /// the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflict or capacity overflow.
+    pub fn modify(&self, txn: &mut crate::Txn, f: impl FnOnce(T) -> T) -> StmResult<()> {
+        let v = self.read(txn)?;
+        self.write(txn, f(v))
+    }
+
+    /// Non-transactional atomic read returning an owned copy.
+    pub fn load(&self) -> T {
+        (*self.load_arc()).clone()
+    }
+}
+
+impl<T: Default + Send + Sync + 'static> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+pub(crate) fn downcast<T: Send + Sync + 'static>(boxed: Boxed) -> Arc<T> {
+    boxed.downcast::<T>().expect("TVar type confusion: value of unexpected type")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_displayable() {
+        let a = TVar::new(0u8);
+        let b = TVar::new(0u8);
+        assert_ne!(a.id(), b.id());
+        assert!(a.id().to_string().starts_with("tvar#"));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let v = TVar::new(String::from("hello"));
+        assert_eq!(v.load(), "hello");
+        v.store(String::from("world"));
+        assert_eq!(v.load(), "world");
+    }
+
+    #[test]
+    fn clone_shares_the_cell() {
+        let a = TVar::new(1u32);
+        let b = a.clone();
+        a.store(7);
+        assert_eq!(b.load(), 7);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn store_bumps_version() {
+        let v = TVar::new(0u64);
+        let before = v.inner.version.load(Ordering::SeqCst);
+        v.store(1);
+        assert!(v.inner.version.load(Ordering::SeqCst) > before);
+    }
+
+    #[test]
+    fn validate_detects_version_change() {
+        let v = TVar::new(0u64);
+        let (_, ver) = v.inner.read_spinning();
+        assert!(v.inner.validate(ver, 42));
+        v.store(1);
+        assert!(!v.inner.validate(ver, 42));
+    }
+
+    #[test]
+    fn orec_lock_excludes_and_unlocks() {
+        let v = TVar::new(0u64);
+        assert!(v.inner.try_lock_orec(9));
+        assert!(!v.inner.try_lock_orec(10));
+        // Busy orec forces readers into conflict after bounded spinning.
+        assert!(matches!(
+            v.inner.read_consistent(),
+            Err(Abort::Conflict(ConflictKind::OrecBusy))
+        ));
+        v.inner.unlock_orec(9);
+        assert!(v.inner.read_consistent().is_ok());
+    }
+
+    #[test]
+    fn concurrent_direct_stores_do_not_tear() {
+        let v = TVar::new((0u64, 0u64));
+        std::thread::scope(|s| {
+            for t in 1..=4u64 {
+                let v = v.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        v.store((t * 1000 + i, t * 1000 + i));
+                    }
+                });
+            }
+            for _ in 0..500 {
+                let (a, b) = v.load();
+                assert_eq!(a, b, "torn read");
+            }
+        });
+        let (a, b) = v.load();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_matches_type_default() {
+        let v: TVar<Vec<u8>> = TVar::default();
+        assert!(v.load().is_empty());
+    }
+}

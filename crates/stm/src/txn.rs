@@ -1,0 +1,743 @@
+//! The transaction descriptor: read/write sets, validation, commit and
+//! abort, irrevocability, and integration hooks for external resources
+//! (revocable locks, transactional I/O).
+
+use crate::clock;
+use crate::contention::BackoffPolicy;
+use crate::error::{Abort, CapacityKind, ConflictKind, StmResult, WaitPoint};
+use crate::notifier;
+use crate::overhead::{charge, OverheadModel};
+use crate::serial;
+use crate::stats;
+use crate::tvar::VarInner;
+use parking_lot::RwLockWriteGuard;
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Boxed = Arc<dyn Any + Send + Sync>;
+
+static NEXT_TXN_SERIAL: AtomicU64 = AtomicU64::new(1);
+
+/// Whether a transaction is *atomic* or *relaxed* (paper §5.1, following
+/// the C++ TM semantics work it cites).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// May contain only transactionally safe operations; always speculates
+    /// and can therefore use `retry`/`restart`.
+    #[default]
+    Atomic,
+    /// May contain unsafe operations (arbitrary side effects) via
+    /// [`Txn::unsafe_op`], at the cost of becoming irrevocable.
+    Relaxed,
+}
+
+/// How transactional writes reach memory.
+///
+/// The paper's platform (Intel's STM) is *eager*: writes lock their
+/// location at encounter time, update in place and keep an undo log, so
+/// conflicting readers block/abort immediately. The default here is
+/// *lazy* (TL2-style write-back), which buffers writes and publishes at
+/// commit. Both policies provide identical atomicity and isolation; they
+/// differ in contention behaviour, which `benches/stm_overhead.rs`
+/// explores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Buffer writes; acquire ownership records only during commit.
+    #[default]
+    Lazy,
+    /// Acquire ownership records at first write, update in place, keep an
+    /// undo log for rollback (encounter-time locking).
+    Eager,
+}
+
+/// Configuration for one `atomic_with` invocation.
+#[derive(Clone, Debug)]
+pub struct TxnOptions {
+    /// Atomic (default) or relaxed transaction.
+    pub kind: TxnKind,
+    /// Lazy write-back (default) or eager in-place writes.
+    pub write_policy: WritePolicy,
+    /// Give up with [`TxnError::RetryLimit`](crate::TxnError::RetryLimit)
+    /// after this many attempts (`None` = unbounded).
+    pub max_attempts: Option<u64>,
+    /// Inter-attempt contention management.
+    pub backoff: BackoffPolicy,
+    /// Hardware-model bound on distinct variables read (`None` = unbounded).
+    pub read_capacity: Option<usize>,
+    /// Hardware-model bound on distinct variables written.
+    pub write_capacity: Option<usize>,
+    /// Modelled instrumentation cost (see [`OverheadModel`]).
+    pub overhead: OverheadModel,
+    /// Upper bound on one blocking interval of [`Txn::retry`]; on timeout
+    /// the transaction re-executes anyway (guards against missed
+    /// notifications in user code).
+    pub retry_timeout: Duration,
+}
+
+impl Default for TxnOptions {
+    fn default() -> Self {
+        TxnOptions {
+            kind: TxnKind::Atomic,
+            write_policy: WritePolicy::default(),
+            max_attempts: None,
+            backoff: BackoffPolicy::default(),
+            read_capacity: None,
+            write_capacity: None,
+            overhead: OverheadModel::NONE,
+            retry_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+impl TxnOptions {
+    /// Options with every field at its default.
+    pub fn new() -> TxnOptions {
+        TxnOptions::default()
+    }
+
+    /// Set the transaction kind.
+    pub fn kind(mut self, kind: TxnKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Bound the number of attempts.
+    pub fn max_attempts(mut self, n: u64) -> Self {
+        self.max_attempts = Some(n);
+        self
+    }
+
+    /// Set the backoff policy.
+    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Bound the read and write sets (hardware TM model).
+    pub fn capacity(mut self, reads: usize, writes: usize) -> Self {
+        self.read_capacity = Some(reads);
+        self.write_capacity = Some(writes);
+        self
+    }
+
+    /// Set the instrumentation cost model.
+    pub fn overhead(mut self, model: OverheadModel) -> Self {
+        self.overhead = model;
+        self
+    }
+
+    /// Set the write policy (lazy write-back vs. eager in-place).
+    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+}
+
+/// An external resource enlisted in a transaction (e.g. a revocable lock or
+/// a transactional file handle). The runtime invokes exactly one of the two
+/// callbacks, on the transaction's own thread.
+pub trait TxResource: Send + Sync {
+    /// The transaction committed; release/apply the resource.
+    fn commit(&self, txn_serial: u64);
+    /// The transaction aborted; roll the resource back.
+    fn abort(&self, txn_serial: u64);
+}
+
+/// Shared flag with which an external party (a deadlock detector) can
+/// request that a running transaction abort at its next transactional
+/// operation.
+#[derive(Clone, Debug)]
+pub struct KillHandle {
+    flag: Arc<AtomicBool>,
+    serial: u64,
+}
+
+impl KillHandle {
+    /// Request the owning transaction abort with [`Abort::Killed`].
+    pub fn kill(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a kill has been requested.
+    pub fn is_killed(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Serial number of the transaction attempt this handle refers to.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+}
+
+struct ReadEntry {
+    var: Arc<VarInner>,
+    version: u64,
+}
+
+struct WriteEntry {
+    var: Arc<VarInner>,
+    value: Boxed,
+}
+
+/// Eager-policy record of a location's pre-transaction state.
+struct UndoEntry {
+    var: Arc<VarInner>,
+    old_value: Boxed,
+}
+
+/// A snapshot of a transaction's read set, used to block `retry` until a
+/// read variable changes.
+pub(crate) struct ReadSnapshot(Vec<(Arc<VarInner>, u64)>);
+
+impl ReadSnapshot {
+    /// Whether any variable has a different committed version than the one
+    /// the transaction observed (a busy orec counts as "changing").
+    pub(crate) fn changed(&self) -> bool {
+        self.0.iter().any(|(var, ver)| {
+            var.writer.load(Ordering::Acquire) != 0
+                || var.version.load(Ordering::Acquire) != *ver
+        })
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An in-flight memory transaction.
+///
+/// Obtained from [`atomic`](crate::atomic) and friends; not constructible
+/// directly. All transactional reads, writes, lock acquisitions and I/O go
+/// through methods that take `&mut Txn`, which statically prevents using a
+/// transaction from two threads or after it finished.
+pub struct Txn {
+    serial: u64,
+    rv: u64,
+    kind: TxnKind,
+    attempt: u64,
+    policy: WritePolicy,
+    read_set: Vec<ReadEntry>,
+    write_set: Vec<WriteEntry>,
+    undo_log: Vec<UndoEntry>,
+    write_index: HashMap<u64, usize>,
+    commit_hooks: Vec<Box<dyn FnOnce()>>,
+    abort_hooks: Vec<Box<dyn FnOnce()>>,
+    resources: Vec<Arc<dyn TxResource>>,
+    kill_flag: Arc<AtomicBool>,
+    irrevocable: Option<RwLockWriteGuard<'static, ()>>,
+    was_irrevocable: bool,
+    read_capacity: Option<usize>,
+    write_capacity: Option<usize>,
+    overhead: OverheadModel,
+    finished: bool,
+}
+
+impl fmt::Debug for Txn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn")
+            .field("serial", &self.serial)
+            .field("rv", &self.rv)
+            .field("kind", &self.kind)
+            .field("attempt", &self.attempt)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .field("irrevocable", &self.irrevocable.is_some())
+            .finish()
+    }
+}
+
+impl Txn {
+    pub(crate) fn begin(opts: &TxnOptions, attempt: u64) -> Txn {
+        charge(opts.overhead.begin_ns);
+        Txn {
+            serial: NEXT_TXN_SERIAL.fetch_add(1, Ordering::Relaxed),
+            rv: clock::now(),
+            kind: opts.kind,
+            policy: opts.write_policy,
+            attempt,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            undo_log: Vec::new(),
+            write_index: HashMap::new(),
+            commit_hooks: Vec::new(),
+            abort_hooks: Vec::new(),
+            resources: Vec::new(),
+            kill_flag: Arc::new(AtomicBool::new(false)),
+            irrevocable: None,
+            was_irrevocable: false,
+            read_capacity: opts.read_capacity,
+            write_capacity: opts.write_capacity,
+            overhead: opts.overhead,
+            finished: false,
+        }
+    }
+
+    /// Unique serial number of this transaction attempt.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// 1-based attempt number within the enclosing `atomic` call.
+    pub fn attempt(&self) -> u64 {
+        self.attempt
+    }
+
+    /// The transaction's kind (atomic or relaxed).
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// Whether the transaction has become irrevocable.
+    pub fn is_irrevocable(&self) -> bool {
+        self.irrevocable.is_some()
+    }
+
+    /// Whether the transaction became irrevocable at any point in its life
+    /// (remains `true` after an irrevocable commit releases the lock).
+    pub fn was_irrevocable(&self) -> bool {
+        self.was_irrevocable
+    }
+
+    /// Number of distinct variables read so far.
+    pub fn read_set_len(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of distinct variables written so far.
+    pub fn write_set_len(&self) -> usize {
+        match self.policy {
+            WritePolicy::Lazy => self.write_set.len(),
+            WritePolicy::Eager => self.undo_log.len(),
+        }
+    }
+
+    /// A handle external parties (deadlock detectors) can use to abort this
+    /// transaction.
+    pub fn kill_handle(&self) -> KillHandle {
+        KillHandle { flag: self.kill_flag.clone(), serial: self.serial }
+    }
+
+    /// Check for an external kill request.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Killed`] if a kill was requested and the transaction is not
+    /// irrevocable (an irrevocable transaction can no longer roll back, so
+    /// kills are ignored).
+    pub fn check_killed(&self) -> StmResult<()> {
+        if self.irrevocable.is_none() && self.kill_flag.load(Ordering::SeqCst) {
+            return Err(Abort::Killed);
+        }
+        Ok(())
+    }
+
+    // ---- reads and writes -------------------------------------------------
+
+    pub(crate) fn read_raw(&mut self, var: &Arc<VarInner>) -> StmResult<Boxed> {
+        charge(self.overhead.read_ns);
+        self.check_killed()?;
+        if let Some(&i) = self.write_index.get(&var.id) {
+            return Ok(match self.policy {
+                WritePolicy::Lazy => self.write_set[i].value.clone(),
+                // Eager: we own the orec and already wrote in place.
+                WritePolicy::Eager => var.read_unchecked(),
+            });
+        }
+        let (value, version) = var.read_consistent()?;
+        if version > self.rv {
+            self.extend_rv()?;
+            if version > self.rv {
+                // Someone committed between our consistent read and the
+                // extension; the read itself may still be stale.
+                return Err(Abort::Conflict(ConflictKind::ReadValidation));
+            }
+        }
+        if let Some(cap) = self.read_capacity {
+            if self.read_set.len() >= cap {
+                return Err(Abort::Capacity(CapacityKind::ReadSet));
+            }
+        }
+        self.read_set.push(ReadEntry { var: var.clone(), version });
+        Ok(value)
+    }
+
+    pub(crate) fn write_raw(&mut self, var: &Arc<VarInner>, value: Boxed) -> StmResult<()> {
+        charge(self.overhead.write_ns);
+        self.check_killed()?;
+        if let Some(&i) = self.write_index.get(&var.id) {
+            match self.policy {
+                WritePolicy::Lazy => self.write_set[i].value = value,
+                WritePolicy::Eager => var.set_value(value),
+            }
+            return Ok(());
+        }
+        if let Some(cap) = self.write_capacity {
+            if self.write_set_len() >= cap {
+                return Err(Abort::Capacity(CapacityKind::WriteSet));
+            }
+        }
+        match self.policy {
+            WritePolicy::Lazy => {
+                self.write_index.insert(var.id, self.write_set.len());
+                self.write_set.push(WriteEntry { var: var.clone(), value });
+            }
+            WritePolicy::Eager => {
+                // Encounter-time locking: take the orec now (bounded spin),
+                // snapshot the old value for rollback, update in place. The
+                // version stays untouched until commit, so concurrent
+                // readers either see the old consistent state (before the
+                // lock) or treat the busy orec as a conflict.
+                if !var.try_lock_orec_spinning(self.serial) {
+                    return Err(Abort::Conflict(ConflictKind::OrecBusy));
+                }
+                let old_value = var.read_unchecked();
+                var.set_value(value);
+                self.write_index.insert(var.id, self.undo_log.len());
+                self.undo_log.push(UndoEntry { var: var.clone(), old_value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempt to advance the read version to the current clock by
+    /// revalidating every read made so far (TL2 timestamp extension).
+    fn extend_rv(&mut self) -> StmResult<()> {
+        let now = clock::now();
+        for e in &self.read_set {
+            if !e.var.validate(e.version, self.serial) {
+                return Err(Abort::Conflict(ConflictKind::ReadValidation));
+            }
+        }
+        self.rv = now;
+        Ok(())
+    }
+
+    // ---- control flow ------------------------------------------------------
+
+    /// Abort and block until another transaction changes a variable in this
+    /// transaction's read set, then re-execute (Harris-style `retry`; the
+    /// paper uses it to replace condition-variable waits in Recipe 3).
+    ///
+    /// Returns an `Err` unconditionally so it composes with `?`:
+    /// `return txn.retry();`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is irrevocable — an inevitable transaction
+    /// cannot speculate and therefore cannot roll back to wait.
+    pub fn retry<T>(&mut self) -> StmResult<T> {
+        assert!(
+            self.irrevocable.is_none(),
+            "retry inside an irrevocable transaction is not possible: it cannot roll back"
+        );
+        Err(Abort::Retry)
+    }
+
+    /// Explicitly abort and immediately re-execute (the paper's `abort`
+    /// statement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is irrevocable.
+    pub fn restart<T>(&mut self) -> StmResult<T> {
+        assert!(
+            self.irrevocable.is_none(),
+            "restart inside an irrevocable transaction is not possible: it cannot roll back"
+        );
+        Err(Abort::Restart)
+    }
+
+    /// Abort and make the enclosing `atomic_with` return
+    /// [`TxnError::Cancelled`](crate::TxnError::Cancelled) without
+    /// re-executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is irrevocable.
+    pub fn cancel<T>(&mut self) -> StmResult<T> {
+        assert!(
+            self.irrevocable.is_none(),
+            "cancel inside an irrevocable transaction is not possible: it cannot roll back"
+        );
+        Err(Abort::Cancel)
+    }
+
+    /// Commit the transaction's effects so far, block on `wp`, and
+    /// re-execute the body once signalled (commit-before-wait).
+    ///
+    /// Returns an `Err` unconditionally so it composes with `?`.
+    pub fn wait_on<T>(&mut self, wp: Arc<dyn WaitPoint>) -> StmResult<T> {
+        Err(Abort::Wait(wp))
+    }
+
+    /// Make the transaction irrevocable (inevitable): it can no longer
+    /// abort, and all other commits are excluded until it finishes. Used
+    /// before operations whose side effects cannot be rolled back.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] if the read set is no longer valid at the moment
+    /// of the switch (the transaction re-executes and can try again).
+    pub fn become_irrevocable(&mut self) -> StmResult<()> {
+        if self.irrevocable.is_some() {
+            return Ok(());
+        }
+        self.check_killed()?;
+        let guard = serial::exclusive();
+        // With the serial lock held exclusively no commit is in flight, so
+        // validation is stable.
+        for e in &self.read_set {
+            if !e.var.validate(e.version, self.serial) {
+                drop(guard);
+                return Err(Abort::Conflict(ConflictKind::ReadValidation));
+            }
+        }
+        self.rv = clock::now();
+        self.irrevocable = Some(guard);
+        self.was_irrevocable = true;
+        stats::bump_irrevocable();
+        Ok(())
+    }
+
+    /// Run an operation with arbitrary, non-undoable side effects.
+    ///
+    /// Only allowed in [`TxnKind::Relaxed`] transactions; makes the
+    /// transaction irrevocable first, so the side effect happens at most
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the conflict from [`become_irrevocable`](Txn::become_irrevocable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called inside a [`TxnKind::Atomic`] transaction; atomic
+    /// transactions must contain only transactionally safe operations.
+    pub fn unsafe_op<T>(&mut self, f: impl FnOnce() -> T) -> StmResult<T> {
+        assert_eq!(
+            self.kind,
+            TxnKind::Relaxed,
+            "unsafe operation inside an atomic transaction; use a relaxed transaction \
+             or a transactionally safe equivalent (xcall)"
+        );
+        self.become_irrevocable()?;
+        Ok(f())
+    }
+
+    // ---- hooks and resources ----------------------------------------------
+
+    /// Register an action to run if (and only if) the transaction commits,
+    /// after its writes are published. Actions run in registration order —
+    /// this is what deferred transactional I/O relies on.
+    pub fn on_commit(&mut self, f: impl FnOnce() + 'static) {
+        self.commit_hooks.push(Box::new(f));
+    }
+
+    /// Register a compensating action to run if the transaction aborts.
+    /// Actions run in reverse registration order (undo-log order).
+    pub fn on_abort(&mut self, f: impl FnOnce() + 'static) {
+        self.abort_hooks.push(Box::new(f));
+    }
+
+    /// Enlist an external resource; exactly one of
+    /// [`TxResource::commit`]/[`TxResource::abort`] will be called.
+    pub fn enlist(&mut self, resource: Arc<dyn TxResource>) {
+        self.resources.push(resource);
+    }
+
+    // ---- lifecycle ---------------------------------------------------------
+
+    pub(crate) fn take_read_snapshot(&self) -> ReadSnapshot {
+        ReadSnapshot(self.read_set.iter().map(|e| (e.var.clone(), e.version)).collect())
+    }
+
+    /// Attempt to commit. On success all writes are published atomically,
+    /// resources are committed and commit hooks run. On failure the caller
+    /// must invoke [`abort`](Txn::abort).
+    pub(crate) fn commit(&mut self) -> StmResult<()> {
+        assert!(!self.finished, "transaction used after completion");
+        charge(
+            self.overhead.commit_ns
+                + self.overhead.commit_per_entry_ns
+                    * (self.read_set.len() + self.write_set.len()) as u64,
+        );
+        // Note: the kill flag is deliberately NOT checked here. A kill is an
+        // advisory deadlock-breaking signal; a transaction that reached its
+        // commit point is no longer blocking anyone, and validation decides
+        // whether the commit is consistent. Aborting at commit would also
+        // re-execute non-isolated lock-protected mutations (Recipe 3 uses
+        // transactions "only for rollback and not isolation").
+
+        if self.irrevocable.is_some() {
+            self.publish_irrevocable();
+            return Ok(());
+        }
+
+        if self.policy == WritePolicy::Eager {
+            return self.commit_eager();
+        }
+
+        if self.write_set.is_empty() {
+            // Read-only: every read was validated against rv when made (and
+            // on each rv extension), so the snapshot is already consistent.
+            self.finish_success(false);
+            return Ok(());
+        }
+
+        let guard = serial::shared();
+
+        // Lock orecs in global id order to avoid committer/committer
+        // deadlock.
+        let mut order: Vec<usize> = (0..self.write_set.len()).collect();
+        order.sort_by_key(|&i| self.write_set[i].var.id);
+        let mut locked: Vec<usize> = Vec::with_capacity(order.len());
+        for &i in &order {
+            if self.write_set[i].var.try_lock_orec(self.serial) {
+                locked.push(i);
+            } else {
+                for &j in &locked {
+                    self.write_set[j].var.unlock_orec(self.serial);
+                }
+                drop(guard);
+                return Err(Abort::Conflict(ConflictKind::OrecBusy));
+            }
+        }
+
+        let wv = clock::tick();
+
+        for e in &self.read_set {
+            if !e.var.validate(e.version, self.serial) {
+                for &j in &locked {
+                    self.write_set[j].var.unlock_orec(self.serial);
+                }
+                drop(guard);
+                return Err(Abort::Conflict(ConflictKind::ReadValidation));
+            }
+        }
+
+        for w in &self.write_set {
+            w.var.publish(w.value.clone(), wv);
+        }
+        for &j in &locked {
+            self.write_set[j].var.unlock_orec(self.serial);
+        }
+        drop(guard);
+
+        self.finish_success(true);
+        Ok(())
+    }
+
+    /// Commit an eager transaction: orecs are already held and values are
+    /// in place; validate reads, stamp the new version, release.
+    fn commit_eager(&mut self) -> StmResult<()> {
+        if self.undo_log.is_empty() {
+            self.finish_success(false);
+            return Ok(());
+        }
+        let guard = serial::shared();
+        let wv = clock::tick();
+        for e in &self.read_set {
+            if !e.var.validate(e.version, self.serial) {
+                drop(guard);
+                return Err(Abort::Conflict(ConflictKind::ReadValidation));
+            }
+        }
+        for u in &self.undo_log {
+            u.var.version.store(wv, Ordering::Release);
+            u.var.unlock_orec(self.serial);
+        }
+        self.undo_log.clear();
+        drop(guard);
+        self.finish_success(true);
+        Ok(())
+    }
+
+    /// Roll an eager transaction's in-place writes back to their
+    /// pre-transaction values and release the orecs.
+    fn rollback_eager(&mut self) {
+        for u in self.undo_log.drain(..).rev() {
+            u.var.set_value(u.old_value);
+            u.var.unlock_orec(self.serial);
+        }
+    }
+
+    fn publish_irrevocable(&mut self) {
+        // Exclusive serial lock: no concurrent commit or direct store, so
+        // publication does not need orec locks (readers are protected by
+        // the per-variable version check).
+        let wrote = !self.write_set.is_empty() || !self.undo_log.is_empty();
+        if wrote {
+            let wv = clock::tick();
+            for w in &self.write_set {
+                w.var.publish(w.value.clone(), wv);
+            }
+            for u in self.undo_log.drain(..) {
+                u.var.version.store(wv, Ordering::Release);
+                u.var.unlock_orec(self.serial);
+            }
+        }
+        self.irrevocable = None; // release the exclusive guard
+        self.finish_success(wrote);
+    }
+
+    fn finish_success(&mut self, wrote: bool) {
+        self.finished = true;
+        // Deferred actions (e.g. x-call I/O) run first, while enlisted
+        // resources — revocable locks in particular — are still held, so
+        // the deferred effects stay inside the isolation the locks provide.
+        for h in self.commit_hooks.drain(..) {
+            h();
+        }
+        for r in self.resources.drain(..) {
+            r.commit(self.serial);
+        }
+        self.abort_hooks.clear();
+        if wrote {
+            notifier::global().notify();
+        }
+        stats::bump_commits();
+    }
+
+    /// Roll back: release resources and run compensations. Safe to call at
+    /// most once; the runtime does this for every non-committed outcome.
+    pub(crate) fn abort(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // An irrevocable transaction normally cannot reach here (its commit
+        // is infallible and retry/restart/cancel panic first), but a panic
+        // unwinding through the body can: writes are still only buffered at
+        // that point, so releasing the serial lock and compensating is safe.
+        self.irrevocable = None;
+        // Eager in-place writes are rolled back first, so no other thread
+        // can observe this transaction's values once the orecs unlock.
+        self.rollback_eager();
+        // Compensations run in reverse (undo-log) order while resources —
+        // locks — are still held, then the resources are rolled back.
+        for h in self.abort_hooks.drain(..).rev() {
+            h();
+        }
+        for r in self.resources.drain(..).rev() {
+            r.abort(self.serial);
+        }
+        self.commit_hooks.clear();
+        self.read_set.clear();
+        self.write_set.clear();
+        self.write_index.clear();
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            // A panic unwound through the transaction body: roll back so
+            // locks and compensations are not leaked.
+            self.abort();
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The eager (encounter-time locking, undo-log) write policy must provide
+//! exactly the same atomicity and isolation as the default lazy policy.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use txfix_stm::{atomic_with, TVar, TxnError, TxnOptions, WritePolicy};
+
+fn eager() -> TxnOptions {
+    TxnOptions::default().write_policy(WritePolicy::Eager)
+}
+
+fn run<T>(opts: &TxnOptions, body: impl FnMut(&mut txfix_stm::Txn) -> txfix_stm::StmResult<T>) -> T {
+    atomic_with(opts, body).expect("transaction cannot fail terminally")
+}
+
+#[test]
+fn eager_basic_read_write() {
+    let v = TVar::new(1u64);
+    let out = run(&eager(), |txn| {
+        let x = v.read(txn)?;
+        v.write(txn, x + 10)?;
+        v.read(txn) // read-own-write through the in-place update
+    });
+    assert_eq!(out, 11);
+    assert_eq!(v.load(), 11);
+}
+
+#[test]
+fn eager_abort_rolls_back_in_place_writes() {
+    let v = TVar::new(5u64);
+    let w = TVar::new(50u64);
+    let r: Result<(), TxnError> = atomic_with(&eager(), |txn| {
+        v.write(txn, 999)?;
+        w.write(txn, 999)?;
+        txn.cancel()
+    });
+    assert_eq!(r, Err(TxnError::Cancelled));
+    assert_eq!(v.load(), 5, "eager write leaked through an abort");
+    assert_eq!(w.load(), 50);
+}
+
+#[test]
+fn eager_restart_never_exposes_intermediate_values() {
+    // While the eager transaction holds the orec, concurrent loads must
+    // never observe the uncommitted in-place value.
+    let v = TVar::new(0i64);
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let (v2, stop2) = (v.clone(), stop.clone());
+        s.spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                let x = v2.load();
+                assert!(x >= 0, "observed uncommitted eager write {x}");
+            }
+        });
+        let v3 = v.clone();
+        s.spawn(move || {
+            for i in 0..300 {
+                let mut aborted_once = false;
+                let _ = atomic_with(&eager(), |txn| {
+                    // Negative = "uncommitted marker".
+                    v3.write(txn, -1)?;
+                    if !aborted_once {
+                        aborted_once = true;
+                        return txn.restart();
+                    }
+                    v3.write(txn, i)?;
+                    Ok(())
+                });
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    });
+    assert_eq!(v.load(), 299);
+}
+
+#[test]
+fn eager_counter_is_exact_under_contention() {
+    let v = TVar::new(0u64);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let v = v.clone();
+            s.spawn(move || {
+                for _ in 0..250 {
+                    run(&eager(), |txn| v.modify(txn, |x| x + 1));
+                }
+            });
+        }
+    });
+    assert_eq!(v.load(), 1000);
+}
+
+#[test]
+fn eager_and_lazy_transactions_interoperate() {
+    // Mixed policies on the same variables must still serialize.
+    let a = TVar::new(0u64);
+    let b = TVar::new(0u64);
+    std::thread::scope(|s| {
+        let (a1, b1) = (a.clone(), b.clone());
+        s.spawn(move || {
+            for _ in 0..200 {
+                run(&eager(), |txn| {
+                    let x = a1.read(txn)?;
+                    a1.write(txn, x + 1)?;
+                    b1.modify(txn, |y| y + 1)
+                });
+            }
+        });
+        let (a2, b2) = (a.clone(), b.clone());
+        s.spawn(move || {
+            for _ in 0..200 {
+                run(&TxnOptions::default(), |txn| {
+                    let y = b2.read(txn)?;
+                    b2.write(txn, y + 1)?;
+                    a2.modify(txn, |x| x + 1)
+                });
+            }
+        });
+    });
+    assert_eq!(a.load(), 400);
+    assert_eq!(b.load(), 400);
+}
+
+#[test]
+fn eager_multi_var_invariant_holds() {
+    let x = TVar::new(500i64);
+    let y = TVar::new(500i64);
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let (x, y) = (x.clone(), y.clone());
+            s.spawn(move || {
+                for i in 0..200 {
+                    let amt = ((i + t) % 23) as i64;
+                    run(&eager(), |txn| {
+                        let a = x.read(txn)?;
+                        let b = y.read(txn)?;
+                        x.write(txn, a - amt)?;
+                        y.write(txn, b + amt)
+                    });
+                }
+            });
+        }
+        let (x, y) = (x.clone(), y.clone());
+        s.spawn(move || {
+            for _ in 0..200 {
+                let (a, b) = run(&TxnOptions::default(), |txn| {
+                    Ok((x.read(txn)?, y.read(txn)?))
+                });
+                assert_eq!(a + b, 1000, "eager transfer tore the invariant");
+            }
+        });
+    });
+    assert_eq!(x.load() + y.load(), 1000);
+}
+
+#[test]
+fn eager_write_capacity_counts_undo_entries() {
+    let vars: Vec<TVar<u32>> = (0..8u32).map(TVar::new).collect();
+    let r: Result<(), TxnError> =
+        atomic_with(&eager().capacity(64, 3), |txn| {
+            for v in &vars {
+                v.write(txn, 1)?;
+            }
+            Ok(())
+        });
+    assert!(matches!(r, Err(TxnError::Capacity { .. })), "got {r:?}");
+    // The failed attempt's writes must have been rolled back.
+    for (i, v) in vars.iter().enumerate() {
+        assert_eq!(v.load(), i as u32, "capacity abort leaked a write");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any single-threaded program, eager and lazy execution produce
+    /// identical final states.
+    #[test]
+    fn eager_equals_lazy_sequentially(
+        ops in proptest::collection::vec((0usize..4, -50i64..50), 0..30),
+        init in proptest::collection::vec(-50i64..50, 4),
+    ) {
+        let lazy_vars: Vec<TVar<i64>> = init.iter().copied().map(TVar::new).collect();
+        let eager_vars: Vec<TVar<i64>> = init.iter().copied().map(TVar::new).collect();
+        for (opts, vars) in [
+            (TxnOptions::default(), &lazy_vars),
+            (eager(), &eager_vars),
+        ] {
+            atomic_with(&opts, |txn| {
+                for &(idx, delta) in &ops {
+                    let v = vars[idx].read(txn)?;
+                    vars[idx].write(txn, v.wrapping_add(delta))?;
+                }
+                Ok(())
+            }).unwrap();
+        }
+        let l: Vec<i64> = lazy_vars.iter().map(|v| v.load()).collect();
+        let e: Vec<i64> = eager_vars.iter().map(|v| v.load()).collect();
+        prop_assert_eq!(l, e);
+    }
+}

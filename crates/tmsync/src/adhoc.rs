@@ -1,0 +1,226 @@
+//! Ad hoc synchronization primitives.
+//!
+//! The paper's §6 observes that "ad hoc synchronization, such as ownership
+//! flags put in place to avoid the overhead of locking, can be greatly
+//! simplified with TM, but requires hardware support to perform well."
+//! This module provides the *flag* half of that comparison: the
+//! hand-rolled primitives the buggy applications use, so scenarios and
+//! ablation benchmarks can pit them against transactions.
+
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A bare "done" flag synchronized by spinning — the pattern behind many
+/// of the studied atomicity violations (no happens-before edge beyond the
+/// flag itself, no mutual exclusion around associated data).
+#[derive(Debug, Default)]
+pub struct SpinFlag {
+    flag: AtomicBool,
+}
+
+impl SpinFlag {
+    /// Create an unset flag.
+    pub fn new() -> SpinFlag {
+        SpinFlag { flag: AtomicBool::new(false) }
+    }
+
+    /// Set the flag (release ordering).
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Clear the flag.
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    /// Whether the flag is set (acquire ordering).
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Spin until the flag is set or `timeout` elapses; returns whether the
+    /// flag was observed set.
+    pub fn spin_wait(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while !self.is_set() {
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::hint::spin_loop();
+        }
+        true
+    }
+}
+
+/// A per-object *ownership flag* in the SpiderMonkey style: the first
+/// thread to touch the object becomes its exclusive owner and can then
+/// access it with **no synchronization at all**; any other thread must
+/// block until the owner relinquishes. Cheap in the common
+/// single-threaded-object case, and the root of the Mozilla-I deadlock.
+pub struct OwnerFlag {
+    state: Mutex<OwnerState>,
+    released: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct OwnerState {
+    owner: Option<u64>,
+    waiters: usize,
+}
+
+impl fmt::Debug for OwnerFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("OwnerFlag").field("owner", &s.owner).field("waiters", &s.waiters).finish()
+    }
+}
+
+impl Default for OwnerFlag {
+    fn default() -> Self {
+        OwnerFlag::new()
+    }
+}
+
+impl OwnerFlag {
+    /// Create an unowned flag.
+    pub fn new() -> OwnerFlag {
+        OwnerFlag { state: Mutex::new(OwnerState::default()), released: Condvar::new() }
+    }
+
+    /// Current owner, if any.
+    pub fn owner(&self) -> Option<u64> {
+        self.state.lock().owner
+    }
+
+    /// Fast path: returns `true` if `thread` already owns the flag or can
+    /// take ownership immediately (it was unowned).
+    pub fn try_own(&self, thread: u64) -> bool {
+        let mut s = self.state.lock();
+        match s.owner {
+            Some(o) => o == thread,
+            None => {
+                s.owner = Some(thread);
+                true
+            }
+        }
+    }
+
+    /// Slow path: block until ownership can be transferred to `thread`, or
+    /// `timeout` elapses. Returns whether ownership was obtained. This is
+    /// the *claim* step that, performed while holding other locks, produces
+    /// the Mozilla-I deadlock.
+    pub fn claim(&self, thread: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock();
+        s.waiters += 1;
+        loop {
+            match s.owner {
+                None => {
+                    s.owner = Some(thread);
+                    s.waiters -= 1;
+                    return true;
+                }
+                Some(o) if o == thread => {
+                    s.waiters -= 1;
+                    return true;
+                }
+                Some(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        s.waiters -= 1;
+                        return false;
+                    }
+                    let _ = self.released.wait_for(&mut s, deadline - now);
+                }
+            }
+        }
+    }
+
+    /// Whether any thread is blocked in [`claim`](OwnerFlag::claim).
+    pub fn has_waiters(&self) -> bool {
+        self.state.lock().waiters > 0
+    }
+
+    /// Relinquish ownership (the "drop ownership before blocking" step the
+    /// Mozilla developers added as their fix).
+    pub fn release(&self, thread: u64) {
+        let mut s = self.state.lock();
+        if s.owner == Some(thread) {
+            s.owner = None;
+            drop(s);
+            self.released.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_flag_roundtrip() {
+        let f = SpinFlag::new();
+        assert!(!f.is_set());
+        f.set();
+        assert!(f.is_set());
+        assert!(f.spin_wait(Duration::from_millis(1)));
+        f.clear();
+        assert!(!f.spin_wait(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn spin_wait_sees_concurrent_set() {
+        let f = Arc::new(SpinFlag::new());
+        std::thread::scope(|s| {
+            let f2 = f.clone();
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                f2.set();
+            });
+            assert!(f.spin_wait(Duration::from_secs(5)));
+        });
+    }
+
+    #[test]
+    fn first_toucher_owns() {
+        let f = OwnerFlag::new();
+        assert!(f.try_own(1));
+        assert!(f.try_own(1), "owner re-entry must be free");
+        assert!(!f.try_own(2));
+        assert_eq!(f.owner(), Some(1));
+    }
+
+    #[test]
+    fn claim_times_out_while_held() {
+        let f = OwnerFlag::new();
+        assert!(f.try_own(1));
+        assert!(!f.claim(2, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn release_transfers_ownership_to_claimant() {
+        let f = Arc::new(OwnerFlag::new());
+        assert!(f.try_own(1));
+        std::thread::scope(|s| {
+            let f2 = f.clone();
+            let h = s.spawn(move || f2.claim(2, Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(f.has_waiters());
+            f.release(1);
+            assert!(h.join().unwrap());
+        });
+        assert_eq!(f.owner(), Some(2));
+    }
+
+    #[test]
+    fn release_by_non_owner_is_ignored() {
+        let f = OwnerFlag::new();
+        assert!(f.try_own(1));
+        f.release(2);
+        assert_eq!(f.owner(), Some(1));
+    }
+}

@@ -1,0 +1,35 @@
+//! Lock-acquisition errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An unresolvable deadlock: the wait-for graph contains a cycle and no
+/// participant is an abortable transaction that could be preempted.
+///
+/// This is what the *buggy* variants of the corpus scenarios report: the
+/// detector sees the circular wait that would hang a production system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockError {
+    /// Human-readable description of the cycle, e.g.
+    /// `["thread#1 -> lock \"a\"", "thread#2 -> lock \"b\""]`.
+    pub cycle: Vec<String>,
+}
+
+impl fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadlock detected: {}", self.cycle.join(" ; "))
+    }
+}
+
+impl Error for DeadlockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_joins_cycle() {
+        let e = DeadlockError { cycle: vec!["a".into(), "b".into()] };
+        assert_eq!(e.to_string(), "deadlock detected: a ; b");
+    }
+}

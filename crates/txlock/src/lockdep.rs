@@ -1,0 +1,280 @@
+//! A lock-order validator (lockdep-style).
+//!
+//! The paper's §3.1 pins the cost of lock-based fixes on *non-local
+//! reasoning*: "adding a new lock requires considering whether it can
+//! introduce deadlock with all existing locks". This module mechanizes
+//! that reasoning: when enabled, every [`TxMutex`](crate::TxMutex)
+//! acquisition records ordering edges between the locks a thread holds
+//! and the lock it acquires; an edge observed in both directions is a
+//! **potential deadlock** (a lock-order inversion), reported even if no
+//! actual deadlock ever strikes. The corpus uses it to show that the
+//! buggy lock disciplines are detectably wrong before the first hang,
+//! and that the developers' reordered fixes validate cleanly.
+//!
+//! Validation is process-global and off by default (zero cost beyond one
+//! atomic load per acquisition); enable it around the region of interest:
+//!
+//! ```
+//! use txfix_txlock::{lockdep, TxMutex};
+//!
+//! lockdep::reset();
+//! lockdep::enable();
+//! let a = TxMutex::new("order.a", ());
+//! let b = TxMutex::new("order.b", ());
+//! {
+//!     let _ga = a.lock().unwrap();
+//!     let _gb = b.lock().unwrap(); // records a -> b
+//! }
+//! {
+//!     let _gb = b.lock().unwrap();
+//!     let _ga = a.lock().unwrap(); // records b -> a: inversion!
+//! }
+//! lockdep::disable();
+//! assert_eq!(lockdep::inversions().len(), 1);
+//! ```
+
+use crate::graph::LockId;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Default)]
+struct OrderState {
+    /// Observed "held `a` while acquiring `b`" order graph, with lock
+    /// names. A cycle in this graph — of any length — is a potential
+    /// deadlock.
+    edges: HashMap<LockId, HashSet<LockId>>,
+    names: HashMap<LockId, String>,
+    inversions: Vec<Inversion>,
+}
+
+impl OrderState {
+    /// Whether `to` is reachable from `from` over recorded edges.
+    fn reaches(&self, from: LockId, to: LockId) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+static ORDER: Mutex<Option<OrderState>> = Mutex::new(None);
+
+thread_local! {
+    static HELD: RefCell<Vec<LockId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A detected lock-order hazard: the recorded order graph contains a
+/// cycle through `first` and `second` (for two locks, both acquisition
+/// orders were observed; longer cycles are reported by the edge that
+/// closed them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inversion {
+    /// Name of one lock in the inverted pair.
+    pub first: String,
+    /// Name of the other lock.
+    pub second: String,
+}
+
+impl fmt::Display for Inversion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lock-order inversion: \"{}\" and \"{}\" are acquired in both orders",
+            self.first, self.second
+        )
+    }
+}
+
+/// Start recording acquisition orders.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording (already-recorded state is kept until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clear all recorded edges and inversions.
+pub fn reset() {
+    let mut g = ORDER.lock();
+    *g = Some(OrderState::default());
+}
+
+/// Inversions observed since the last [`reset`], deduplicated per lock
+/// pair.
+pub fn inversions() -> Vec<Inversion> {
+    ORDER.lock().as_ref().map(|s| s.inversions.clone()).unwrap_or_default()
+}
+
+/// Number of distinct ordering edges recorded (diagnostic).
+pub fn edge_count() -> usize {
+    ORDER
+        .lock()
+        .as_ref()
+        .map(|s| s.edges.values().map(HashSet::len).sum())
+        .unwrap_or(0)
+}
+
+pub(crate) fn note_acquired(id: LockId, name: &str) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        HELD.with(|h| h.borrow_mut().push(id));
+        return;
+    }
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        let mut g = ORDER.lock();
+        let s = g.get_or_insert_with(OrderState::default);
+        s.names.insert(id, name.to_owned());
+        for &prior in held.iter() {
+            if prior == id {
+                continue;
+            }
+            let is_new = s.edges.entry(prior).or_default().insert(id);
+            // A new edge prior→id closes a cycle iff id already reached
+            // prior — a potential deadlock of any cycle length.
+            if is_new && s.reaches(id, prior) {
+                let first = s.names.get(&prior).cloned().unwrap_or_else(|| "?".into());
+                let second = s.names.get(&id).cloned().unwrap_or_else(|| "?".into());
+                let (a, b) = if first <= second { (first, second) } else { (second, first) };
+                let inv = Inversion { first: a, second: b };
+                if !s.inversions.contains(&inv) {
+                    s.inversions.push(inv);
+                }
+            }
+        }
+        held.push(id);
+    });
+}
+
+pub(crate) fn note_released(id: LockId) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&l| l == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxMutex;
+
+    // Lockdep state is process-global; serialize these tests.
+    static TEST_GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn inversion_detected_without_an_actual_deadlock() {
+        let _g = TEST_GATE.lock();
+        reset();
+        enable();
+        let a = TxMutex::new("ld.a", ());
+        let b = TxMutex::new("ld.b", ());
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        disable();
+        let inv = inversions();
+        assert_eq!(inv.len(), 1, "{inv:?}");
+        assert!(inv[0].to_string().contains("ld.a"));
+        assert!(inv[0].to_string().contains("ld.b"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let _g = TEST_GATE.lock();
+        reset();
+        enable();
+        let a = TxMutex::new("ld.c1", ());
+        let b = TxMutex::new("ld.c2", ());
+        for _ in 0..3 {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        disable();
+        assert!(inversions().is_empty());
+        assert!(edge_count() >= 1);
+    }
+
+    #[test]
+    fn cross_thread_inversion_is_detected() {
+        let _g = TEST_GATE.lock();
+        reset();
+        enable();
+        let a = std::sync::Arc::new(TxMutex::new("ld.x", ()));
+        let b = std::sync::Arc::new(TxMutex::new("ld.y", ()));
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        let (a2, b2) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        })
+        .join()
+        .unwrap();
+        disable();
+        assert_eq!(inversions().len(), 1);
+    }
+
+    #[test]
+    fn disabled_validator_records_nothing() {
+        let _g = TEST_GATE.lock();
+        reset();
+        let a = TxMutex::new("ld.off1", ());
+        let b = TxMutex::new("ld.off2", ());
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        assert!(inversions().is_empty());
+        assert_eq!(edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_inversions_are_deduplicated() {
+        let _g = TEST_GATE.lock();
+        reset();
+        enable();
+        let a = TxMutex::new("ld.d1", ());
+        let b = TxMutex::new("ld.d2", ());
+        for _ in 0..4 {
+            {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            }
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+        }
+        disable();
+        assert_eq!(inversions().len(), 1);
+    }
+}

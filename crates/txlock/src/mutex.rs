@@ -1,0 +1,578 @@
+//! Revocable, deadlock-detecting mutexes (the paper's TxLocks, §5.1).
+//!
+//! A [`TxMutex`] can be used two ways:
+//!
+//! - **Non-transactionally** via [`TxMutex::lock`]: an ordinary RAII mutex,
+//!   except that blocking acquisitions participate in the global wait-for
+//!   graph, so a circular wait is *detected* and returned as a
+//!   [`DeadlockError`] instead of hanging forever. The buggy variants of
+//!   the corpus scenarios rely on this to demonstrate deadlocks safely.
+//! - **Transactionally** via [`TxMutex::lock_tx`]: the lock is acquired on
+//!   behalf of an STM transaction, held until the transaction commits, and
+//!   *released automatically if the transaction aborts*. If a deadlock
+//!   cycle forms, the detector preempts one of the participating
+//!   transactions (it aborts with [`Abort::Deadlock`], releasing its locks)
+//!   — the mechanism behind fix Recipe 3.
+
+use crate::error::DeadlockError;
+use crate::graph::{self, CycleResolution, LockId};
+use crate::thread_id::{self, ThreadToken};
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use txfix_stm::{Abort, StmResult, TxResource, Txn};
+
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How long one blocked wait lasts before re-checking kill flags. Deadlock
+/// cycles are detected eagerly on blocking; this only bounds kill latency.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+pub(crate) enum AcquireError {
+    /// The caller's transaction was selected as the deadlock victim.
+    SelfVictim,
+    /// The caller's transaction was killed externally while waiting.
+    Killed,
+    /// True deadlock: no abortable participant.
+    Deadlock(Vec<String>),
+}
+
+pub(crate) struct RawTxLock {
+    id: LockId,
+    name: String,
+    state: Mutex<Option<ThreadToken>>,
+    cv: Condvar,
+    /// Serial of the transaction holding this lock transactionally, or 0.
+    holding_txn: AtomicU64,
+}
+
+impl graph::OwnerQuery for RawTxLock {
+    fn current_owner(&self) -> Option<ThreadToken> {
+        *self.state.lock()
+    }
+    fn lock_name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl RawTxLock {
+    pub(crate) fn new(name: &str) -> Arc<RawTxLock> {
+        let id = LockId(NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed));
+        let lock = Arc::new(RawTxLock {
+            id,
+            name: name.to_owned(),
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+            holding_txn: AtomicU64::new(0),
+        });
+        let weak = Arc::downgrade(&lock) as std::sync::Weak<dyn graph::OwnerQuery>;
+        graph::register_lock(id, weak);
+        lock
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn owner(&self) -> Option<ThreadToken> {
+        *self.state.lock()
+    }
+
+    pub(crate) fn try_acquire(&self, me: ThreadToken) -> bool {
+        let mut st = self.state.lock();
+        if st.is_none() {
+            *st = Some(me);
+            drop(st);
+            crate::lockdep::note_acquired(self.id, &self.name);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn acquire(
+        &self,
+        me: ThreadToken,
+        kill: Option<&txfix_stm::KillHandle>,
+    ) -> Result<(), AcquireError> {
+        let mut registered_wait = false;
+        loop {
+            {
+                let mut st = self.state.lock();
+                match *st {
+                    None => {
+                        *st = Some(me);
+                        drop(st);
+                        if registered_wait {
+                            graph::clear_wait(me);
+                        }
+                        crate::lockdep::note_acquired(self.id, &self.name);
+                        return Ok(());
+                    }
+                    Some(owner) if owner == me => {
+                        panic!(
+                            "non-reentrant TxMutex \"{}\" acquired twice by {me}",
+                            self.name
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+
+            registered_wait = true;
+            match graph::block_and_check(me, self.id) {
+                CycleResolution::NoCycle | CycleResolution::OtherVictim(_) => {}
+                CycleResolution::SelfVictim => return Err(AcquireError::SelfVictim),
+                CycleResolution::Unresolvable(cycle) => {
+                    return Err(AcquireError::Deadlock(cycle))
+                }
+            }
+
+            {
+                let mut st = self.state.lock();
+                if st.is_some() {
+                    self.cv.wait_for(&mut st, WAIT_SLICE);
+                }
+            }
+
+            if let Some(k) = kill {
+                if k.is_killed() {
+                    graph::clear_wait(me);
+                    return Err(AcquireError::Killed);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn release(&self, me: ThreadToken) {
+        let mut st = self.state.lock();
+        assert_eq!(*st, Some(me), "TxMutex \"{}\" released by non-owner", self.name);
+        *st = None;
+        self.holding_txn.store(0, Ordering::Release);
+        drop(st);
+        crate::lockdep::note_released(self.id);
+        self.cv.notify_all();
+    }
+}
+
+impl Drop for RawTxLock {
+    fn drop(&mut self) {
+        graph::unregister_lock(self.id);
+    }
+}
+
+/// Resource enlisted in a transaction: releases the lock when the
+/// transaction finishes (commit *or* abort).
+struct LockRelease {
+    raw: Arc<RawTxLock>,
+    owner: ThreadToken,
+}
+
+impl TxResource for LockRelease {
+    fn commit(&self, _serial: u64) {
+        self.raw.release(self.owner);
+    }
+    fn abort(&self, _serial: u64) {
+        self.raw.release(self.owner);
+    }
+}
+
+/// Resource that removes the thread's "abortable transaction" registration
+/// from the wait-for graph when the transaction finishes.
+struct TxnUnregister {
+    thread: ThreadToken,
+}
+
+impl TxResource for TxnUnregister {
+    fn commit(&self, _serial: u64) {
+        graph::unregister_txn_thread(self.thread);
+    }
+    fn abort(&self, _serial: u64) {
+        graph::unregister_txn_thread(self.thread);
+    }
+}
+
+/// Register the calling thread's transaction as a *preemptible* deadlock
+/// victim with an explicit `priority` (lower aborts first), and arrange for
+/// the registration to be removed when the transaction finishes.
+///
+/// [`TxMutex::lock_tx`] registers transactions automatically at priority 0;
+/// call this at the top of a Recipe 3 transaction body to mark it as the
+/// *preferred* victim ("preferably the preemptible thread should be low
+/// priority", paper §4.4).
+pub fn enlist_preemptible(txn: &mut Txn, priority: i32) {
+    let me = thread_id::current();
+    if graph::register_txn_thread_if_new(me, txn.kill_handle(), priority) {
+        txn.enlist(Arc::new(TxnUnregister { thread: me }));
+    }
+}
+
+/// A revocable, deadlock-detecting mutual-exclusion lock protecting a `T`.
+///
+/// See the crate-level docs for the two usage modes.
+///
+/// `TxMutex` is **not reentrant**: re-acquiring non-transactionally panics,
+/// while [`lock_tx`](TxMutex::lock_tx) by the same transaction is an
+/// idempotent no-op (the lock is already held to commit).
+pub struct TxMutex<T> {
+    raw: Arc<RawTxLock>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by the raw lock protocol; the
+// value moves between threads only through lock handoff.
+unsafe impl<T: Send> Send for TxMutex<T> {}
+unsafe impl<T: Send> Sync for TxMutex<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for TxMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxMutex")
+            .field("name", &self.raw.name())
+            .field("owner", &self.raw.owner())
+            .finish()
+    }
+}
+
+impl<T> TxMutex<T> {
+    /// Create a named lock. Names appear in deadlock-cycle reports.
+    pub fn new(name: &str, value: T) -> TxMutex<T> {
+        TxMutex { raw: RawTxLock::new(name), data: UnsafeCell::new(value) }
+    }
+
+    /// The lock's diagnostic name.
+    pub fn name(&self) -> &str {
+        self.raw.name()
+    }
+
+    /// Whether any thread currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.raw.owner().is_some()
+    }
+
+    /// Acquire non-transactionally, blocking; detects deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlockError`] if this acquisition completes a circular wait that
+    /// no participating transaction can be aborted to resolve. The caller
+    /// still holds whatever locks it held; dropping them unblocks the other
+    /// participants.
+    pub fn lock(&self) -> Result<TxMutexGuard<'_, T>, DeadlockError> {
+        let me = thread_id::current();
+        match self.raw.acquire(me, None) {
+            Ok(()) => Ok(TxMutexGuard { lock: self, owner: me }),
+            Err(AcquireError::Deadlock(cycle)) => Err(DeadlockError { cycle }),
+            Err(AcquireError::SelfVictim) | Err(AcquireError::Killed) => {
+                unreachable!("non-transactional acquire cannot be victimized")
+            }
+        }
+    }
+
+    /// Try to acquire non-transactionally without blocking.
+    pub fn try_lock(&self) -> Option<TxMutexGuard<'_, T>> {
+        let me = thread_id::current();
+        if self.raw.try_acquire(me) {
+            Some(TxMutexGuard { lock: self, owner: me })
+        } else {
+            None
+        }
+    }
+
+    /// Acquire on behalf of `txn`: held until commit, released on abort
+    /// (the TxLock discipline). Registers the transaction as an abortable
+    /// deadlock-victim candidate.
+    ///
+    /// # Errors
+    ///
+    /// - [`Abort::Deadlock`] if this transaction was chosen as the victim
+    ///   of a deadlock cycle — the runtime re-executes it after backoff;
+    /// - [`Abort::Killed`] if an external detector killed the transaction
+    ///   while it was waiting.
+    pub fn lock_tx(&self, txn: &mut Txn) -> StmResult<()> {
+        let me = thread_id::current();
+
+        if self.raw.owner() == Some(me) {
+            let holder = self.raw.holding_txn.load(Ordering::Acquire);
+            assert_eq!(
+                holder,
+                txn.serial(),
+                "TxMutex \"{}\" already held by this thread outside the transaction",
+                self.raw.name()
+            );
+            return Ok(());
+        }
+
+        if graph::register_txn_thread_if_new(me, txn.kill_handle(), 0) {
+            txn.enlist(Arc::new(TxnUnregister { thread: me }));
+        }
+
+        match self.raw.acquire(me, Some(&txn.kill_handle())) {
+            Ok(()) => {
+                self.raw.holding_txn.store(txn.serial(), Ordering::Release);
+                txn.enlist(Arc::new(LockRelease { raw: self.raw.clone(), owner: me }));
+                Ok(())
+            }
+            Err(AcquireError::SelfVictim) => Err(Abort::Deadlock),
+            Err(AcquireError::Killed) => Err(Abort::Killed),
+            Err(AcquireError::Deadlock(_)) => {
+                // We are transactional and registered, so the detector
+                // should have picked us; treat as victimization anyway.
+                Err(Abort::Deadlock)
+            }
+        }
+    }
+
+    /// Acquire transactionally and run `f` on the protected data.
+    ///
+    /// The *lock* remains held until the transaction commits or aborts;
+    /// only the borrow of the data is scoped to `f`. Can be called several
+    /// times in one transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lock_tx`](TxMutex::lock_tx) errors.
+    pub fn with_tx<R>(&self, txn: &mut Txn, f: impl FnOnce(&mut T) -> R) -> StmResult<R> {
+        self.lock_tx(txn)?;
+        // Safety: the raw lock is held by this thread until the transaction
+        // finishes, so no other thread can observe `data`.
+        Ok(unsafe { f(&mut *self.data.get()) })
+    }
+
+    /// Access the protected data on a thread that already holds the lock
+    /// (via a guard or transactionally), without any abort points.
+    ///
+    /// Recipe 3 bodies use this for their mutation phase: acquire every
+    /// lock first (each `lock_tx` an abort point), then mutate via
+    /// `with_held` so a late advisory kill cannot re-execute non-isolated
+    /// writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not hold the lock.
+    pub fn with_held<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        assert_eq!(
+            self.raw.owner(),
+            Some(thread_id::current()),
+            "with_held on TxMutex \"{}\" requires the calling thread to hold it",
+            self.raw.name()
+        );
+        // Safety: owner-exclusivity checked above.
+        unsafe { f(&mut *self.data.get()) }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Raw pointer to the protected data, for commit/abort hooks that run
+    /// while the lock is still held by the finishing transaction.
+    ///
+    /// # Safety
+    ///
+    /// The pointer is only valid to dereference on a thread that currently
+    /// owns the lock (transactionally or via a guard). This is the escape
+    /// hatch the x-call layer uses inside transaction completion hooks,
+    /// which the STM runtime runs before releasing enlisted locks.
+    pub fn data_ptr(&self) -> *mut T {
+        self.data.get()
+    }
+}
+
+/// RAII guard for a non-transactional [`TxMutex`] acquisition.
+pub struct TxMutexGuard<'a, T> {
+    lock: &'a TxMutex<T>,
+    owner: ThreadToken,
+}
+
+impl<T> Deref for TxMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: guard existence implies this thread owns the raw lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for TxMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above, plus &mut self.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for TxMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.release(self.owner);
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TxMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TxMutexGuard").field(&**self).finish()
+    }
+}
+
+impl<'a, T> TxMutexGuard<'a, T> {
+    pub(crate) fn owner(&self) -> ThreadToken {
+        self.owner
+    }
+
+    pub(crate) fn mutex(&self) -> &'a TxMutex<T> {
+        self.lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txfix_stm::atomic;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let m = TxMutex::new("m", 5u32);
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+            assert!(m.is_locked());
+        }
+        assert!(!m.is_locked());
+        assert_eq!(*m.lock().unwrap(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let m = Arc::new(TxMutex::new("m", ()));
+        let g = m.lock().unwrap();
+        let m2 = m.clone();
+        std::thread::spawn(move || assert!(m2.try_lock().is_none()))
+            .join()
+            .unwrap();
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn lock_excludes_concurrent_mutation() {
+        let m = Arc::new(TxMutex::new("counter", 0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock().unwrap() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock().unwrap(), 8000);
+    }
+
+    #[test]
+    fn lock_tx_holds_until_commit() {
+        let m = Arc::new(TxMutex::new("m", 0u32));
+        let m2 = m.clone();
+        atomic(move |txn| {
+            m2.with_tx(txn, |v| *v += 1)?;
+            // Still held mid-transaction:
+            assert!(m2.is_locked());
+            m2.with_tx(txn, |v| *v += 1) // reentrant within the txn
+        });
+        assert!(!m.is_locked(), "lock not released at commit");
+        assert_eq!(*m.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn lock_tx_releases_on_abort() {
+        let m = Arc::new(TxMutex::new("m", 0u32));
+        let m2 = m.clone();
+        let first = std::sync::atomic::AtomicBool::new(true);
+        atomic(move |txn| {
+            m2.with_tx(txn, |v| *v += 1)?;
+            if first.swap(false, Ordering::SeqCst) {
+                assert!(m2.is_locked());
+                return txn.restart();
+            }
+            Ok(())
+        });
+        assert!(!m.is_locked());
+        // Data mutations through with_tx are NOT rolled back (locks give
+        // mutual exclusion, not isolation — paper Recipe 3 discussion), so
+        // both attempts' increments are visible.
+        assert_eq!(*m.lock().unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquired twice")]
+    fn reacquire_panics() {
+        let m = TxMutex::new("m", ());
+        let _g = m.lock().unwrap();
+        let _ = m.lock();
+    }
+
+    #[test]
+    fn ab_ba_deadlock_is_detected() {
+        use std::sync::Barrier;
+        let a = Arc::new(TxMutex::new("A", ()));
+        let b = Arc::new(TxMutex::new("B", ()));
+        let barrier = Arc::new(Barrier::new(2));
+
+        let detected = std::thread::scope(|s| {
+            let (a1, b1, bar1) = (a.clone(), b.clone(), barrier.clone());
+            let h1 = s.spawn(move || {
+                let _ga = a1.lock().unwrap();
+                bar1.wait();
+                b1.lock().map(|_| ()).is_err()
+            });
+            let (a2, b2, bar2) = (a.clone(), b.clone(), barrier.clone());
+            let h2 = s.spawn(move || {
+                let _gb = b2.lock().unwrap();
+                bar2.wait();
+                a2.lock().map(|_| ()).is_err()
+            });
+            let r1 = h1.join().unwrap();
+            let r2 = h2.join().unwrap();
+            r1 || r2
+        });
+        assert!(detected, "AB-BA deadlock was not detected");
+    }
+
+    #[test]
+    fn transactional_thread_is_preempted_to_resolve_deadlock() {
+        use std::sync::Barrier;
+        let a = Arc::new(TxMutex::new("A", 0u32));
+        let b = Arc::new(TxMutex::new("B", 0u32));
+        let barrier = Arc::new(Barrier::new(2));
+
+        std::thread::scope(|s| {
+            // Thread 1: plain locks, A then B.
+            let (a1, b1, bar1) = (a.clone(), b.clone(), barrier.clone());
+            s.spawn(move || {
+                let _ga = a1.lock().unwrap();
+                bar1.wait();
+                let _gb = b1.lock().unwrap(); // must eventually succeed
+            });
+            // Thread 2: transactional, B then A — will be preempted.
+            let (a2, b2, bar2) = (a.clone(), b.clone(), barrier.clone());
+            s.spawn(move || {
+                let mut synced = false;
+                atomic(|txn| {
+                    b2.lock_tx(txn)?;
+                    if !synced {
+                        synced = true;
+                        bar2.wait();
+                        // Give thread 1 time to block on B so the cycle forms.
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    a2.lock_tx(txn)
+                });
+            });
+        });
+        assert!(!a.is_locked());
+        assert!(!b.is_locked());
+    }
+}

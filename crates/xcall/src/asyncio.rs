@@ -1,0 +1,312 @@
+//! Commit-time asynchronous I/O with completion callbacks.
+//!
+//! This implements the extension the paper asks for in §5.3.2: Mozilla
+//! bug#19421 holds a lock while loading a URL and runs a callback when the
+//! load completes — unfixable with plain transactions, because a
+//! transaction spanning the load would (especially when inevitable)
+//! "prevent all other transactions from making progress. Having support
+//! to issue asynchronous I/O and execute a callback upon I/O completion
+//! within a transaction would help fixing this problem."
+//!
+//! [`AsyncIo`] provides exactly that shape:
+//!
+//! - [`x_submit`](AsyncIo::x_submit) inside a transaction *defers* the
+//!   submission to commit time, so aborted transactions never issue the
+//!   operation (at-most-once, like every deferred x-call);
+//! - the operation runs on a completion worker, **outside** any
+//!   transaction, so no lock or transaction spans the long latency;
+//! - the completion callback also runs outside a transaction and
+//!   typically opens its *own* short atomic block to publish the result —
+//!   splitting the one impossible long atomic region into two legal short
+//!   ones around an async gap.
+
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txfix_stm::{StmResult, Txn};
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Queue {
+    jobs: std::collections::VecDeque<Job>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    idle: Condvar,
+}
+
+/// A completion-worker handle for commit-time asynchronous I/O.
+pub struct AsyncIo {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for AsyncIo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncIo").field("pending", &self.pending()).finish()
+    }
+}
+
+impl AsyncIo {
+    /// Start a completion worker.
+    pub fn new() -> Arc<AsyncIo> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: std::collections::VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("xcall-asyncio".into())
+            .spawn(move || loop {
+                let job = {
+                    let mut q = worker_shared.queue.lock();
+                    loop {
+                        if let Some(job) = q.jobs.pop_front() {
+                            q.in_flight += 1;
+                            break job;
+                        }
+                        if q.shutdown {
+                            return;
+                        }
+                        worker_shared.work_ready.wait(&mut q);
+                    }
+                };
+                job();
+                let mut q = worker_shared.queue.lock();
+                q.in_flight -= 1;
+                if q.jobs.is_empty() && q.in_flight == 0 {
+                    worker_shared.idle.notify_all();
+                }
+            })
+            .expect("spawn asyncio worker");
+        Arc::new(AsyncIo { shared, worker: Mutex::new(Some(worker)) })
+    }
+
+    /// Submit `operation` (the long-latency I/O) with `completion` to run
+    /// on its result. The submission itself is **deferred until `txn`
+    /// commits** — an aborted transaction never issues the operation. Both
+    /// closures run on the completion worker, outside any transaction;
+    /// the completion typically opens its own atomic block.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (defer is pure); fallible for x-call uniformity.
+    pub fn x_submit<T: Send + 'static>(
+        self: &Arc<Self>,
+        txn: &mut Txn,
+        operation: impl FnOnce() -> T + Send + 'static,
+        completion: impl FnOnce(T) + Send + 'static,
+    ) -> StmResult<()> {
+        let this = self.clone();
+        txn.on_commit(move || {
+            this.enqueue(Box::new(move || completion(operation())));
+        });
+        Ok(())
+    }
+
+    /// Submit directly (non-transactional callers).
+    pub fn submit(self: &Arc<Self>, job: impl FnOnce() + Send + 'static) {
+        self.enqueue(Box::new(job));
+    }
+
+    fn enqueue(&self, job: Job) {
+        let mut q = self.shared.queue.lock();
+        assert!(!q.shutdown, "AsyncIo used after shutdown");
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Operations queued or executing.
+    pub fn pending(&self) -> usize {
+        let q = self.shared.queue.lock();
+        q.jobs.len() + q.in_flight
+    }
+
+    /// Block until every submitted operation (and its completion) has
+    /// finished, or `timeout` elapses. Returns whether the queue drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock();
+        while !q.jobs.is_empty() || q.in_flight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.shared.idle.wait_for(&mut q, deadline - now);
+        }
+        true
+    }
+
+    /// Stop the worker after the queue drains.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AsyncIo {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        // Do not join in drop (C-DTOR-BLOCK): `shutdown` is the blocking
+        // teardown; the detached worker exits on its own.
+        if let Some(h) = self.worker.lock().take() {
+            drop(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use txfix_stm::{atomic, TVar};
+
+    #[test]
+    fn committed_submission_runs_and_completes() {
+        let aio = AsyncIo::new();
+        let done = Arc::new(AtomicBool::new(false));
+        let d = done.clone();
+        let aio2 = aio.clone();
+        atomic(move |txn| {
+            let d = d.clone();
+            aio2.x_submit(txn, || 21, move |r| d.store(r == 21, Ordering::SeqCst))
+        });
+        assert!(aio.drain(Duration::from_secs(5)));
+        assert!(done.load(Ordering::SeqCst));
+        aio.shutdown();
+    }
+
+    #[test]
+    fn aborted_submission_never_runs() {
+        let aio = AsyncIo::new();
+        let ran = Arc::new(AtomicU32::new(0));
+        let first = AtomicBool::new(true);
+        let (a, r) = (aio.clone(), ran.clone());
+        atomic(move |txn| {
+            let r = r.clone();
+            a.x_submit(txn, || (), move |()| {
+                r.fetch_add(1, Ordering::SeqCst);
+            })?;
+            if first.swap(false, Ordering::SeqCst) {
+                return txn.restart();
+            }
+            Ok(())
+        });
+        assert!(aio.drain(Duration::from_secs(5)));
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "exactly the committed attempt runs");
+        aio.shutdown();
+    }
+
+    #[test]
+    fn completions_publish_through_their_own_transactions() {
+        // The Mozilla#19421 shape: a short transaction marks 'loading' and
+        // submits; the completion opens its own transaction to publish.
+        let aio = AsyncIo::new();
+        let state = TVar::new("idle");
+        let st = state.clone();
+        let a = aio.clone();
+        atomic(move |txn| {
+            st.write(txn, "loading")?;
+            let st2 = st.clone();
+            a.x_submit(
+                txn,
+                || "payload",
+                move |_payload| {
+                    atomic(|txn| st2.write(txn, "loaded"));
+                },
+            )
+        });
+        assert!(aio.drain(Duration::from_secs(5)));
+        assert_eq!(state.load(), "loaded");
+        aio.shutdown();
+    }
+
+    #[test]
+    fn other_transactions_progress_during_a_long_operation() {
+        // The property plain TM cannot provide (§5.3.2): a long-latency
+        // operation in flight must not block unrelated transactions.
+        let aio = AsyncIo::new();
+        let unrelated = TVar::new(0u32);
+        let release = Arc::new(AtomicBool::new(false));
+
+        let rel = release.clone();
+        let a = aio.clone();
+        atomic(move |txn| {
+            let rel = rel.clone();
+            a.x_submit(
+                txn,
+                move || {
+                    // A "URL load" that takes a while.
+                    while !rel.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                },
+                |_| {},
+            )
+        });
+
+        // While the load is in flight, unrelated transactions commit freely.
+        for _ in 0..100 {
+            atomic(|txn| unrelated.modify(txn, |v| v + 1));
+        }
+        assert_eq!(unrelated.load(), 100);
+        assert_eq!(aio.pending(), 1, "the long operation is still in flight");
+
+        release.store(true, Ordering::SeqCst);
+        assert!(aio.drain(Duration::from_secs(5)));
+        aio.shutdown();
+    }
+
+    #[test]
+    fn drain_times_out_when_work_is_stuck() {
+        let aio = AsyncIo::new();
+        let release = Arc::new(AtomicBool::new(false));
+        let rel = release.clone();
+        aio.submit(move || {
+            while !rel.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+        assert!(!aio.drain(Duration::from_millis(30)));
+        release.store(true, Ordering::SeqCst);
+        assert!(aio.drain(Duration::from_secs(5)));
+        aio.shutdown();
+    }
+
+    #[test]
+    fn submissions_run_in_commit_order() {
+        let aio = AsyncIo::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let (a, l) = (aio.clone(), log.clone());
+            atomic(move |txn| {
+                let l = l.clone();
+                a.x_submit(txn, move || i, move |v| l.lock().push(v))
+            });
+        }
+        assert!(aio.drain(Duration::from_secs(5)));
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+        aio.shutdown();
+    }
+}

@@ -1,0 +1,289 @@
+//! Transactional file handles: deferred writes with per-transaction
+//! isolation.
+//!
+//! `x_append`/`x_write_at` buffer their effect and apply it when the
+//! transaction commits; `x_read` sees committed content plus the
+//! transaction's own pending writes. A revocable [`TxMutex`] per file
+//! provides isolation between transactions touching the same file until
+//! commit, mirroring xCalls' logical file locks.
+
+use crate::simos::SimFile;
+use std::fmt;
+use std::sync::Arc;
+use txfix_stm::{StmResult, Txn};
+use txfix_txlock::TxMutex;
+
+/// A pending (deferred) file mutation.
+#[derive(Clone, Debug)]
+enum PendingOp {
+    Append(Vec<u8>),
+    WriteAt(usize, Vec<u8>),
+}
+
+struct XFileInner {
+    file: Arc<SimFile>,
+    /// Isolation lock: held (revocably) by the transaction touching the
+    /// file, until that transaction finishes.
+    lock: TxMutex<PendingState>,
+}
+
+#[derive(Default)]
+struct PendingState {
+    /// Serial of the transaction whose deferred ops are buffered.
+    owner: u64,
+    ops: Vec<PendingOp>,
+}
+
+/// A transactional handle to a [`SimFile`].
+///
+/// Clones share the same pending state and isolation lock.
+///
+/// # Examples
+///
+/// ```
+/// use txfix_stm::atomic;
+/// use txfix_xcall::{SimFs, XFile};
+///
+/// let fs = SimFs::new();
+/// let log = XFile::open_or_create(&fs, "app.log");
+/// let log2 = log.clone();
+/// atomic(move |txn| log2.x_append(txn, b"committed\n"));
+/// assert_eq!(log.file().read_all(), b"committed\n");
+/// ```
+#[derive(Clone)]
+pub struct XFile {
+    inner: Arc<XFileInner>,
+}
+
+impl fmt::Debug for XFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XFile").field("file", &self.inner.file).finish()
+    }
+}
+
+impl XFile {
+    /// Wrap an already-open simulated file.
+    pub fn new(file: Arc<SimFile>) -> XFile {
+        let lock_name = format!("xfile:{}", file.name());
+        XFile {
+            inner: Arc::new(XFileInner {
+                file,
+                lock: TxMutex::new(&lock_name, PendingState::default()),
+            }),
+        }
+    }
+
+    /// Open `path` in `fs`, creating it if needed, as a transactional file.
+    pub fn open_or_create(fs: &crate::simos::SimFs, path: &str) -> XFile {
+        XFile::new(fs.open_or_create(path))
+    }
+
+    /// The underlying simulated file (non-transactional access).
+    pub fn file(&self) -> &Arc<SimFile> {
+        &self.inner.file
+    }
+
+    fn enter(&self, txn: &mut Txn) -> StmResult<()> {
+        let inner = self.inner.clone();
+        let serial = txn.serial();
+        let newly_owned = inner.lock.with_tx(txn, |st| {
+            if st.owner == serial {
+                false
+            } else {
+                debug_assert!(st.ops.is_empty(), "pending ops leaked from a previous txn");
+                st.owner = serial;
+                st.ops.clear();
+                true
+            }
+        })?;
+        if newly_owned {
+            let apply = self.inner.clone();
+            txn.on_commit(move || {
+                // The isolation lock is still held here (hooks run before
+                // resources are released), so this is race-free.
+                unsafe {
+                    apply.with_pending(|st| {
+                        for op in st.ops.drain(..) {
+                            match op {
+                                PendingOp::Append(bytes) => apply.file.append(&bytes),
+                                PendingOp::WriteAt(off, bytes) => {
+                                    apply.file.write_at(off, &bytes)
+                                }
+                            }
+                        }
+                        st.owner = 0;
+                    });
+                }
+            });
+            let undo = self.inner.clone();
+            txn.on_abort(move || unsafe {
+                undo.with_pending(|st| {
+                    st.ops.clear();
+                    st.owner = 0;
+                });
+            });
+        }
+        Ok(())
+    }
+
+    /// Defer an append until the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
+    pub fn x_append(&self, txn: &mut Txn, bytes: &[u8]) -> StmResult<()> {
+        self.enter(txn)?;
+        let bytes = bytes.to_vec();
+        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::Append(bytes)))
+    }
+
+    /// Defer an absolute-offset write until the transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
+    pub fn x_write_at(&self, txn: &mut Txn, offset: usize, bytes: &[u8]) -> StmResult<()> {
+        self.enter(txn)?;
+        let bytes = bytes.to_vec();
+        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::WriteAt(offset, bytes)))
+    }
+
+    /// Read the file as this transaction sees it: committed content with
+    /// the transaction's own deferred operations applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
+    pub fn x_read_all(&self, txn: &mut Txn) -> StmResult<Vec<u8>> {
+        self.enter(txn)?;
+        let committed = self.inner.file.read_all();
+        self.inner.lock.with_tx(txn, move |st| {
+            let mut view = committed;
+            for op in &st.ops {
+                match op {
+                    PendingOp::Append(bytes) => view.extend_from_slice(bytes),
+                    PendingOp::WriteAt(off, bytes) => {
+                        if view.len() < off + bytes.len() {
+                            view.resize(off + bytes.len(), 0);
+                        }
+                        view[*off..off + bytes.len()].copy_from_slice(bytes);
+                    }
+                }
+            }
+            view
+        })
+    }
+
+    /// The file length this transaction observes (committed + pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
+    pub fn x_len(&self, txn: &mut Txn) -> StmResult<usize> {
+        self.x_read_all(txn).map(|v| v.len())
+    }
+}
+
+impl XFileInner {
+    /// Run `f` on the pending state from commit/abort hooks.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the thread whose transaction holds the isolation
+    /// lock; hooks run on that thread before the lock is released, so this
+    /// holds for all internal uses.
+    unsafe fn with_pending<R>(&self, f: impl FnOnce(&mut PendingState) -> R) -> R {
+        unsafe { f(&mut *self.lock.data_ptr()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simos::SimFs;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use txfix_stm::atomic;
+
+    #[test]
+    fn append_is_deferred_to_commit() {
+        let fs = SimFs::new();
+        let xf = XFile::open_or_create(&fs, "log");
+        let raw = xf.file().clone();
+        let xf2 = xf.clone();
+        atomic(move |txn| {
+            xf2.x_append(txn, b"line\n")?;
+            // Not yet in the file: the write is pending.
+            assert!(raw.is_empty());
+            Ok(())
+        });
+        assert_eq!(xf.file().read_all(), b"line\n");
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_no_trace() {
+        let fs = SimFs::new();
+        let xf = XFile::open_or_create(&fs, "log");
+        let first = AtomicBool::new(true);
+        let xf2 = xf.clone();
+        atomic(move |txn| {
+            xf2.x_append(txn, b"maybe\n")?;
+            if first.swap(false, Ordering::SeqCst) {
+                return txn.restart();
+            }
+            Ok(())
+        });
+        // Only the committed (second) attempt's append is visible.
+        assert_eq!(xf.file().read_all(), b"maybe\n");
+    }
+
+    #[test]
+    fn reads_see_own_pending_writes() {
+        let fs = SimFs::new();
+        let xf = XFile::open_or_create(&fs, "f");
+        xf.file().append(b"committed;");
+        let xf2 = xf.clone();
+        let view = atomic(move |txn| {
+            xf2.x_append(txn, b"pending")?;
+            xf2.x_read_all(txn)
+        });
+        assert_eq!(view, b"committed;pending");
+    }
+
+    #[test]
+    fn write_at_is_applied_at_commit() {
+        let fs = SimFs::new();
+        let xf = XFile::open_or_create(&fs, "f");
+        xf.file().append(b"aaaa");
+        let xf2 = xf.clone();
+        atomic(move |txn| xf2.x_write_at(txn, 1, b"XY"));
+        assert_eq!(xf.file().read_all(), b"aXYa");
+    }
+
+    #[test]
+    fn concurrent_transactional_appends_interleave_atomically() {
+        let fs = SimFs::new();
+        let xf = XFile::open_or_create(&fs, "log");
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let xf = xf.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let rec = [b'<', b'0' + t, b'>'];
+                        let xf2 = xf.clone();
+                        atomic(move |txn| {
+                            // Two separate x-calls that must land adjacently.
+                            xf2.x_append(txn, &rec[..1])?;
+                            xf2.x_append(txn, &rec[1..])
+                        });
+                    }
+                });
+            }
+        });
+        let data = xf.file().read_all();
+        assert_eq!(data.len(), 4 * 50 * 3);
+        for chunk in data.chunks(3) {
+            assert_eq!(chunk[0], b'<');
+            assert_eq!(chunk[2], b'>', "records interleaved: {chunk:?}");
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! A miniature in-memory operating system.
+//!
+//! The paper's xCalls library wraps real POSIX system calls. This
+//! reproduction has no kernel to wrap, so it provides the smallest OS
+//! surface the studied bugs touch: a filesystem with appendable files
+//! (Apache's access/error logs, MySQL's binlog), bounded pipes (the
+//! Apache#7617 cross-process pipe race, Mozilla's lost I/O notifications)
+//! and loopback socket pairs (request/response traffic for the simulated
+//! servers). Everything is plain, non-transactional state — exactly like a
+//! kernel — and the transactional semantics are layered on top by the
+//! [`crate`] root's x-call wrappers.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from the simulated OS.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OsError {
+    /// Path not present in the filesystem.
+    NotFound(String),
+    /// Path already present on exclusive create.
+    AlreadyExists(String),
+    /// Reading from or writing to a closed pipe/socket.
+    Closed,
+    /// A blocking read timed out.
+    TimedOut,
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::NotFound(p) => write!(f, "no such file: {p}"),
+            OsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            OsError::Closed => write!(f, "endpoint closed"),
+            OsError::TimedOut => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+/// An in-memory file: a growable byte array with append/truncate/read.
+pub struct SimFile {
+    name: String,
+    data: Mutex<Vec<u8>>,
+}
+
+impl fmt::Debug for SimFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimFile").field("name", &self.name).field("len", &self.len()).finish()
+    }
+}
+
+impl SimFile {
+    fn new(name: &str) -> Arc<SimFile> {
+        Arc::new(SimFile { name: name.to_owned(), data: Mutex::new(Vec::new()) })
+    }
+
+    /// The file's path within its filesystem.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append raw bytes (the non-transactional "system call").
+    pub fn append(&self, bytes: &[u8]) {
+        self.data.lock().extend_from_slice(bytes);
+    }
+
+    /// Write at an absolute offset, growing the file if needed.
+    pub fn write_at(&self, offset: usize, bytes: &[u8]) {
+        let mut d = self.data.lock();
+        if d.len() < offset + bytes.len() {
+            d.resize(offset + bytes.len(), 0);
+        }
+        d[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Snapshot of the whole contents.
+    pub fn read_all(&self) -> Vec<u8> {
+        self.data.lock().clone()
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncate to `len` bytes (no-op if already shorter). Used by x-call
+    /// compensation to undo appends.
+    pub fn truncate(&self, len: usize) {
+        self.data.lock().truncate(len);
+    }
+}
+
+/// An in-memory filesystem: a namespace of [`SimFile`]s.
+#[derive(Default)]
+pub struct SimFs {
+    files: Mutex<HashMap<String, Arc<SimFile>>>,
+}
+
+impl fmt::Debug for SimFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimFs").field("files", &self.files.lock().len()).finish()
+    }
+}
+
+impl SimFs {
+    /// An empty filesystem.
+    pub fn new() -> Arc<SimFs> {
+        Arc::new(SimFs::default())
+    }
+
+    /// Open `path`, creating it if absent.
+    pub fn open_or_create(&self, path: &str) -> Arc<SimFile> {
+        self.files.lock().entry(path.to_owned()).or_insert_with(|| SimFile::new(path)).clone()
+    }
+
+    /// Open an existing file.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NotFound`] if `path` does not exist.
+    pub fn open(&self, path: &str) -> Result<Arc<SimFile>, OsError> {
+        self.files.lock().get(path).cloned().ok_or_else(|| OsError::NotFound(path.to_owned()))
+    }
+
+    /// Create `path` exclusively.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::AlreadyExists`] if `path` exists.
+    pub fn create_exclusive(&self, path: &str) -> Result<Arc<SimFile>, OsError> {
+        let mut files = self.files.lock();
+        if files.contains_key(path) {
+            return Err(OsError::AlreadyExists(path.to_owned()));
+        }
+        let f = SimFile::new(path);
+        files.insert(path.to_owned(), f.clone());
+        Ok(f)
+    }
+
+    /// Remove a file from the namespace.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NotFound`] if `path` does not exist.
+    pub fn remove(&self, path: &str) -> Result<(), OsError> {
+        self.files.lock().remove(path).map(|_| ()).ok_or_else(|| OsError::NotFound(path.to_owned()))
+    }
+
+    /// Paths currently present, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    write_closed: bool,
+    read_closed: bool,
+}
+
+/// A bounded, blocking byte pipe (kernel pipe / socket buffer stand-in).
+pub struct SimPipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+impl fmt::Debug for SimPipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("SimPipe")
+            .field("buffered", &s.buf.len())
+            .field("capacity", &self.capacity)
+            .field("write_closed", &s.write_closed)
+            .finish()
+    }
+}
+
+impl SimPipe {
+    /// A pipe buffering at most `capacity` bytes.
+    pub fn new(capacity: usize) -> Arc<SimPipe> {
+        Arc::new(SimPipe {
+            state: Mutex::new(PipeState {
+                buf: VecDeque::new(),
+                write_closed: false,
+                read_closed: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Write all of `bytes`, blocking while the pipe is full.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Closed`] if the read end has been closed.
+    pub fn write(&self, bytes: &[u8]) -> Result<(), OsError> {
+        let mut remaining = bytes;
+        let mut s = self.state.lock();
+        while !remaining.is_empty() {
+            if s.read_closed {
+                return Err(OsError::Closed);
+            }
+            let room = self.capacity.saturating_sub(s.buf.len());
+            if room == 0 {
+                self.writable.wait(&mut s);
+                continue;
+            }
+            let n = room.min(remaining.len());
+            s.buf.extend(&remaining[..n]);
+            remaining = &remaining[n..];
+            self.readable.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Read up to `max` bytes, blocking until data is available, the write
+    /// end closes (then returns the remaining bytes, possibly empty) or
+    /// `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::TimedOut`] if nothing arrived in time.
+    pub fn read(&self, max: usize, timeout: Duration) -> Result<Vec<u8>, OsError> {
+        let mut s = self.state.lock();
+        loop {
+            if !s.buf.is_empty() {
+                let n = max.min(s.buf.len());
+                let out: Vec<u8> = s.buf.drain(..n).collect();
+                self.writable.notify_all();
+                return Ok(out);
+            }
+            if s.write_closed {
+                return Ok(Vec::new());
+            }
+            if self.readable.wait_for(&mut s, timeout).timed_out() && s.buf.is_empty() {
+                return Err(OsError::TimedOut);
+            }
+        }
+    }
+
+    /// Read without blocking; `None` when no data is buffered.
+    pub fn try_read(&self, max: usize) -> Option<Vec<u8>> {
+        let mut s = self.state.lock();
+        if s.buf.is_empty() {
+            return None;
+        }
+        let n = max.min(s.buf.len());
+        let out: Vec<u8> = s.buf.drain(..n).collect();
+        self.writable.notify_all();
+        Some(out)
+    }
+
+    /// Push bytes back to the *front* of the pipe — the compensation x-call
+    /// reads use to undo a consumed read on abort.
+    pub fn unread(&self, bytes: &[u8]) {
+        let mut s = self.state.lock();
+        for &b in bytes.iter().rev() {
+            s.buf.push_front(b);
+        }
+        self.readable.notify_all();
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+
+    /// Close the write end; readers drain the remainder then see EOF.
+    pub fn close_write(&self) {
+        self.state.lock().write_closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Close the read end; writers see [`OsError::Closed`].
+    pub fn close_read(&self) {
+        self.state.lock().read_closed = true;
+        self.writable.notify_all();
+    }
+}
+
+/// A bidirectional loopback connection: two pipes.
+#[derive(Debug, Clone)]
+pub struct SimSocket {
+    /// Incoming bytes (peer → us).
+    pub rx: Arc<SimPipe>,
+    /// Outgoing bytes (us → peer).
+    pub tx: Arc<SimPipe>,
+}
+
+impl SimSocket {
+    /// Create a connected pair of sockets with the given per-direction
+    /// buffer capacity.
+    pub fn pair(capacity: usize) -> (SimSocket, SimSocket) {
+        let a_to_b = SimPipe::new(capacity);
+        let b_to_a = SimPipe::new(capacity);
+        (
+            SimSocket { rx: b_to_a.clone(), tx: a_to_b.clone() },
+            SimSocket { rx: a_to_b, tx: b_to_a },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_append_and_read() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("/var/log/access.log");
+        f.append(b"GET /");
+        f.append(b" 200\n");
+        assert_eq!(f.read_all(), b"GET / 200\n");
+        assert_eq!(f.len(), 10);
+    }
+
+    #[test]
+    fn file_truncate_undoes_append() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("f");
+        f.append(b"keep");
+        let mark = f.len();
+        f.append(b"undo");
+        f.truncate(mark);
+        assert_eq!(f.read_all(), b"keep");
+    }
+
+    #[test]
+    fn write_at_grows_file() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("f");
+        f.write_at(3, b"xy");
+        assert_eq!(f.read_all(), vec![0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn fs_namespace_operations() {
+        let fs = SimFs::new();
+        assert!(fs.open("missing").is_err());
+        fs.open_or_create("b");
+        fs.open_or_create("a");
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(fs.create_exclusive("a").is_err());
+        fs.remove("a").unwrap();
+        assert!(fs.open("a").is_err());
+        assert_eq!(fs.remove("a"), Err(OsError::NotFound("a".into())));
+    }
+
+    #[test]
+    fn same_handle_for_same_path() {
+        let fs = SimFs::new();
+        let f1 = fs.open_or_create("shared");
+        let f2 = fs.open("shared").unwrap();
+        f1.append(b"x");
+        assert_eq!(f2.read_all(), b"x");
+    }
+
+    #[test]
+    fn pipe_roundtrip() {
+        let p = SimPipe::new(16);
+        p.write(b"hello").unwrap();
+        assert_eq!(p.read(5, Duration::from_millis(100)).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn pipe_read_times_out_when_empty() {
+        let p = SimPipe::new(4);
+        assert_eq!(p.read(1, Duration::from_millis(20)), Err(OsError::TimedOut));
+    }
+
+    #[test]
+    fn pipe_blocks_writer_at_capacity() {
+        let p = SimPipe::new(4);
+        p.write(b"1234").unwrap();
+        std::thread::scope(|s| {
+            let p2 = p.clone();
+            s.spawn(move || p2.write(b"56").unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(p.buffered(), 4, "writer should be blocked at capacity");
+            assert_eq!(p.read(4, Duration::from_millis(100)).unwrap(), b"1234");
+            assert_eq!(p.read(2, Duration::from_millis(500)).unwrap(), b"56");
+        });
+    }
+
+    #[test]
+    fn unread_restores_order() {
+        let p = SimPipe::new(16);
+        p.write(b"abcdef").unwrap();
+        let first = p.read(3, Duration::from_millis(100)).unwrap();
+        assert_eq!(first, b"abc");
+        p.unread(&first);
+        assert_eq!(p.read(6, Duration::from_millis(100)).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn closed_write_end_yields_eof() {
+        let p = SimPipe::new(8);
+        p.write(b"zz").unwrap();
+        p.close_write();
+        assert_eq!(p.read(8, Duration::from_millis(100)).unwrap(), b"zz");
+        assert_eq!(p.read(8, Duration::from_millis(100)).unwrap(), b"");
+    }
+
+    #[test]
+    fn closed_read_end_rejects_writes() {
+        let p = SimPipe::new(8);
+        p.close_read();
+        assert_eq!(p.write(b"x"), Err(OsError::Closed));
+    }
+
+    #[test]
+    fn socket_pair_is_cross_wired() {
+        let (a, b) = SimSocket::pair(64);
+        a.tx.write(b"ping").unwrap();
+        assert_eq!(b.rx.read(4, Duration::from_millis(100)).unwrap(), b"ping");
+        b.tx.write(b"pong").unwrap();
+        assert_eq!(a.rx.read(4, Duration::from_millis(100)).unwrap(), b"pong");
+    }
+
+    #[test]
+    fn concurrent_pipe_producers_and_consumer_conserve_bytes() {
+        let p = SimPipe::new(32);
+        let total: usize = 4 * 256;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..256 {
+                        p.write(&[7u8]).unwrap();
+                    }
+                });
+            }
+            let p = p.clone();
+            s.spawn(move || {
+                let mut got = 0;
+                while got < total {
+                    got += p.read(64, Duration::from_secs(5)).unwrap().len();
+                }
+                assert_eq!(got, total);
+            });
+        });
+    }
+}

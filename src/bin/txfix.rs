@@ -1,0 +1,206 @@
+//! The `txfix` command-line tool: explore the study corpus, run bug
+//! scenarios, and regenerate the paper's tables.
+//!
+//! ```sh
+//! cargo run --bin txfix -- help
+//! cargo run --bin txfix -- tables
+//! cargo run --bin txfix -- bugs --unfixable
+//! cargo run --bin txfix -- show Mozilla#54743
+//! cargo run --bin txfix -- scenario apache_i --variant buggy
+//! cargo run --bin txfix -- scenarios
+//! ```
+
+use std::process::ExitCode;
+use txfix::corpus::{all_bugs, all_scenarios, bug_by_id, scenario_by_key, Variant};
+use txfix::recipes::{
+    analyze, preference, table1, table2, table3, tm_difficulty, Analysis, CorpusSummary,
+    Preference,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tables") => tables(),
+        Some("summary") => summary(),
+        Some("bugs") => bugs(args.get(1).map(String::as_str)),
+        Some("show") => match args.get(1) {
+            Some(id) => show(id),
+            None => usage_error("show needs a bug id, e.g. `txfix show Mozilla#54743`"),
+        },
+        Some("scenarios") => scenarios(),
+        Some("scenario") => scenario(&args[1..]),
+        Some("help") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage() {
+    println!(
+        "txfix — Applying Transactional Memory to Concurrency Bugs (ASPLOS 2012 reproduction)\n\
+         \n\
+         USAGE: txfix <command> [args]\n\
+         \n\
+         COMMANDS:\n\
+         \x20 tables                       print the study's Tables 1-3\n\
+         \x20 summary                      print the headline aggregates\n\
+         \x20 bugs [--fixable|--unfixable|--implemented]\n\
+         \x20                              list the 60-bug corpus (optionally filtered)\n\
+         \x20 show <bug-id>                full analysis of one bug\n\
+         \x20 scenarios                    list the 18 executable bug reproductions\n\
+         \x20 scenario <key> [--variant buggy|dev|tm]\n\
+         \x20                              run a reproduction (default: all three variants)\n\
+         \x20 help                         this message"
+    );
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    usage();
+    ExitCode::FAILURE
+}
+
+fn tables() -> ExitCode {
+    let bugs = all_bugs();
+    println!("{}", table1(&bugs));
+    println!("{}", table2(&bugs));
+    println!("{}", table3(&bugs));
+    ExitCode::SUCCESS
+}
+
+fn summary() -> ExitCode {
+    let s = CorpusSummary::compute(&all_bugs());
+    println!("bugs examined:                 {}", s.total);
+    println!("  deadlocks:                   {} ({} fixable)", s.deadlocks.total, s.deadlocks.fixable);
+    println!("  atomicity violations:        {} ({} fixable)", s.atomicity.total, s.atomicity.fixable);
+    println!("TM can fix:                    {} ({:.0}%)", s.fixable(), 100.0 * s.fixable() as f64 / s.total as f64);
+    println!("  by recipes 1 and 2 alone:    {}", s.fixed_by_simple_recipes);
+    println!("  only by recipe 3:            {}", s.fixed_only_by_recipe3);
+    println!("  simplified by recipe 3:      {}", s.simplified_by_recipe3);
+    println!("  simplified by recipe 4:      {}", s.simplified_by_recipe4);
+    println!("TM fix judged preferable:      {} ({} DL / {} AV)", s.tm_preferred, s.tm_preferred_deadlock, s.tm_preferred_atomicity);
+    println!("implemented & tested fixes:    {} ({} DL / {} AV)", s.implemented, s.implemented_deadlock, s.implemented_atomicity);
+    ExitCode::SUCCESS
+}
+
+fn bugs(filter: Option<&str>) -> ExitCode {
+    let list = all_bugs();
+    for b in &list {
+        let a = analyze(b);
+        let keep = match filter {
+            Some("--fixable") => a.is_fixable(),
+            Some("--unfixable") => !a.is_fixable(),
+            Some("--implemented") => b.is_implemented(),
+            Some(other) => return usage_error(&format!("unknown filter `{other}`")),
+            None => true,
+        };
+        if !keep {
+            continue;
+        }
+        let verdict = match &a {
+            Analysis::Fixable(p) => format!("fix: {}", p.primary),
+            Analysis::Unfixable(r) => format!("NOT FIXABLE: {r}"),
+        };
+        println!("{:18} {:8} {:20} {}", b.id, b.app.to_string(), b.kind.to_string(), verdict);
+    }
+    ExitCode::SUCCESS
+}
+
+fn show(id: &str) -> ExitCode {
+    let Some(b) = bug_by_id(id) else {
+        return usage_error(&format!("no bug with id `{id}` (try `txfix bugs`)"));
+    };
+    println!("{} — {} {}", b.id, b.app, b.kind);
+    println!("  {}", b.summary);
+    if b.synthetic_id {
+        println!("  (id synthesized during dataset reconstruction; see DESIGN.md)");
+    }
+    println!(
+        "  developers' fix: {} ({} LOC, {} attempt{})",
+        b.dev_fix.difficulty,
+        b.dev_fix.loc,
+        b.dev_fix.attempts,
+        if b.dev_fix.attempts == 1 { "" } else { "s" }
+    );
+    let a = analyze(&b);
+    match &a {
+        Analysis::Fixable(plan) => {
+            println!("  TM fix: {}", plan.primary);
+            if let Some(simpler) = plan.simplified_by {
+                println!("    also simplified by {simpler}");
+            }
+            if let Some(d) = tm_difficulty(&b, &a) {
+                println!("    difficulty: {d}");
+            }
+            match preference(&b, &a) {
+                Some(Preference::Tm) => println!("    judged SIMPLER than the developers' fix"),
+                Some(Preference::Developers) => {
+                    println!("    developers' fix judged as easy or easier")
+                }
+                None => {}
+            }
+        }
+        Analysis::Unfixable(r) => println!("  TM cannot fix this bug: {r}"),
+    }
+    let d = &b.chars.downcalls;
+    if d.any() {
+        let mut calls = Vec::new();
+        if d.condvar {
+            calls.push("condition variables");
+        }
+        if d.retry {
+            calls.push("retry");
+        }
+        if d.io {
+            calls.push("I/O");
+        }
+        if d.long_action {
+            calls.push("long actions");
+        }
+        if d.library {
+            calls.push("library calls");
+        }
+        println!("  atomic blocks contain: {}", calls.join(", "));
+    }
+    if let Some(key) = b.scenario {
+        println!("  executable reproduction: `txfix scenario {key}`");
+    }
+    ExitCode::SUCCESS
+}
+
+fn scenarios() -> ExitCode {
+    for s in all_scenarios() {
+        println!("{:22} {}", s.key(), s.describe());
+    }
+    ExitCode::SUCCESS
+}
+
+fn scenario(args: &[String]) -> ExitCode {
+    let Some(key) = args.first() else {
+        return usage_error("scenario needs a key, e.g. `txfix scenario apache_i`");
+    };
+    let Some(s) = scenario_by_key(key) else {
+        return usage_error(&format!("no scenario `{key}` (try `txfix scenarios`)"));
+    };
+    let variants: Vec<Variant> = match args.get(1).map(String::as_str) {
+        Some("--variant") => match args.get(2).map(String::as_str) {
+            Some("buggy") => vec![Variant::Buggy],
+            Some("dev") => vec![Variant::DevFix],
+            Some("tm") => vec![Variant::TmFix],
+            _ => return usage_error("--variant takes buggy|dev|tm"),
+        },
+        Some(other) => return usage_error(&format!("unknown option `{other}`")),
+        None => Variant::ALL.to_vec(),
+    };
+    println!("{}: {}\n", s.key(), s.describe());
+    for v in variants {
+        let outcome = s.run(v);
+        match outcome {
+            txfix::corpus::Outcome::Correct => println!("  {v:13} -> clean"),
+            txfix::corpus::Outcome::BugObserved(msg) => println!("  {v:13} -> BUG: {msg}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,53 @@
+//! # txfix — Applying Transactional Memory to Concurrency Bugs
+//!
+//! A from-scratch Rust reproduction of Volos, Tack, Swift & Lu,
+//! *Applying Transactional Memory to Concurrency Bugs* (ASPLOS 2012):
+//! the full substrate stack (software TM, revocable locks, transactional
+//! I/O over a simulated OS, a hardware-TM model, transactional condition
+//! variables and atomic/lock serialization), the paper's four fix recipes
+//! with their applicability and difficulty analysis, the 60-bug study
+//! corpus with 18 executable bug reproductions, and a benchmark harness
+//! regenerating every table of the evaluation.
+//!
+//! This facade crate re-exports each workspace crate under a stable
+//! module name; see each module's documentation for the full story, and
+//! `README.md` / `DESIGN.md` / `EXPERIMENTS.md` for the map.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use txfix::stm::{atomic, TVar};
+//!
+//! let balance = TVar::new(100i64);
+//! atomic(|txn| balance.modify(txn, |b| b - 30));
+//! assert_eq!(balance.load(), 70);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The software transactional memory runtime (TL2-style atomic regions).
+pub use txfix_stm as stm;
+
+/// Revocable locks and wait-for-graph deadlock detection (TxLocks).
+pub use txfix_txlock as txlock;
+
+/// Transactional system calls over a simulated OS (xCalls).
+pub use txfix_xcall as xcall;
+
+/// The bounded-capacity hardware-TM model with hybrid fallback.
+pub use txfix_htm as htm;
+
+/// Transactional condition variables, `retry` helpers, atomic/lock
+/// serialization, and ad hoc synchronization primitives.
+pub use txfix_tmsync as tmsync;
+
+/// The paper's contribution: the four fix recipes, the bug model, the
+/// applicability analysis and the difficulty model.
+pub use txfix_core as recipes;
+
+/// Miniatures of the three buggy applications (SpiderMonkey, Apache,
+/// MySQL) with buggy / developer-fix / TM-fix variants.
+pub use txfix_apps as apps;
+
+/// The 60-bug dataset and the 18 executable bug scenarios.
+pub use txfix_corpus as corpus;

@@ -1,0 +1,64 @@
+//! End-to-end tests of the `txfix` CLI binary.
+
+use std::process::Command;
+
+fn txfix(args: &[&str]) -> (String, bool) {
+    let exe = env!("CARGO_BIN_EXE_txfix");
+    let out = Command::new(exe).args(args).output().expect("run txfix");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.success())
+}
+
+#[test]
+fn summary_reports_headline_numbers() {
+    let (out, ok) = txfix(&["summary"]);
+    assert!(ok);
+    assert!(out.contains("bugs examined:                 60"));
+    assert!(out.contains("TM can fix:                    43"));
+}
+
+#[test]
+fn tables_render() {
+    let (out, ok) = txfix(&["tables"]);
+    assert!(ok);
+    assert!(out.contains("Table 1."));
+    assert!(out.contains("Table 2."));
+    assert!(out.contains("Table 3."));
+}
+
+#[test]
+fn bugs_filters_work() {
+    let (all, ok) = txfix(&["bugs"]);
+    assert!(ok);
+    assert_eq!(all.lines().count(), 60);
+    let (unfix, ok) = txfix(&["bugs", "--unfixable"]);
+    assert!(ok);
+    assert_eq!(unfix.lines().count(), 17);
+    assert!(unfix.contains("NOT FIXABLE"));
+    let (imp, ok) = txfix(&["bugs", "--implemented"]);
+    assert!(ok);
+    assert_eq!(imp.lines().count(), 18);
+}
+
+#[test]
+fn show_explains_a_paper_named_bug() {
+    let (out, ok) = txfix(&["show", "Mozilla#65146"]);
+    assert!(ok);
+    assert!(out.contains("TM cannot fix this bug"));
+    assert!(out.contains("two-way communication"));
+}
+
+#[test]
+fn scenario_runs_a_fast_reproduction() {
+    let (out, ok) = txfix(&["scenario", "av_refcount_race"]);
+    assert!(ok);
+    assert!(out.contains("BUG:"));
+    assert!(out.contains("clean"));
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    let (_, ok) = txfix(&["show"]);
+    assert!(!ok);
+    let (_, ok) = txfix(&["frobnicate"]);
+    assert!(!ok);
+}

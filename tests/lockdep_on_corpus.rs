@@ -1,0 +1,55 @@
+//! The lock-order validator applied to corpus-style lock disciplines:
+//! buggy orders are flagged from clean runs; fixed orders validate clean.
+//! (Lockdep state is process-global, so this lives in its own test binary
+//! to avoid cross-talk with other integration tests.)
+
+use txfix::txlock::{lockdep, TxMutex};
+
+#[test]
+fn buggy_discipline_is_flagged_and_fixed_discipline_is_clean() {
+    // Phase 1: the Mozilla#54743 shape, sequentially — both orders occur,
+    // no deadlock happens, lockdep still reports the hazard.
+    lockdep::reset();
+    lockdep::enable();
+    let cache = TxMutex::new("ldc.cache", 0u32);
+    let atoms = TxMutex::new("ldc.atoms", 0u32);
+    {
+        let _a = cache.lock().unwrap();
+        let _b = atoms.lock().unwrap();
+    }
+    {
+        let _b = atoms.lock().unwrap();
+        let _a = cache.lock().unwrap();
+    }
+    lockdep::disable();
+    let hazards = lockdep::inversions();
+    assert_eq!(hazards.len(), 1, "expected exactly the cache/atoms inversion: {hazards:?}");
+
+    // Phase 2: the developers' reordered fix validates clean.
+    lockdep::reset();
+    lockdep::enable();
+    let cache = TxMutex::new("ldf.cache", 0u32);
+    let atoms = TxMutex::new("ldf.atoms", 0u32);
+    for _ in 0..3 {
+        let _a = cache.lock().unwrap();
+        let _b = atoms.lock().unwrap();
+    }
+    lockdep::disable();
+    assert!(lockdep::inversions().is_empty(), "fixed order must not be flagged");
+
+    // Phase 3: three-lock rotating order (Mozilla#60303 shape) — every
+    // pair ends up inverted.
+    lockdep::reset();
+    lockdep::enable();
+    let locks: Vec<TxMutex<u32>> =
+        (0..3).map(|i| TxMutex::new(Box::leak(format!("ldr.l{i}").into_boxed_str()), 0)).collect();
+    for t in 0..3usize {
+        let _g1 = locks[t].lock().unwrap();
+        let _g2 = locks[(t + 1) % 3].lock().unwrap();
+    }
+    lockdep::disable();
+    assert!(
+        !lockdep::inversions().is_empty(),
+        "rotating three-lock order must produce at least one inversion"
+    );
+}
