@@ -1,0 +1,265 @@
+//! The happens-before race detector.
+//!
+//! Replays a recorded trace with vector clocks. The trace's append order is
+//! a valid linearization (every hook emits its event while the
+//! synchronization it models is still in force), so replay is a single
+//! forward pass:
+//!
+//! - each lock carries a clock; `LockAcquired` joins it into the thread,
+//!   `LockReleased` joins the thread into it — the release→acquire edge;
+//! - committed transactions are critical sections of one **virtual global
+//!   STM lock**: their buffered accesses take effect at the commit event,
+//!   mutually serialized, exactly the atomicity the runtime guarantees;
+//!   aborted attempts are discarded;
+//! - two accesses **race** when they touch the same object, at least one
+//!   writes, they are unordered by the clocks, and at least one of them is
+//!   not hardware-atomic. Atomic/atomic conflicts (and transactional
+//!   accesses, which the virtual lock orders) are synchronization, not
+//!   races.
+//!
+//! Per object the detector keeps only the *latest* access per
+//! (thread, writes, atomic) class: program order makes an earlier access of
+//! the same class ordered whenever the latest one is, so the compression is
+//! lossless for detection.
+
+use crate::vc::VectorClock;
+use std::collections::HashMap;
+use txfix_stm::trace::{AccessKind, EventKind, TraceEvent};
+
+/// One detected data race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// Trace identity of the racing object.
+    pub object: u64,
+    /// The object's diagnostic name.
+    pub name: String,
+    /// Recorder ids of the two racing threads.
+    pub threads: (u64, u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct AccessClass {
+    thread: u64,
+    writes: bool,
+    atomic: bool,
+}
+
+#[derive(Default)]
+struct ObjectState {
+    name: String,
+    /// Latest access epoch (the accessor's own clock component at access
+    /// time) per access class.
+    last: HashMap<AccessClass, u64>,
+    raced: bool,
+}
+
+/// Serial number of the virtual lock that orders transaction commits. Real
+/// lock ids come from small counters (txlock) or carry the object tag
+/// (trace ids), so `u64::MAX` is free.
+const STM_LOCK: u64 = u64::MAX;
+
+/// Detect data races in `events` (first race per object reported).
+pub fn detect_races(events: &[TraceEvent]) -> Vec<Race> {
+    let mut threads: HashMap<u64, VectorClock> = HashMap::new();
+    let mut locks: HashMap<u64, VectorClock> = HashMap::new();
+    let mut pending: HashMap<u64, Vec<(u64, AccessKind)>> = HashMap::new();
+    let mut objects: HashMap<u64, ObjectState> = HashMap::new();
+    let mut races = Vec::new();
+
+    for ev in events {
+        let t = ev.thread;
+        let clock = threads.entry(t).or_default();
+        clock.tick(t);
+        match &ev.kind {
+            EventKind::LockAcquired { lock, .. } => {
+                if let Some(l) = locks.get(lock) {
+                    clock.join(l);
+                }
+            }
+            EventKind::LockReleased { lock } => {
+                locks.entry(*lock).or_default().join(clock);
+            }
+            EventKind::TxnAccess { serial, var, kind } => {
+                pending.entry(*serial).or_default().push((*var, *kind));
+            }
+            EventKind::TxnAbort { serial } => {
+                pending.remove(serial);
+            }
+            EventKind::TxnCommit { serial } => {
+                if let Some(l) = locks.get(&STM_LOCK) {
+                    clock.join(l);
+                }
+                let clock_snapshot = clock.clone();
+                for (var, kind) in pending.remove(serial).unwrap_or_default() {
+                    record(
+                        &mut objects,
+                        &mut races,
+                        var,
+                        format!("tvar#{var}"),
+                        t,
+                        kind.writes(),
+                        true,
+                        &clock_snapshot,
+                    );
+                }
+                locks.entry(STM_LOCK).or_default().join(threads.entry(t).or_default());
+            }
+            EventKind::SharedAccess { object, name, kind, atomic } => {
+                let clock_snapshot = threads.entry(t).or_default().clone();
+                record(
+                    &mut objects,
+                    &mut races,
+                    *object,
+                    name.clone(),
+                    t,
+                    kind.writes(),
+                    *atomic,
+                    &clock_snapshot,
+                );
+            }
+            // Attempts, begins and condvar traffic carry no inter-thread
+            // ordering the passes rely on.
+            EventKind::LockAttempt { .. }
+            | EventKind::TxnBegin { .. }
+            | EventKind::CvWait { .. }
+            | EventKind::CvNotify { .. } => {}
+        }
+    }
+    races
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    objects: &mut HashMap<u64, ObjectState>,
+    races: &mut Vec<Race>,
+    object: u64,
+    name: String,
+    thread: u64,
+    writes: bool,
+    atomic: bool,
+    clock: &VectorClock,
+) {
+    let state = objects.entry(object).or_default();
+    if state.name.is_empty() {
+        state.name = name;
+    }
+    if !state.raced {
+        for (class, &epoch) in &state.last {
+            let conflicting = class.thread != thread && (class.writes || writes);
+            let unordered = epoch > clock.get(class.thread);
+            let plain = !class.atomic || !atomic;
+            if conflicting && unordered && plain {
+                races.push(Race {
+                    object,
+                    name: state.name.clone(),
+                    threads: (class.thread, thread),
+                });
+                state.raced = true;
+                break;
+            }
+        }
+    }
+    state.last.insert(AccessClass { thread, writes, atomic }, clock.get(thread));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { thread, kind }
+    }
+
+    fn access(thread: u64, object: u64, kind: AccessKind, atomic: bool) -> TraceEvent {
+        ev(thread, EventKind::SharedAccess { object, name: format!("obj#{object}"), kind, atomic })
+    }
+
+    #[test]
+    fn unordered_write_write_is_a_race() {
+        let races = detect_races(&[
+            access(1, 7, AccessKind::Write, false),
+            access(2, 7, AccessKind::Write, false),
+        ]);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].object, 7);
+    }
+
+    #[test]
+    fn reads_never_race() {
+        let races = detect_races(&[
+            access(1, 7, AccessKind::Read, false),
+            access(2, 7, AccessKind::Read, false),
+        ]);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn atomic_accesses_never_race() {
+        let races = detect_races(&[
+            access(1, 7, AccessKind::Rmw, true),
+            access(2, 7, AccessKind::Rmw, true),
+        ]);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn lock_ordering_suppresses_the_race() {
+        let races = detect_races(&[
+            ev(1, EventKind::LockAcquired { lock: 1, name: "m".into() }),
+            access(1, 7, AccessKind::Write, false),
+            ev(1, EventKind::LockReleased { lock: 1 }),
+            ev(2, EventKind::LockAcquired { lock: 1, name: "m".into() }),
+            access(2, 7, AccessKind::Write, false),
+            ev(2, EventKind::LockReleased { lock: 1 }),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn different_locks_do_not_order() {
+        let races = detect_races(&[
+            ev(1, EventKind::LockAcquired { lock: 1, name: "a".into() }),
+            access(1, 7, AccessKind::Write, false),
+            ev(1, EventKind::LockReleased { lock: 1 }),
+            ev(2, EventKind::LockAcquired { lock: 2, name: "b".into() }),
+            access(2, 7, AccessKind::Write, false),
+            ev(2, EventKind::LockReleased { lock: 2 }),
+        ]);
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn committed_transactions_are_mutually_ordered() {
+        let races = detect_races(&[
+            ev(1, EventKind::TxnBegin { serial: 10 }),
+            ev(1, EventKind::TxnAccess { serial: 10, var: 7, kind: AccessKind::Write }),
+            ev(1, EventKind::TxnCommit { serial: 10 }),
+            ev(2, EventKind::TxnBegin { serial: 11 }),
+            ev(2, EventKind::TxnAccess { serial: 11, var: 7, kind: AccessKind::Write }),
+            ev(2, EventKind::TxnCommit { serial: 11 }),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn aborted_accesses_are_discarded() {
+        let races = detect_races(&[
+            ev(1, EventKind::TxnBegin { serial: 10 }),
+            ev(1, EventKind::TxnAccess { serial: 10, var: 7, kind: AccessKind::Write }),
+            ev(1, EventKind::TxnAbort { serial: 10 }),
+            access(2, 7, AccessKind::Write, false),
+        ]);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn one_race_per_object() {
+        let races = detect_races(&[
+            access(1, 7, AccessKind::Write, false),
+            access(2, 7, AccessKind::Write, false),
+            access(1, 7, AccessKind::Write, false),
+            access(2, 7, AccessKind::Write, false),
+        ]);
+        assert_eq!(races.len(), 1);
+    }
+}

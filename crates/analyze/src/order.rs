@@ -1,0 +1,198 @@
+//! Lock-order inversion detection over the recorded trace.
+//!
+//! The same discipline as `txfix_txlock::lockdep`, replayed from the event
+//! stream instead of recorded live: every `LockAttempt` adds "held →
+//! attempted" edges, and a cycle through edges that have at least one
+//! non-preemptible witness is a potential deadlock. Edges seen only through
+//! revocable (`preemptible`) acquisitions never complete a reportable
+//! cycle — a deadlock through them is resolved by preempting the
+//! transaction (paper Recipe 3). Replaying from the trace lets `txfix
+//! analyze` report lock-order hazards for *any* traced lock (TxMutex,
+//! serial mutexes), and lets the live validator's findings be
+//! cross-checked against the trace's.
+
+use std::collections::{HashMap, HashSet};
+use txfix_stm::trace::{EventKind, TraceEvent};
+
+#[derive(Default, Clone, Copy)]
+struct EdgeInfo {
+    non_preemptible: bool,
+}
+
+/// A lock pair acquired in both orders (cycle through non-preemptible
+/// edges), as sorted diagnostic names.
+pub type InversionPair = (String, String);
+
+/// Find lock-order inversions in `events`, deduplicated per sorted name
+/// pair.
+pub fn inversions(events: &[TraceEvent]) -> Vec<InversionPair> {
+    let mut held: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut edges: HashMap<u64, HashMap<u64, EdgeInfo>> = HashMap::new();
+    let mut names: HashMap<u64, String> = HashMap::new();
+
+    for ev in events {
+        let t = ev.thread;
+        match &ev.kind {
+            EventKind::LockAttempt { lock, name, preemptible } => {
+                names.insert(*lock, name.clone());
+                for &prior in held.entry(t).or_default().iter() {
+                    if prior != *lock {
+                        let e = edges.entry(prior).or_default().entry(*lock).or_default();
+                        e.non_preemptible |= !preemptible;
+                    }
+                }
+            }
+            EventKind::LockAcquired { lock, name } => {
+                names.insert(*lock, name.clone());
+                held.entry(t).or_default().push(*lock);
+            }
+            EventKind::LockReleased { lock } => {
+                let stack = held.entry(t).or_default();
+                if let Some(pos) = stack.iter().rposition(|l| l == lock) {
+                    stack.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out: Vec<InversionPair> = Vec::new();
+    for (&from, tos) in &edges {
+        for (&to, info) in tos {
+            if info.non_preemptible && reaches(&edges, to, from) {
+                let a = names.get(&from).cloned().unwrap_or_else(|| format!("lock#{from}"));
+                let b = names.get(&to).cloned().unwrap_or_else(|| format!("lock#{to}"));
+                let pair = if a <= b { (a, b) } else { (b, a) };
+                if !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Whether `to` is reachable from `from` over non-preemptible edges.
+fn reaches(edges: &HashMap<u64, HashMap<u64, EdgeInfo>>, from: u64, to: u64) -> bool {
+    let mut stack = vec![from];
+    let mut seen = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = edges.get(&n) {
+            stack.extend(next.iter().filter(|(_, e)| e.non_preemptible).map(|(&l, _)| l));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt(thread: u64, lock: u64, preemptible: bool) -> TraceEvent {
+        TraceEvent {
+            thread,
+            kind: EventKind::LockAttempt { lock, name: format!("l{lock}"), preemptible },
+        }
+    }
+
+    fn acquired(thread: u64, lock: u64) -> TraceEvent {
+        TraceEvent { thread, kind: EventKind::LockAcquired { lock, name: format!("l{lock}") } }
+    }
+
+    fn released(thread: u64, lock: u64) -> TraceEvent {
+        TraceEvent { thread, kind: EventKind::LockReleased { lock } }
+    }
+
+    #[test]
+    fn ab_ba_is_reported_once() {
+        let invs = inversions(&[
+            attempt(1, 1, false),
+            acquired(1, 1),
+            attempt(1, 2, false),
+            acquired(1, 2),
+            released(1, 2),
+            released(1, 1),
+            attempt(2, 2, false),
+            acquired(2, 2),
+            attempt(2, 1, false),
+            acquired(2, 1),
+            released(2, 1),
+            released(2, 2),
+        ]);
+        assert_eq!(invs, vec![("l1".to_string(), "l2".to_string())]);
+    }
+
+    #[test]
+    fn blocked_attempt_still_counts() {
+        // Thread 2's second acquisition never succeeds (a real deadlock
+        // would strike here); the attempt alone closes the cycle.
+        let invs = inversions(&[
+            attempt(1, 1, false),
+            acquired(1, 1),
+            attempt(2, 2, false),
+            acquired(2, 2),
+            attempt(1, 2, false),
+            attempt(2, 1, false),
+        ]);
+        assert_eq!(invs.len(), 1);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let invs = inversions(&[
+            attempt(1, 1, false),
+            acquired(1, 1),
+            attempt(1, 2, false),
+            acquired(1, 2),
+            released(1, 2),
+            released(1, 1),
+            attempt(2, 1, false),
+            acquired(2, 1),
+            attempt(2, 2, false),
+            acquired(2, 2),
+            released(2, 2),
+            released(2, 1),
+        ]);
+        assert!(invs.is_empty(), "{invs:?}");
+    }
+
+    #[test]
+    fn preemptible_cycles_are_benign() {
+        let invs = inversions(&[
+            attempt(1, 1, true),
+            acquired(1, 1),
+            attempt(1, 2, true),
+            acquired(1, 2),
+            released(1, 2),
+            released(1, 1),
+            attempt(2, 2, true),
+            acquired(2, 2),
+            attempt(2, 1, true),
+            acquired(2, 1),
+            released(2, 1),
+            released(2, 2),
+        ]);
+        assert!(invs.is_empty(), "revocable cycles are resolved by preemption: {invs:?}");
+    }
+
+    #[test]
+    fn three_lock_rotating_cycle_is_found() {
+        let mut events = Vec::new();
+        for t in 0..3u64 {
+            let first = t + 1;
+            let second = (t + 1) % 3 + 1;
+            events.push(attempt(t + 1, first, false));
+            events.push(acquired(t + 1, first));
+            events.push(attempt(t + 1, second, false));
+        }
+        let invs = inversions(&events);
+        assert!(!invs.is_empty(), "rotating three-lock cycle must be reported");
+    }
+}

@@ -1,0 +1,512 @@
+//! Findings and machine-readable reports.
+//!
+//! The workspace has no serde (the build environment vendors only a
+//! handful of stand-in crates), so the JSON encoding here is hand-rolled:
+//! [`Report::to_json`] emits a stable object layout and
+//! [`Report::from_json`] parses it back with a minimal recursive-descent
+//! JSON reader. Round-tripping is covered by tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use txfix_core::Recipe;
+use txfix_corpus::Outcome;
+
+/// What kind of bug a finding reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Two unordered conflicting accesses, at least one non-atomic.
+    DataRace {
+        /// Diagnostic name of the racing object.
+        object: String,
+    },
+    /// A cycle in the region conflict graph: the interleaving is not
+    /// conflict-serializable.
+    AtomicityViolation {
+        /// Names of the objects whose conflicts form the cycle.
+        objects: Vec<String>,
+    },
+    /// Two locks acquired in both orders (potential deadlock).
+    LockOrderInversion {
+        /// Name of one lock of the inverted pair (sorted).
+        first: String,
+        /// Name of the other lock.
+        second: String,
+    },
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindingKind::DataRace { object } => write!(f, "data race on {object}"),
+            FindingKind::AtomicityViolation { objects } => {
+                write!(f, "atomicity violation across {}", objects.join(", "))
+            }
+            FindingKind::LockOrderInversion { first, second } => {
+                write!(f, "lock-order inversion between \"{first}\" and \"{second}\"")
+            }
+        }
+    }
+}
+
+/// One detected bug, with the recipe the paper's decision procedure
+/// suggests for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// What was detected.
+    pub kind: FindingKind,
+    /// The suggested TM fix recipe (from `txfix_core::analysis::analyze`
+    /// on the scenario's bug record), when the bug is TM-fixable.
+    pub recipe: Option<Recipe>,
+    /// Human-readable account of the finding and the suggested fix.
+    pub explanation: String,
+}
+
+/// The result of analyzing one scenario run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The scenario key.
+    pub scenario: String,
+    /// Which variant ran (`buggy`, `dev`, `tm`).
+    pub variant: String,
+    /// What the run itself observed.
+    pub outcome: Outcome,
+    /// How many events the recorder captured.
+    pub events: usize,
+    /// Everything the analysis passes detected.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Whether the analysis found anything.
+    pub fn has_findings(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_field(&mut s, "scenario", &json_string(&self.scenario));
+        push_field(&mut s, "variant", &json_string(&self.variant));
+        let outcome = match &self.outcome {
+            Outcome::Correct => r#"{"kind":"correct"}"#.to_string(),
+            Outcome::BugObserved(detail) => {
+                format!(r#"{{"kind":"bug_observed","detail":{}}}"#, json_string(detail))
+            }
+        };
+        push_field(&mut s, "outcome", &outcome);
+        push_field(&mut s, "events", &self.events.to_string());
+        let findings: Vec<String> = self.findings.iter().map(finding_to_json).collect();
+        push_field(&mut s, "findings", &format!("[{}]", findings.join(",")));
+        s.push('}');
+        s
+    }
+
+    /// Parse a report back from [`Report::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed construct.
+    pub fn from_json(input: &str) -> Result<Report, String> {
+        let v = Json::parse(input)?;
+        let obj = v.object("report")?;
+        let outcome_obj = get(obj, "outcome")?.object("outcome")?;
+        let outcome = match get(outcome_obj, "kind")?.string("outcome.kind")?.as_str() {
+            "correct" => Outcome::Correct,
+            "bug_observed" => {
+                Outcome::BugObserved(get(outcome_obj, "detail")?.string("outcome.detail")?)
+            }
+            other => return Err(format!("unknown outcome kind {other:?}")),
+        };
+        let findings = get(obj, "findings")?
+            .array("findings")?
+            .iter()
+            .map(finding_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report {
+            scenario: get(obj, "scenario")?.string("scenario")?,
+            variant: get(obj, "variant")?.string("variant")?,
+            outcome,
+            events: get(obj, "events")?.number("events")? as usize,
+            findings,
+        })
+    }
+}
+
+fn finding_to_json(f: &Finding) -> String {
+    let mut s = String::from("{");
+    let kind = match &f.kind {
+        FindingKind::DataRace { object } => {
+            format!(r#"{{"kind":"data_race","object":{}}}"#, json_string(object))
+        }
+        FindingKind::AtomicityViolation { objects } => {
+            let items: Vec<String> = objects.iter().map(|o| json_string(o)).collect();
+            format!(r#"{{"kind":"atomicity_violation","objects":[{}]}}"#, items.join(","))
+        }
+        FindingKind::LockOrderInversion { first, second } => format!(
+            r#"{{"kind":"lock_order_inversion","first":{},"second":{}}}"#,
+            json_string(first),
+            json_string(second)
+        ),
+    };
+    push_field(&mut s, "bug", &kind);
+    let recipe = match f.recipe {
+        Some(r) => json_string(recipe_slug(r)),
+        None => "null".to_string(),
+    };
+    push_field(&mut s, "recipe", &recipe);
+    push_field(&mut s, "explanation", &json_string(&f.explanation));
+    s.push('}');
+    s
+}
+
+fn finding_from_json(v: &Json) -> Result<Finding, String> {
+    let obj = v.object("finding")?;
+    let bug = get(obj, "bug")?.object("finding.bug")?;
+    let kind = match get(bug, "kind")?.string("bug.kind")?.as_str() {
+        "data_race" => FindingKind::DataRace { object: get(bug, "object")?.string("object")? },
+        "atomicity_violation" => FindingKind::AtomicityViolation {
+            objects: get(bug, "objects")?
+                .array("objects")?
+                .iter()
+                .map(|o| o.string("objects[]"))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        "lock_order_inversion" => FindingKind::LockOrderInversion {
+            first: get(bug, "first")?.string("first")?,
+            second: get(bug, "second")?.string("second")?,
+        },
+        other => return Err(format!("unknown finding kind {other:?}")),
+    };
+    let recipe = match get(obj, "recipe")? {
+        Json::Null => None,
+        v => Some(recipe_from_slug(&v.string("recipe")?)?),
+    };
+    Ok(Finding { kind, recipe, explanation: get(obj, "explanation")?.string("explanation")? })
+}
+
+fn recipe_slug(r: Recipe) -> &'static str {
+    match r {
+        Recipe::ReplaceLocks => "replace-locks",
+        Recipe::WrapAll => "wrap-all",
+        Recipe::DeadlockPreemption => "deadlock-preemption",
+        Recipe::WrapUnprotected => "wrap-unprotected",
+    }
+}
+
+fn recipe_from_slug(s: &str) -> Result<Recipe, String> {
+    match s {
+        "replace-locks" => Ok(Recipe::ReplaceLocks),
+        "wrap-all" => Ok(Recipe::WrapAll),
+        "deadlock-preemption" => Ok(Recipe::DeadlockPreemption),
+        "wrap-unprotected" => Ok(Recipe::WrapUnprotected),
+        other => Err(format!("unknown recipe {other:?}")),
+    }
+}
+
+fn push_field(s: &mut String, key: &str, value: &str) {
+    if !s.ends_with('{') {
+        s.push(',');
+    }
+    s.push_str(&json_string(key));
+    s.push(':');
+    s.push_str(value);
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value (the minimal subset the report layout uses).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+impl Json {
+    fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { chars: input.chars().collect(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn object(&self, what: &str) -> Result<&BTreeMap<String, Json>, String> {
+        match self {
+            Json::Object(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(a) => Ok(a),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn string(&self, what: &str) -> Result<String, String> {
+        match self {
+            Json::String(s) => Ok(s.clone()),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn number(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {c:?} at {}, got {got:?}", self.pos)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for expected in word.chars() {
+            if self.bump() != Some(expected) {
+                return Err(format!("malformed literal near {}", self.pos));
+            }
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object_value(),
+            Some('[') => self.array_value(),
+            Some('"') => Ok(Json::String(self.string_value()?)),
+            Some('t') => self.keyword("true", Json::Bool(true)),
+            Some('f') => self.keyword("false", Json::Bool(false)),
+            Some('n') => self.keyword("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number_value(),
+            other => Err(format!("unexpected {other:?} at {}", self.pos)),
+        }
+    }
+
+    fn object_value(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string_value()?;
+            self.expect(':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Object(map)),
+                got => return Err(format!("expected ',' or '}}', got {got:?}")),
+            }
+        }
+    }
+
+    fn array_value(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Array(items)),
+                got => return Err(format!("expected ',' or ']', got {got:?}")),
+            }
+        }
+    }
+
+    fn string_value(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("malformed \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    got => return Err(format!("unknown escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number_value(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Json::Number).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            scenario: "av_wrong_lock".into(),
+            variant: "buggy".into(),
+            outcome: Outcome::BugObserved("lost update: counter is 1 \"quoted\"\n".into()),
+            events: 42,
+            findings: vec![
+                Finding {
+                    kind: FindingKind::DataRace { object: "m133773.counter".into() },
+                    recipe: Some(Recipe::WrapAll),
+                    explanation: "unordered conflicting accesses".into(),
+                },
+                Finding {
+                    kind: FindingKind::AtomicityViolation { objects: vec!["a".into(), "b".into()] },
+                    recipe: Some(Recipe::WrapUnprotected),
+                    explanation: "non-serializable interleaving".into(),
+                },
+                Finding {
+                    kind: FindingKind::LockOrderInversion {
+                        first: "cache".into(),
+                        second: "atoms".into(),
+                    },
+                    recipe: None,
+                    explanation: "both orders observed".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let parsed = Report::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn correct_outcome_round_trips() {
+        let r = Report {
+            scenario: "x".into(),
+            variant: "tm".into(),
+            outcome: Outcome::Correct,
+            events: 0,
+            findings: vec![],
+        };
+        let parsed = Report::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert!(!parsed.has_findings());
+    }
+
+    #[test]
+    fn every_recipe_round_trips() {
+        for recipe in [
+            Recipe::ReplaceLocks,
+            Recipe::WrapAll,
+            Recipe::DeadlockPreemption,
+            Recipe::WrapUnprotected,
+        ] {
+            assert_eq!(recipe_from_slug(recipe_slug(recipe)), Ok(recipe));
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Report::from_json("{").is_err());
+        assert!(Report::from_json("").is_err());
+        assert!(Report::from_json(r#"{"scenario": 3}"#).is_err());
+        let valid = sample_report().to_json();
+        assert!(Report::from_json(&format!("{valid}x")).is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn json_escapes_are_emitted_and_parsed() {
+        let s = json_string("a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let v = Json::parse(&s).unwrap();
+        assert_eq!(v, Json::String("a\"b\\c\nd\u{1}".into()));
+    }
+}

@@ -1,0 +1,91 @@
+//! Vector clocks over the recorder's dense thread ids.
+
+/// A vector clock: one logical time per recorder thread id.
+///
+/// Thread ids from [`txfix_stm::trace::thread_id`] are dense and 1-based,
+/// so the clock is a plain vector indexed by id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    times: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// The component for `thread` (0 when never advanced).
+    pub fn get(&self, thread: u64) -> u64 {
+        self.times.get(thread as usize).copied().unwrap_or(0)
+    }
+
+    fn slot(&mut self, thread: u64) -> &mut u64 {
+        let i = thread as usize;
+        if self.times.len() <= i {
+            self.times.resize(i + 1, 0);
+        }
+        &mut self.times[i]
+    }
+
+    /// Advance `thread`'s component by one.
+    pub fn tick(&mut self, thread: u64) {
+        *self.slot(thread) += 1;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (i, &t) in other.times.iter().enumerate() {
+            if t > 0 {
+                let s = self.slot(i as u64);
+                *s = (*s).max(t);
+            }
+        }
+    }
+
+    /// Whether `self` is pointwise ≤ `other` (happens-before or equal).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.times.iter().enumerate().all(|(i, &t)| t <= other.get(i as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(1), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(1);
+        a.tick(1);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(1), 2);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn le_orders_causally_related_clocks() {
+        let mut a = VectorClock::new();
+        a.tick(1);
+        let mut b = a.clone();
+        b.tick(2);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = VectorClock::new();
+        c.tick(3);
+        assert!(!b.le(&c) && !c.le(&b), "concurrent clocks are unordered");
+    }
+}

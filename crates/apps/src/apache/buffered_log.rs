@@ -183,12 +183,7 @@ impl TmBufferedLog {
 
     /// Create a writer charging the given TM cost model (benchmarks use
     /// [`OverheadModel::SOFTWARE_TM`]).
-    pub fn with_overhead(
-        fs: &SimFs,
-        path: &str,
-        capacity: usize,
-        overhead: OverheadModel,
-    ) -> Self {
+    pub fn with_overhead(fs: &SimFs, path: &str, capacity: usize, overhead: OverheadModel) -> Self {
         TmBufferedLog {
             buf: TVar::new(Vec::with_capacity(capacity)),
             xfile: XFile::open_or_create(fs, path),

@@ -131,8 +131,7 @@ pub fn run_apache1(cfg: &Apache1Config) -> Apache1Outcome {
                     // This ordering is what completes the deadlock cycle.
                     match cfg.variant {
                         Apache1Variant::Buggy | Apache1Variant::DevFix => {
-                            let mut tg =
-                                shared.timeout.lock().expect("timeout mutex cycle");
+                            let mut tg = shared.timeout.lock().expect("timeout mutex cycle");
                             *tg += 1;
                             drop(tg);
                             let mut ig = shared.idle.lock().expect("idle mutex cycle");
@@ -145,8 +144,7 @@ pub fn run_apache1(cfg: &Apache1Config) -> Apache1Outcome {
                             // asymmetric): plain mutex, then bump the
                             // transactional idle count (serialized by the
                             // mutex, visible to the listener's retry).
-                            let mut tg =
-                                shared.timeout.lock().expect("timeout mutex cycle");
+                            let mut tg = shared.timeout.lock().expect("timeout mutex cycle");
                             *tg += 1;
                             shared.idle_tv.store(shared.idle_tv.load() + 1);
                             drop(tg);

@@ -38,7 +38,12 @@ struct Title {
 
 impl Title {
     fn new() -> Title {
-        Title { owner: AtomicU64::new(0), wanted: AtomicU64::new(0), m: Mutex::new(()), cv: Condvar::new() }
+        Title {
+            owner: AtomicU64::new(0),
+            wanted: AtomicU64::new(0),
+            m: Mutex::new(()),
+            cv: Condvar::new(),
+        }
     }
 
     /// Fast path: already owner, or object unowned and we can take it.
@@ -48,19 +53,11 @@ impl Title {
         if o == me {
             return true;
         }
-        o == 0
-            && self
-                .owner
-                .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+        o == 0 && self.owner.compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     fn release(&self, me: u64) {
-        if self
-            .owner
-            .compare_exchange(me, 0, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
+        if self.owner.compare_exchange(me, 0, Ordering::AcqRel, Ordering::Acquire).is_ok() {
             let _g = self.m.lock();
             self.cv.notify_all();
         }
@@ -196,6 +193,9 @@ impl OwnershipStore {
         }
     }
 
+    // The title is a lock: holding it grants exclusive access to the slots,
+    // so the &self -> &mut aliasing clippy objects to cannot occur.
+    #[allow(clippy::mut_from_ref)]
     fn slots_mut(&self, obj: usize) -> &mut Vec<i64> {
         // Safety: callers hold the object's title.
         unsafe { &mut *self.objects[obj].slots.get() }

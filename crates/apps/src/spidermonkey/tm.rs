@@ -26,7 +26,10 @@ pub struct StmStore {
 
 impl fmt::Debug for StmStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("StmStore").field("name", &self.name).field("objects", &self.objects.len()).finish()
+        f.debug_struct("StmStore")
+            .field("name", &self.name)
+            .field("objects", &self.objects.len())
+            .finish()
     }
 }
 
@@ -197,12 +200,14 @@ impl PreemptStore {
     pub fn new(objects: usize, slots: usize) -> PreemptStore {
         PreemptStore {
             set_slot_lock: TxMutex::new("sm.setSlotLock", ()),
-            objects: (0..objects).map(|i| {
-                // Leak a tiny name string once per object; object stores are
-                // created a handful of times per process (benchmark setup).
-                let name: &'static str = Box::leak(format!("sm.scope[{i}]").into_boxed_str());
-                TxMutex::new(name, vec![0; slots])
-            }).collect(),
+            objects: (0..objects)
+                .map(|i| {
+                    // Leak a tiny name string once per object; object stores are
+                    // created a handful of times per process (benchmark setup).
+                    let name: &'static str = Box::leak(format!("sm.scope[{i}]").into_boxed_str());
+                    TxMutex::new(name, vec![0; slots])
+                })
+                .collect(),
         }
     }
 }

@@ -56,8 +56,10 @@ fn bench_log(c: &mut Criterion) {
             })
         })
     });
-    let tm_a = TmBufferedLog::with_overhead(&fs, "ta.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
-    let tm_b = TmBufferedLog::with_overhead(&fs, "tb.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
+    let tm_a =
+        TmBufferedLog::with_overhead(&fs, "ta.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
+    let tm_b =
+        TmBufferedLog::with_overhead(&fs, "tb.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
     g.bench_function("recipe2_two_logs", |b| {
         b.iter(|| {
             std::thread::scope(|s| {

@@ -17,30 +17,26 @@ fn bench_capacity_sweep(c: &mut Criterion) {
     g.sample_size(20);
 
     for &footprint in &[8usize, 32, 56, 72, 128, 256] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(footprint),
-            &footprint,
-            |b, &n| {
-                b.iter(|| {
-                    let (sum, report) = hybrid_atomic(&cfg, |txn| {
-                        let mut s = 0;
-                        for v in &vars[..n] {
-                            s += v.read(txn)?;
-                        }
-                        Ok(s)
-                    })
-                    .expect("sweep transaction");
-                    assert_eq!(sum, n as u64);
-                    // Shape check: within capacity commits in hardware,
-                    // beyond it falls back.
-                    if n < 60 {
-                        assert_eq!(report.path, CommitPath::Hardware);
-                    } else if n > 70 {
-                        assert_eq!(report.path, CommitPath::SoftwareFallback);
+        g.bench_with_input(BenchmarkId::from_parameter(footprint), &footprint, |b, &n| {
+            b.iter(|| {
+                let (sum, report) = hybrid_atomic(&cfg, |txn| {
+                    let mut s = 0;
+                    for v in &vars[..n] {
+                        s += v.read(txn)?;
                     }
+                    Ok(s)
                 })
-            },
-        );
+                .expect("sweep transaction");
+                assert_eq!(sum, n as u64);
+                // Shape check: within capacity commits in hardware,
+                // beyond it falls back.
+                if n < 60 {
+                    assert_eq!(report.path, CommitPath::Hardware);
+                } else if n > 70 {
+                    assert_eq!(report.path, CommitPath::SoftwareFallback);
+                }
+            })
+        });
     }
 
     g.finish();

@@ -32,9 +32,7 @@ fn bench_delete_stress(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("developer_fix_table_lock", |b| b.iter(|| stress(MysqlVariant::DevFix)));
-    g.bench_function("recipe4_serialized_atomic", |b| {
-        b.iter(|| stress(MysqlVariant::TmRecipe4))
-    });
+    g.bench_function("recipe4_serialized_atomic", |b| b.iter(|| stress(MysqlVariant::TmRecipe4)));
 
     g.finish();
 }

@@ -50,7 +50,11 @@ fn main() {
     check("fixes needing retry", 2, s.downcall_retry as u64);
     check("fixes needing I/O in transactions", 8, s.downcall_io as u64);
     check("fixes with very long transactions", 7, s.downcall_long_action as u64);
-    check("unfixable multi-module non-preemptible deadlocks", 5, s.multi_module_non_preemptible as u64);
+    check(
+        "unfixable multi-module non-preemptible deadlocks",
+        5,
+        s.multi_module_non_preemptible as u64,
+    );
 
     println!("\n== Scenario sweep: 18 implemented fixes ============================\n");
     for sc in txfix_corpus::all_scenarios() {
@@ -89,13 +93,19 @@ fn main() {
     if let Some(m) = mozilla_hw(&cases) {
         println!(
             "  {:10} {:28} paper {:>6.1}%   measured {:>6.1}%",
-            "Mozilla-I", "recipe 1 on hardware TM", 99.3, m * 100.0
+            "Mozilla-I",
+            "recipe 1 on hardware TM",
+            99.3,
+            m * 100.0
         );
     }
     if let Some(m) = mozilla_r3(&cases) {
         println!(
             "  {:10} {:28} paper {:>6.1}%   measured {:>6.1}%",
-            "Mozilla-I", "recipe 3 preemption", 85.0, m * 100.0
+            "Mozilla-I",
+            "recipe 3 preemption",
+            85.0,
+            m * 100.0
         );
     }
 }

@@ -94,7 +94,12 @@ fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..n.max(1)).map(|_| f()).fold(0.0f64, f64::max)
 }
 
-fn finish(case: &'static str, recipe: &'static str, paper: f64, raw: Vec<(String, f64)>) -> CaseComparison {
+fn finish(
+    case: &'static str,
+    recipe: &'static str,
+    paper: f64,
+    raw: Vec<(String, f64)>,
+) -> CaseComparison {
     let dev = raw.first().map(|r| r.1).unwrap_or(1.0);
     CaseComparison {
         case,
@@ -203,7 +208,8 @@ pub fn apache_ii_comparison(scale: Scale) -> CaseComparison {
 
     let fs = SimFs::new();
     let dev = LockedBufferedLog::new(&fs, "dev.log", 64 * RECORD_LEN);
-    let tm = TmBufferedLog::with_overhead(&fs, "tm.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
+    let tm =
+        TmBufferedLog::with_overhead(&fs, "tm.log", 64 * RECORD_LEN, OverheadModel::SOFTWARE_TM);
     let raw = vec![
         ("developer fix (per-log lock)".to_string(), run(&dev)),
         ("recipe 2 (atomic block + x-call)".to_string(), run(&tm)),
@@ -353,10 +359,7 @@ mod tests {
             sw.relative_to_dev
         );
         let hw = &m.measurements[2];
-        assert!(
-            hw.relative_to_dev > sw.relative_to_dev,
-            "hardware model should beat software TM"
-        );
+        assert!(hw.relative_to_dev > sw.relative_to_dev, "hardware model should beat software TM");
 
         let my = mysql_i_comparison(Scale::Quick);
         assert!(

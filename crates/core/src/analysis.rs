@@ -61,10 +61,16 @@ pub enum UnfixableReason {
 impl fmt::Display for UnfixableReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            UnfixableReason::TwoWayCommunication => write!(f, "two-way communication (nested monitor lockout)"),
-            UnfixableReason::MultiModuleNonPreemptible => write!(f, "non-preemptible code across multiple modules"),
+            UnfixableReason::TwoWayCommunication => {
+                write!(f, "two-way communication (nested monitor lockout)")
+            }
+            UnfixableReason::MultiModuleNonPreemptible => {
+                write!(f, "non-preemptible code across multiple modules")
+            }
             UnfixableReason::DesignFlaw => write!(f, "design flaw, not a mutual-exclusion problem"),
-            UnfixableReason::LongLatencyCallback => write!(f, "atomicity across a long-latency operation and its callback"),
+            UnfixableReason::LongLatencyCallback => {
+                write!(f, "atomicity across a long-latency operation and its callback")
+            }
             UnfixableReason::ExactlyOnce => write!(f, "requires exactly-once semantics beyond TM"),
             UnfixableReason::CrossProcessIo => write!(f, "atomicity of cross-process I/O"),
         }

@@ -5,12 +5,10 @@
 //! combination of atomic regions, revocable locks, preemption priority,
 //! backoff and serialization without re-deriving it.
 
-use txfix_stm::{
-    atomic_with, BackoffPolicy, StmResult, Txn, TxnError, TxnOptions, TxnReport,
-};
-use txfix_tmsync::{serial_atomic_with, SerialDomain};
 use std::sync::Arc;
 use std::time::Duration;
+use txfix_stm::{atomic_with, BackoffPolicy, StmResult, Txn, TxnError, TxnOptions, TxnReport};
+use txfix_tmsync::{serial_atomic_with, SerialDomain};
 
 /// **Recipe 1 — replace deadlock-prone locks.** Remove the locks that form
 /// the cycle and run every former critical section as an atomic region.
@@ -168,10 +166,10 @@ mod tests {
 
     #[test]
     fn preemptible_respects_attempt_limit() {
-        let r: Result<(), TxnError> = preemptible(
-            &PreemptOptions { max_attempts: Some(2), ..Default::default() },
-            |txn| txn.restart(),
-        );
+        let r: Result<(), TxnError> =
+            preemptible(&PreemptOptions { max_attempts: Some(2), ..Default::default() }, |txn| {
+                txn.restart()
+            });
         assert_eq!(r, Err(TxnError::RetryLimit { attempts: 2 }));
     }
 

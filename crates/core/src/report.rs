@@ -53,8 +53,7 @@ impl fmt::Display for TextTable {
             }
         }
         writeln!(f, "{}", self.title)?;
-        let line: String =
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
         writeln!(f, "{line}")?;
         let hdr: Vec<String> = self
             .headers
@@ -65,11 +64,8 @@ impl fmt::Display for TextTable {
         writeln!(f, "{}", hdr.join("|"))?;
         writeln!(f, "{line}")?;
         for row in &self.rows {
-            let cells: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!(" {:w$} ", c, w = widths[i]))
-                .collect();
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!(" {:w$} ", c, w = widths[i])).collect();
             writeln!(f, "{}", cells.join("|"))?;
         }
         writeln!(f, "{line}")
@@ -243,21 +239,11 @@ pub fn table1(bugs: &[BugRecord]) -> TextTable {
     for kind in [BugKind::Deadlock, BugKind::AtomicityViolation] {
         for app in App::ALL {
             let c = bucket(bugs, app, kind);
-            t.row(&[
-                kind.to_string(),
-                app.to_string(),
-                c.total.to_string(),
-                c.fixable.to_string(),
-            ]);
+            t.row(&[kind.to_string(), app.to_string(), c.total.to_string(), c.fixable.to_string()]);
         }
     }
     let s = CorpusSummary::compute(bugs);
-    t.row(&[
-        "Total".to_string(),
-        String::new(),
-        s.total.to_string(),
-        s.fixable().to_string(),
-    ]);
+    t.row(&["Total".to_string(), String::new(), s.total.to_string(), s.fixable().to_string()]);
     t
 }
 

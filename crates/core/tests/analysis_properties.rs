@@ -31,20 +31,18 @@ fn deadlock_chars() -> impl Strategy<Value = BugChars> {
         downcalls(),
         any::<bool>(),
     )
-        .prop_map(
-            |(cv, two_way, mm, np, design, sites, dc, extra)| BugChars {
-                lock_cycle: !cv,
-                cv_wait: cv,
-                two_way_communication: two_way && cv,
-                multi_module: mm,
-                non_preemptible: np,
-                design_flaw: design,
-                fix_sites: sites,
-                downcalls: dc,
-                fix_extra_benefits: extra,
-                ..Default::default()
-            },
-        )
+        .prop_map(|(cv, two_way, mm, np, design, sites, dc, extra)| BugChars {
+            lock_cycle: !cv,
+            cv_wait: cv,
+            two_way_communication: two_way && cv,
+            multi_module: mm,
+            non_preemptible: np,
+            design_flaw: design,
+            fix_sites: sites,
+            downcalls: dc,
+            fix_extra_benefits: extra,
+            ..Default::default()
+        })
 }
 
 fn av_chars() -> impl Strategy<Value = BugChars> {
@@ -63,19 +61,17 @@ fn av_chars() -> impl Strategy<Value = BugChars> {
         downcalls(),
         any::<bool>(),
     )
-        .prop_map(
-            |(ms, ll, eo, cp, single, sites, dc, extra)| BugChars {
-                missing_sync: Some(ms),
-                long_latency_callback: ll,
-                exactly_once: eo,
-                cross_process_io: cp,
-                single_atomic_block: single,
-                fix_sites: sites,
-                downcalls: dc,
-                fix_extra_benefits: extra,
-                ..Default::default()
-            },
-        )
+        .prop_map(|(ms, ll, eo, cp, single, sites, dc, extra)| BugChars {
+            missing_sync: Some(ms),
+            long_latency_callback: ll,
+            exactly_once: eo,
+            cross_process_io: cp,
+            single_atomic_block: single,
+            fix_sites: sites,
+            downcalls: dc,
+            fix_extra_benefits: extra,
+            ..Default::default()
+        })
 }
 
 fn dev_fix() -> impl Strategy<Value = DevFix> {

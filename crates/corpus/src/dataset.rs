@@ -106,7 +106,7 @@ fn rec(
 
 /// The full 60-bug dataset, in stable order (deadlocks first).
 pub fn all_bugs() -> Vec<BugRecord> {
-    use App::{Apache, MySql, Mozilla};
+    use App::{Apache, Mozilla, MySql};
     use BugKind::{AtomicityViolation as Av, Deadlock as Dl};
     use Difficulty::{Easy, Hard, Medium};
 

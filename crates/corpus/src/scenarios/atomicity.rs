@@ -2,7 +2,7 @@
 
 use super::{BugScenario, Outcome, Variant};
 use crate::dataset::keys;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 use txfix_apps::apache::{
@@ -13,7 +13,7 @@ use txfix_apps::mysql::{
     consistent_with_binlog, run_mysql_workload, MiniDb, MysqlVariant, MysqlWorkload,
 };
 use txfix_core::wrap_unprotected_atomic;
-use txfix_stm::{atomic, TVar};
+use txfix_stm::{atomic, trace::TracedCell, TVar};
 use txfix_tmsync::{guard, SerialDomain, SerialMutex};
 use txfix_txlock::{LockCondvar, TxMutex};
 use txfix_xcall::{SimFs, XFile};
@@ -67,7 +67,7 @@ impl BugScenario for WrongLock {
             Variant::Buggy => {
                 let right = TxMutex::new("m133773.cache_lock", ());
                 let wrong = TxMutex::new("m133773.unrelated_lock", ());
-                let counter = AtomicU64::new(0);
+                let counter = TracedCell::new("m133773.cache_count", 0);
                 two_threads(|t, barrier| {
                     // Both paths believe they are in a critical section, but
                     // they hold *different* locks, so the read-modify-write
@@ -79,14 +79,14 @@ impl BugScenario for WrongLock {
                     } else {
                         _g2 = wrong.lock().expect("no cycle");
                     }
-                    let v = counter.load(Ordering::SeqCst);
+                    let v = counter.load();
                     barrier.wait();
-                    counter.store(v + 1, Ordering::SeqCst);
+                    counter.store(v + 1);
                 });
-                if counter.load(Ordering::SeqCst) != 2 {
+                if counter.peek() != 2 {
                     Outcome::BugObserved(format!(
                         "lost update: counter is {} after two locked increments",
-                        counter.load(Ordering::SeqCst)
+                        counter.peek()
                     ))
                 } else {
                     Outcome::Correct
@@ -154,13 +154,13 @@ impl BugScenario for RefcountRace {
     fn run(&self, variant: Variant) -> Outcome {
         match variant {
             Variant::Buggy => {
-                let refcount = AtomicU64::new(2);
+                let refcount = TracedCell::new("m.refcount", 2);
                 two_threads(|_t, barrier| {
-                    let v = refcount.load(Ordering::SeqCst);
+                    let v = refcount.load();
                     barrier.wait();
-                    refcount.store(v - 1, Ordering::SeqCst);
+                    refcount.store(v - 1);
                 });
-                let end = refcount.load(Ordering::SeqCst);
+                let end = refcount.peek();
                 if end != 0 {
                     Outcome::BugObserved(format!(
                         "refcount is {end} after both holders released (object leaked)"
@@ -170,12 +170,12 @@ impl BugScenario for RefcountRace {
                 }
             }
             Variant::DevFix => {
-                let refcount = AtomicU64::new(2);
+                let refcount = TracedCell::new("m.refcount", 2);
                 two_threads(|_t, barrier| {
                     barrier.wait();
-                    refcount.fetch_sub(1, Ordering::SeqCst);
+                    refcount.fetch_sub(1);
                 });
-                if refcount.load(Ordering::SeqCst) == 0 {
+                if refcount.peek() == 0 {
                     Outcome::Correct
                 } else {
                     Outcome::BugObserved("atomic decrement lost".into())
@@ -228,13 +228,13 @@ impl BugScenario for LazyInit {
         let init_count = AtomicU64::new(0);
         match variant {
             Variant::Buggy => {
-                let initialized = AtomicBool::new(false);
+                let initialized = TracedCell::new("m52271.initialized", 0);
                 two_threads(|_t, barrier| {
-                    let seen = initialized.load(Ordering::SeqCst);
+                    let seen = initialized.load() != 0;
                     barrier.wait();
                     if !seen {
                         init_count.fetch_add(1, Ordering::SeqCst);
-                        initialized.store(true, Ordering::SeqCst);
+                        initialized.store(1);
                     }
                 });
             }
@@ -439,16 +439,17 @@ impl BugScenario for Scoreboard {
         const SLOTS: usize = 4;
         match variant {
             Variant::Buggy => {
-                let slots: Vec<AtomicU64> = (0..SLOTS).map(|_| AtomicU64::new(0)).collect();
+                let slots: Vec<TracedCell> =
+                    (0..SLOTS).map(|_| TracedCell::new("a25520.slot", 0)).collect();
                 two_threads(|t, barrier| {
-                    let free = slots.iter().position(|s| s.load(Ordering::SeqCst) == 0);
+                    let free = slots.iter().position(|s| s.load() == 0);
                     barrier.wait();
                     if let Some(i) = free {
-                        slots[i].store(t as u64 + 1, Ordering::SeqCst);
+                        slots[i].store(t as u64 + 1);
                     }
                 });
                 let claimed: Vec<u64> =
-                    slots.iter().map(|s| s.load(Ordering::SeqCst)).filter(|&v| v != 0).collect();
+                    slots.iter().map(|s| s.peek()).filter(|&v| v != 0).collect();
                 if claimed.len() < 2 {
                     Outcome::BugObserved(format!(
                         "both workers claimed the same scoreboard slot ({claimed:?})"
@@ -516,7 +517,9 @@ impl BugScenario for ApacheII {
         const PER_THREAD: u64 = 250;
         let fs = SimFs::new();
         let log: Box<dyn LogWriter> = match variant {
-            Variant::Buggy => Box::new(BuggyBufferedLog::new(&fs, "access.log", 24 * RECORD_LEN, 3_000)),
+            Variant::Buggy => {
+                Box::new(BuggyBufferedLog::new(&fs, "access.log", 24 * RECORD_LEN, 3_000))
+            }
             Variant::DevFix => Box::new(LockedBufferedLog::new(&fs, "access.log", 24 * RECORD_LEN)),
             Variant::TmFix => Box::new(TmBufferedLog::new(&fs, "access.log", 24 * RECORD_LEN)),
         };
@@ -564,18 +567,18 @@ impl BugScenario for PairInvariant {
     fn run(&self, variant: Variant) -> Outcome {
         match variant {
             Variant::Buggy => {
-                let a = AtomicU64::new(0);
-                let b = AtomicU64::new(0);
+                let a = TracedCell::new("a31017.requests", 0);
+                let b = TracedCell::new("a31017.bytes", 0);
                 let torn = AtomicU64::new(0);
                 two_threads(|t, barrier| {
                     if t == 0 {
-                        a.store(1, Ordering::SeqCst);
+                        a.store(1);
                         barrier.wait(); // reader looks here
                         barrier.wait();
-                        b.store(1, Ordering::SeqCst);
+                        b.store(1);
                     } else {
                         barrier.wait();
-                        if a.load(Ordering::SeqCst) != b.load(Ordering::SeqCst) {
+                        if a.load() != b.load() {
                             torn.fetch_add(1, Ordering::SeqCst);
                         }
                         barrier.wait();
@@ -655,12 +658,12 @@ impl BugScenario for LogSequence {
         match variant {
             Variant::Buggy => {
                 let file = fs.open_or_create("seq.log");
-                let seq = AtomicU64::new(1);
+                let seq = TracedCell::new("a29850.seq", 1);
                 two_threads(|_t, barrier| {
-                    let n = seq.load(Ordering::SeqCst);
+                    let n = seq.load();
                     barrier.wait();
                     file.append(format!("seq={n};").as_bytes());
-                    seq.store(n + 1, Ordering::SeqCst);
+                    seq.store(n + 1);
                 });
                 let data = String::from_utf8(file.read_all()).expect("utf8 log");
                 let entries: Vec<&str> = data.split(';').filter(|s| !s.is_empty()).collect();
@@ -738,16 +741,16 @@ impl BugScenario for StatsRace {
     fn run(&self, variant: Variant) -> Outcome {
         match variant {
             Variant::Buggy => {
-                let queries = AtomicU64::new(0);
+                let queries = TracedCell::new("my12228.queries", 0);
                 two_threads(|_t, barrier| {
-                    let v = queries.load(Ordering::SeqCst);
+                    let v = queries.load();
                     barrier.wait();
-                    queries.store(v + 1, Ordering::SeqCst);
+                    queries.store(v + 1);
                 });
-                if queries.load(Ordering::SeqCst) != 2 {
+                if queries.peek() != 2 {
                     Outcome::BugObserved(format!(
                         "statistics lost an update ({} of 2)",
-                        queries.load(Ordering::SeqCst)
+                        queries.peek()
                     ))
                 } else {
                     Outcome::Correct
@@ -824,9 +827,7 @@ impl BugScenario for MySqlI {
         db.insert(0, 2, 20);
         db.delete_all_hooked(0, || db.insert(0, 99, 99));
         if !consistent_with_binlog(&db) {
-            return Outcome::BugObserved(
-                "binlog replay diverges from the server's tables".into(),
-            );
+            return Outcome::BugObserved("binlog replay diverges from the server's tables".into());
         }
 
         // And a concurrent stress pass for the fixed variants.
@@ -869,21 +870,21 @@ impl BugScenario for AdhocRetry {
                 // The DIY scheme: read version, compute, re-check version
                 // with a plain load, then write value and version — the
                 // validate-then-write is not atomic.
-                let version = AtomicU64::new(0);
-                let value = AtomicU64::new(0);
+                let version = TracedCell::new("my16582.version", 0);
+                let value = TracedCell::new("my16582.value", 0);
                 two_threads(|_t, barrier| {
-                    let v0 = version.load(Ordering::SeqCst);
-                    let cur = value.load(Ordering::SeqCst);
+                    let v0 = version.load();
+                    let cur = value.load();
                     barrier.wait();
-                    if version.load(Ordering::SeqCst) == v0 {
-                        value.store(cur + 1, Ordering::SeqCst);
-                        version.store(v0 + 1, Ordering::SeqCst);
+                    if version.load() == v0 {
+                        value.store(cur + 1);
+                        version.store(v0 + 1);
                     }
                 });
-                if value.load(Ordering::SeqCst) != 2 {
+                if value.peek() != 2 {
                     Outcome::BugObserved(format!(
                         "DIY validation admitted a lost update (value {} of 2)",
-                        value.load(Ordering::SeqCst)
+                        value.peek()
                     ))
                 } else {
                     Outcome::Correct
@@ -892,24 +893,22 @@ impl BugScenario for AdhocRetry {
             Variant::DevFix => {
                 // What a *correct* hand-rolled scheme takes: a CAS retry
                 // loop over a packed (version, value) word.
-                let word = AtomicU64::new(0); // version in high 32, value in low 32
+                // version in high 32, value in low 32
+                let word = TracedCell::new("my16582d.word", 0);
                 two_threads(|_t, barrier| {
                     barrier.wait();
                     for _ in 0..100 {
                         loop {
-                            let w = word.load(Ordering::SeqCst);
+                            let w = word.load_sync();
                             let (ver, val) = (w >> 32, w & 0xffff_ffff);
                             let next = ((ver + 1) << 32) | (val + 1);
-                            if word
-                                .compare_exchange(w, next, Ordering::SeqCst, Ordering::SeqCst)
-                                .is_ok()
-                            {
+                            if word.compare_exchange(w, next).is_ok() {
                                 break;
                             }
                         }
                     }
                 });
-                if word.load(Ordering::SeqCst) & 0xffff_ffff == 200 {
+                if word.peek() & 0xffff_ffff == 200 {
                     Outcome::Correct
                 } else {
                     Outcome::BugObserved("CAS loop lost updates".into())

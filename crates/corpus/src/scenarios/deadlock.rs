@@ -160,8 +160,7 @@ impl BugScenario for CacheAtomTable {
                 let atoms = Arc::new(TxMutex::new("m54743.atomtable", 0u64));
                 let hit = AtomicU64::new(0);
                 two_threads(|t, barrier| {
-                    let (first, second) =
-                        if t == 0 { (&cache, &atoms) } else { (&atoms, &cache) };
+                    let (first, second) = if t == 0 { (&cache, &atoms) } else { (&atoms, &cache) };
                     let g1 = first.lock().expect("first lock is cycle-free");
                     barrier.wait();
                     match second.lock() {
@@ -250,8 +249,7 @@ impl BugScenario for ThreeLockCycle {
             Variant::Buggy => {
                 let locks: Vec<Arc<TxMutex<u32>>> = (0..3)
                     .map(|i| {
-                        let name: &'static str =
-                            Box::leak(format!("m60303.l{i}").into_boxed_str());
+                        let name: &'static str = Box::leak(format!("m60303.l{i}").into_boxed_str());
                         Arc::new(TxMutex::new(name, 0))
                     })
                     .collect();
@@ -599,8 +597,7 @@ impl BugScenario for MySqlTablePair {
                     barrier.wait();
                     for i in 0..50u64 {
                         preemptible(&PreemptOptions::default(), |txn| {
-                            let (first, second) =
-                                if t == 0 { (&t1, &t2) } else { (&t2, &t1) };
+                            let (first, second) = if t == 0 { (&t1, &t2) } else { (&t2, &t1) };
                             first.lock_tx(txn)?;
                             second.lock_tx(txn)?;
                             first.with_held(|rows| rows.push(t as u64 * 1000 + i));

@@ -19,12 +19,7 @@ fn every_buggy_variant_exhibits_its_bug() {
 fn every_developer_fix_is_clean() {
     for s in all_scenarios() {
         let out = s.run(Variant::DevFix);
-        assert_eq!(
-            out,
-            Outcome::Correct,
-            "developer fix of {} misbehaved",
-            s.key()
-        );
+        assert_eq!(out, Outcome::Correct, "developer fix of {} misbehaved", s.key());
     }
 }
 
@@ -54,11 +49,7 @@ fn buggy_variants_are_reproducible() {
     for s in all_scenarios() {
         for round in 0..3 {
             let out = s.run(Variant::Buggy);
-            assert!(
-                out.is_bug(),
-                "scenario {} round {round}: bug did not reproduce",
-                s.key()
-            );
+            assert!(out.is_bug(), "scenario {} round {round}: bug did not reproduce", s.key());
         }
     }
 }

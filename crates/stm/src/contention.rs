@@ -61,10 +61,8 @@ impl Backoff {
             }
             BackoffPolicy::ExpJitter { base, max } => {
                 let exp = self.failures.min(16);
-                let window = base
-                    .saturating_mul(1u32 << exp.min(31))
-                    .min(max)
-                    .max(Duration::from_nanos(1));
+                let window =
+                    base.saturating_mul(1u32 << exp.min(31)).min(max).max(Duration::from_nanos(1));
                 let nanos = window.as_nanos() as u64;
                 let jittered = xorshift_below(nanos.max(1));
                 std::thread::sleep(Duration::from_nanos(jittered));

@@ -62,6 +62,7 @@ mod overhead;
 mod runtime;
 mod serial;
 mod stats;
+pub mod trace;
 mod tvar;
 mod txn;
 

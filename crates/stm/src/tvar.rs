@@ -10,6 +10,7 @@ use crate::clock;
 use crate::error::{Abort, ConflictKind, StmResult};
 use crate::notifier;
 use crate::serial;
+use crate::trace;
 use parking_lot::RwLock;
 use std::any::Any;
 use std::fmt;
@@ -93,9 +94,7 @@ impl VarInner {
 
     /// Try to acquire this orec for commit by transaction `serial`.
     pub(crate) fn try_lock_orec(&self, serial: u64) -> bool {
-        self.writer
-            .compare_exchange(0, serial, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        self.writer.compare_exchange(0, serial, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     /// Bounded-spin orec acquisition for eager (encounter-time) writes.
@@ -247,6 +246,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Consistent (never observes a torn or in-flight commit) but does not
     /// participate in any transaction's conflict detection.
     pub fn load_arc(&self) -> Arc<T> {
+        self.trace_direct(trace::AccessKind::Read);
         let (boxed, _) = self.inner.read_spinning();
         downcast::<T>(boxed)
     }
@@ -254,7 +254,23 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Non-transactional atomic store. Equivalent to a tiny transaction
     /// that writes just this variable.
     pub fn store(&self, value: T) {
+        self.trace_direct(trace::AccessKind::Write);
         self.inner.store_direct(Arc::new(value));
+    }
+
+    // Non-transactional TVar operations are single-variable atomic actions
+    // (they serialize against commits via the orec), so the trace marks
+    // them `atomic`: visible to the analyzer, never part of a race.
+    fn trace_direct(&self, kind: trace::AccessKind) {
+        if !trace::is_enabled() {
+            return;
+        }
+        trace::emit(trace::EventKind::SharedAccess {
+            object: self.inner.id,
+            name: format!("tvar#{}", self.inner.id),
+            kind,
+            atomic: true,
+        });
     }
 }
 
@@ -348,10 +364,7 @@ mod tests {
         assert!(v.inner.try_lock_orec(9));
         assert!(!v.inner.try_lock_orec(10));
         // Busy orec forces readers into conflict after bounded spinning.
-        assert!(matches!(
-            v.inner.read_consistent(),
-            Err(Abort::Conflict(ConflictKind::OrecBusy))
-        ));
+        assert!(matches!(v.inner.read_consistent(), Err(Abort::Conflict(ConflictKind::OrecBusy))));
         v.inner.unlock_orec(9);
         assert!(v.inner.read_consistent().is_ok());
     }

@@ -9,6 +9,7 @@ use crate::notifier;
 use crate::overhead::{charge, OverheadModel};
 use crate::serial;
 use crate::stats;
+use crate::trace;
 use crate::tvar::VarInner;
 use parking_lot::RwLockWriteGuard;
 use std::any::Any;
@@ -198,8 +199,7 @@ impl ReadSnapshot {
     /// the transaction observed (a busy orec counts as "changing").
     pub(crate) fn changed(&self) -> bool {
         self.0.iter().any(|(var, ver)| {
-            var.writer.load(Ordering::Acquire) != 0
-                || var.version.load(Ordering::Acquire) != *ver
+            var.writer.load(Ordering::Acquire) != 0 || var.version.load(Ordering::Acquire) != *ver
         })
     }
 
@@ -253,8 +253,10 @@ impl fmt::Debug for Txn {
 impl Txn {
     pub(crate) fn begin(opts: &TxnOptions, attempt: u64) -> Txn {
         charge(opts.overhead.begin_ns);
+        let serial = NEXT_TXN_SERIAL.fetch_add(1, Ordering::Relaxed);
+        trace::emit(trace::EventKind::TxnBegin { serial });
         Txn {
-            serial: NEXT_TXN_SERIAL.fetch_add(1, Ordering::Relaxed),
+            serial,
             rv: clock::now(),
             kind: opts.kind,
             policy: opts.write_policy,
@@ -341,6 +343,7 @@ impl Txn {
         charge(self.overhead.read_ns);
         self.check_killed()?;
         if let Some(&i) = self.write_index.get(&var.id) {
+            self.trace_access(var.id, trace::AccessKind::Read);
             return Ok(match self.policy {
                 WritePolicy::Lazy => self.write_set[i].value.clone(),
                 // Eager: we own the orec and already wrote in place.
@@ -362,6 +365,7 @@ impl Txn {
             }
         }
         self.read_set.push(ReadEntry { var: var.clone(), version });
+        self.trace_access(var.id, trace::AccessKind::Read);
         Ok(value)
     }
 
@@ -373,6 +377,7 @@ impl Txn {
                 WritePolicy::Lazy => self.write_set[i].value = value,
                 WritePolicy::Eager => var.set_value(value),
             }
+            self.trace_access(var.id, trace::AccessKind::Write);
             return Ok(());
         }
         if let Some(cap) = self.write_capacity {
@@ -400,7 +405,13 @@ impl Txn {
                 self.undo_log.push(UndoEntry { var: var.clone(), old_value });
             }
         }
+        self.trace_access(var.id, trace::AccessKind::Write);
         Ok(())
+    }
+
+    #[inline]
+    fn trace_access(&self, var: u64, kind: trace::AccessKind) {
+        trace::emit(trace::EventKind::TxnAccess { serial: self.serial, var, kind });
     }
 
     /// Attempt to advance the read version to the current clock by
@@ -686,6 +697,7 @@ impl Txn {
 
     fn finish_success(&mut self, wrote: bool) {
         self.finished = true;
+        trace::emit(trace::EventKind::TxnCommit { serial: self.serial });
         // Deferred actions (e.g. x-call I/O) run first, while enlisted
         // resources — revocable locks in particular — are still held, so
         // the deferred effects stay inside the isolation the locks provide.
@@ -709,6 +721,7 @@ impl Txn {
             return;
         }
         self.finished = true;
+        trace::emit(trace::EventKind::TxnAbort { serial: self.serial });
         // An irrevocable transaction normally cannot reach here (its commit
         // is infallible and retry/restart/cancel panic first), but a panic
         // unwinding through the body can: writes are still only buffered at

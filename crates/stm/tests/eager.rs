@@ -10,7 +10,10 @@ fn eager() -> TxnOptions {
     TxnOptions::default().write_policy(WritePolicy::Eager)
 }
 
-fn run<T>(opts: &TxnOptions, body: impl FnMut(&mut txfix_stm::Txn) -> txfix_stm::StmResult<T>) -> T {
+fn run<T>(
+    opts: &TxnOptions,
+    body: impl FnMut(&mut txfix_stm::Txn) -> txfix_stm::StmResult<T>,
+) -> T {
     atomic_with(opts, body).expect("transaction cannot fail terminally")
 }
 
@@ -144,9 +147,7 @@ fn eager_multi_var_invariant_holds() {
         let (x, y) = (x.clone(), y.clone());
         s.spawn(move || {
             for _ in 0..200 {
-                let (a, b) = run(&TxnOptions::default(), |txn| {
-                    Ok((x.read(txn)?, y.read(txn)?))
-                });
+                let (a, b) = run(&TxnOptions::default(), |txn| Ok((x.read(txn)?, y.read(txn)?)));
                 assert_eq!(a + b, 1000, "eager transfer tore the invariant");
             }
         });
@@ -157,13 +158,12 @@ fn eager_multi_var_invariant_holds() {
 #[test]
 fn eager_write_capacity_counts_undo_entries() {
     let vars: Vec<TVar<u32>> = (0..8u32).map(TVar::new).collect();
-    let r: Result<(), TxnError> =
-        atomic_with(&eager().capacity(64, 3), |txn| {
-            for v in &vars {
-                v.write(txn, 1)?;
-            }
-            Ok(())
-        });
+    let r: Result<(), TxnError> = atomic_with(&eager().capacity(64, 3), |txn| {
+        for v in &vars {
+            v.write(txn, 1)?;
+        }
+        Ok(())
+    });
     assert!(matches!(r, Err(TxnError::Capacity { .. })), "got {r:?}");
     // The failed attempt's writes must have been rolled back.
     for (i, v) in vars.iter().enumerate() {

@@ -186,24 +186,23 @@ fn retry_blocks_until_a_read_var_changes() {
 
 #[test]
 fn retry_limit_is_enforced() {
-    let r: Result<(), TxnError> = atomic_with(
-        &TxnOptions::default().max_attempts(3).backoff(BackoffPolicy::None),
-        |txn| txn.restart(),
-    );
+    let r: Result<(), TxnError> =
+        atomic_with(&TxnOptions::default().max_attempts(3).backoff(BackoffPolicy::None), |txn| {
+            txn.restart()
+        });
     assert_eq!(r, Err(TxnError::RetryLimit { attempts: 3 }));
 }
 
 #[test]
 fn capacity_bound_is_reported() {
     let vars: Vec<TVar<u32>> = (0..8).map(TVar::new).collect();
-    let r: Result<u32, TxnError> =
-        atomic_with(&TxnOptions::default().capacity(4, 4), |txn| {
-            let mut sum = 0;
-            for v in &vars {
-                sum += v.read(txn)?;
-            }
-            Ok(sum)
-        });
+    let r: Result<u32, TxnError> = atomic_with(&TxnOptions::default().capacity(4, 4), |txn| {
+        let mut sum = 0;
+        for v in &vars {
+            sum += v.read(txn)?;
+        }
+        Ok(sum)
+    });
     match r {
         Err(TxnError::Capacity { kind: CapacityKind::ReadSet, .. }) => {}
         other => panic!("expected read-set capacity error, got {other:?}"),
@@ -213,13 +212,12 @@ fn capacity_bound_is_reported() {
 #[test]
 fn write_capacity_bound_is_reported() {
     let vars: Vec<TVar<u32>> = (0..8).map(TVar::new).collect();
-    let r: Result<(), TxnError> =
-        atomic_with(&TxnOptions::default().capacity(64, 2), |txn| {
-            for v in &vars {
-                v.write(txn, 1)?;
-            }
-            Ok(())
-        });
+    let r: Result<(), TxnError> = atomic_with(&TxnOptions::default().capacity(64, 2), |txn| {
+        for v in &vars {
+            v.write(txn, 1)?;
+        }
+        Ok(())
+    });
     match r {
         Err(TxnError::Capacity { kind: CapacityKind::WriteSet, .. }) => {}
         other => panic!("expected write-set capacity error, got {other:?}"),
@@ -276,14 +274,15 @@ fn relaxed_transactions_run_unsafe_ops_exactly_once() {
     let effect_count = Arc::new(AtomicU64::new(0));
     let v = TVar::new(0u32);
     let ec = effect_count.clone();
-    let (_, report) = atomic_report(&TxnOptions::default().kind(txfix_stm::TxnKind::Relaxed), move |txn| {
-        let ec = ec.clone();
-        txn.unsafe_op(move || {
-            ec.fetch_add(1, Ordering::SeqCst);
-        })?;
-        v.write(txn, 1)
-    })
-    .unwrap();
+    let (_, report) =
+        atomic_report(&TxnOptions::default().kind(txfix_stm::TxnKind::Relaxed), move |txn| {
+            let ec = ec.clone();
+            txn.unsafe_op(move || {
+                ec.fetch_add(1, Ordering::SeqCst);
+            })?;
+            v.write(txn, 1)
+        })
+        .unwrap();
     assert_eq!(effect_count.load(Ordering::SeqCst), 1);
     assert!(report.committed_irrevocably);
 }

@@ -12,6 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
+use txfix_stm::trace;
 use txfix_stm::{StmResult, Txn, WaitPoint};
 
 /// Upper bound on one blocking interval; waits re-check afterwards, which
@@ -53,6 +54,7 @@ const WAIT_SLICE: Duration = Duration::from_millis(100);
 pub struct TxCondvar {
     generation: Mutex<u64>,
     cv: Condvar,
+    trace_id: u64,
 }
 
 impl Default for TxCondvar {
@@ -70,7 +72,11 @@ impl fmt::Debug for TxCondvar {
 impl TxCondvar {
     /// Create a condition variable.
     pub fn new() -> TxCondvar {
-        TxCondvar { generation: Mutex::new(0), cv: Condvar::new() }
+        TxCondvar {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+            trace_id: trace::next_object_id(),
+        }
     }
 
     /// Commit the transaction's work so far, block until notified, and
@@ -82,11 +88,13 @@ impl TxCondvar {
     /// Always returns `Err` (the commit-and-wait control-flow signal); the
     /// runtime consumes it.
     pub fn wait<T>(self: &Arc<Self>, txn: &mut Txn) -> StmResult<T> {
+        trace::emit(trace::EventKind::CvWait { cv: self.trace_id });
         txn.wait_on(self.clone() as Arc<dyn WaitPoint>)
     }
 
     /// Wake all waiters immediately (non-transactional callers).
     pub fn notify_all(&self) {
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut g = self.generation.lock();
         *g += 1;
         drop(g);
@@ -106,6 +114,7 @@ impl TxCondvar {
     /// "one" is purely a throughput hint; it can never cause a missed
     /// update (the generation still advances for everyone).
     pub fn notify_one(&self) {
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut g = self.generation.lock();
         *g += 1;
         drop(g);

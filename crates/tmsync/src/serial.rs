@@ -13,6 +13,7 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use txfix_stm::trace;
 use txfix_stm::{atomic_with, StmResult, Txn, TxnError, TxnOptions};
 
 /// A serialization domain: the shared reader/writer lock coupling one set
@@ -41,8 +42,7 @@ impl SerialDomain {
     }
 
     fn held_exclusively_by_me(&self) -> bool {
-        self.exclusive_holder.load(Ordering::Acquire)
-            == txfix_txlock::current_thread().as_u64()
+        self.exclusive_holder.load(Ordering::Acquire) == txfix_txlock::current_thread().as_u64()
     }
 }
 
@@ -53,6 +53,7 @@ impl SerialDomain {
 pub struct SerialMutex<T> {
     domain: Arc<SerialDomain>,
     inner: Mutex<T>,
+    trace_id: u64,
 }
 
 impl<T: fmt::Debug> fmt::Debug for SerialMutex<T> {
@@ -64,20 +65,34 @@ impl<T: fmt::Debug> fmt::Debug for SerialMutex<T> {
 impl<T> SerialMutex<T> {
     /// Create a mutex bound to `domain`.
     pub fn new(domain: Arc<SerialDomain>, value: T) -> SerialMutex<T> {
-        SerialMutex { domain, inner: Mutex::new(value) }
+        SerialMutex { domain, inner: Mutex::new(value), trace_id: trace::next_object_id() }
     }
 
     /// Lock the mutex (and the domain in shared mode; inside a
     /// [`serial_atomic`] of the same domain the shared acquisition is
     /// skipped — the region already holds the domain exclusively).
     pub fn lock(&self) -> SerialMutexGuard<'_, T> {
-        let shared = if self.domain.held_exclusively_by_me() {
-            None
-        } else {
-            Some(self.domain.rw.read())
-        };
+        if trace::is_enabled() {
+            trace::emit(trace::EventKind::LockAttempt {
+                lock: self.trace_id,
+                name: self.trace_name(),
+                preemptible: false,
+            });
+        }
+        let shared =
+            if self.domain.held_exclusively_by_me() { None } else { Some(self.domain.rw.read()) };
         let guard = self.inner.lock();
-        SerialMutexGuard { _shared: shared, guard }
+        if trace::is_enabled() {
+            trace::emit(trace::EventKind::LockAcquired {
+                lock: self.trace_id,
+                name: self.trace_name(),
+            });
+        }
+        SerialMutexGuard { _shared: shared, guard, trace_id: self.trace_id }
+    }
+
+    fn trace_name(&self) -> String {
+        format!("serial-mutex#{}", self.trace_id & !(1 << 63))
     }
 }
 
@@ -85,6 +100,13 @@ impl<T> SerialMutex<T> {
 pub struct SerialMutexGuard<'a, T> {
     _shared: Option<RwLockReadGuard<'a, ()>>,
     guard: MutexGuard<'a, T>,
+    trace_id: u64,
+}
+
+impl<T> Drop for SerialMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        trace::emit(trace::EventKind::LockReleased { lock: self.trace_id });
+    }
 }
 
 impl<T> Deref for SerialMutexGuard<'_, T> {
@@ -137,9 +159,7 @@ pub fn serial_atomic_with<T>(
     }
 
     let _exclusive = domain.rw.write();
-    domain
-        .exclusive_holder
-        .store(txfix_txlock::current_thread().as_u64(), Ordering::Release);
+    domain.exclusive_holder.store(txfix_txlock::current_thread().as_u64(), Ordering::Release);
     let _reset = ResetHolder(&domain.exclusive_holder);
     atomic_with(opts, body)
 }

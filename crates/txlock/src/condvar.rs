@@ -9,6 +9,7 @@ use crate::mutex::{TxMutex, TxMutexGuard};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::time::Duration;
+use txfix_stm::trace;
 
 /// Outcome of a timed wait.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +27,7 @@ pub enum WaitOutcome {
 pub struct LockCondvar {
     generation: Mutex<u64>,
     cv: Condvar,
+    trace_id: u64,
 }
 
 impl Default for LockCondvar {
@@ -43,7 +45,11 @@ impl fmt::Debug for LockCondvar {
 impl LockCondvar {
     /// Create a condition variable.
     pub fn new() -> LockCondvar {
-        LockCondvar { generation: Mutex::new(0), cv: Condvar::new() }
+        LockCondvar {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+            trace_id: trace::next_object_id(),
+        }
     }
 
     /// Atomically release the guard's lock, wait for a notification or
@@ -61,6 +67,7 @@ impl LockCondvar {
         let mutex: &'a TxMutex<T> = guard.mutex();
         let owner = guard.owner();
         debug_assert_eq!(crate::thread_id::current(), owner);
+        trace::emit(trace::EventKind::CvWait { cv: self.trace_id });
 
         // Standard condvar protocol: sample the generation while still
         // holding the mutex, so a signal between unlock and sleep is not
@@ -82,6 +89,7 @@ impl LockCondvar {
 
     /// Wake all current waiters.
     pub fn notify_all(&self) {
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut gen = self.generation.lock();
         *gen += 1;
         drop(gen);
@@ -90,6 +98,7 @@ impl LockCondvar {
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut gen = self.generation.lock();
         *gen += 1;
         drop(gen);

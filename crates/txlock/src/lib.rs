@@ -50,8 +50,8 @@ mod thread_id;
 pub use condvar::{LockCondvar, WaitOutcome};
 pub use error::DeadlockError;
 pub use graph::{
-    blocked_thread_count, register_txn_thread, register_txn_thread_if_new,
-    unregister_txn_thread, LockId,
+    blocked_thread_count, register_txn_thread, register_txn_thread_if_new, unregister_txn_thread,
+    LockId,
 };
 pub use mutex::{enlist_preemptible, TxMutex, TxMutexGuard};
 pub use thread_id::{current as current_thread, ThreadToken};

@@ -4,12 +4,18 @@
 //! reasoning*: "adding a new lock requires considering whether it can
 //! introduce deadlock with all existing locks". This module mechanizes
 //! that reasoning: when enabled, every [`TxMutex`](crate::TxMutex)
-//! acquisition records ordering edges between the locks a thread holds
-//! and the lock it acquires; an edge observed in both directions is a
-//! **potential deadlock** (a lock-order inversion), reported even if no
-//! actual deadlock ever strikes. The corpus uses it to show that the
-//! buggy lock disciplines are detectably wrong before the first hang,
-//! and that the developers' reordered fixes validate cleanly.
+//! acquisition *attempt* records ordering edges between the locks a
+//! thread holds and the lock it is acquiring; a cycle through those edges
+//! is a **potential deadlock** (a lock-order inversion), reported even if
+//! no actual deadlock ever strikes — and still reported when one does,
+//! because the edge is on record before the acquisition blocks. The
+//! corpus uses it to show that the buggy lock disciplines are detectably
+//! wrong before the first hang, and that the developers' reordered fixes
+//! validate cleanly. Edges witnessed only by revocable
+//! [`lock_tx`](crate::TxMutex::lock_tx) acquisitions are *benign*: a
+//! cycle through them is resolved by preempting the transaction (paper
+//! Recipe 3), so such cycles are suppressed and the paper's Recipe 3
+//! fixes validate clean despite keeping their inverted acquisition order.
 //!
 //! Validation is process-global and off by default (zero cost beyond one
 //! atomic load per acquisition); enable it around the region of interest:
@@ -42,19 +48,30 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// What the validator knows about one "held `a` while acquiring `b`" edge.
+#[derive(Default, Clone, Copy)]
+struct EdgeInfo {
+    /// The edge was witnessed by at least one *non-preemptible* (plain
+    /// `lock()`) acquisition. Edges seen only through revocable `lock_tx`
+    /// acquisitions never complete a reportable cycle: a deadlock through
+    /// them is resolved by preempting the transaction (paper Recipe 3),
+    /// so the discipline is benign by construction.
+    non_preemptible: bool,
+}
+
 #[derive(Default)]
 struct OrderState {
     /// Observed "held `a` while acquiring `b`" order graph, with lock
-    /// names. A cycle in this graph — of any length — is a potential
-    /// deadlock.
-    edges: HashMap<LockId, HashSet<LockId>>,
+    /// names. A cycle in this graph — of any length — through edges with
+    /// a non-preemptible witness is a potential deadlock.
+    edges: HashMap<LockId, HashMap<LockId, EdgeInfo>>,
     names: HashMap<LockId, String>,
     inversions: Vec<Inversion>,
 }
 
 impl OrderState {
-    /// Whether `to` is reachable from `from` over recorded edges.
-    fn reaches(&self, from: LockId, to: LockId) -> bool {
+    /// Whether `to` is reachable from `from` over non-preemptible edges.
+    fn reaches_non_preemptible(&self, from: LockId, to: LockId) -> bool {
         let mut stack = vec![from];
         let mut seen = HashSet::new();
         while let Some(n) = stack.pop() {
@@ -65,7 +82,7 @@ impl OrderState {
                 continue;
             }
             if let Some(next) = self.edges.get(&n) {
-                stack.extend(next.iter().copied());
+                stack.extend(next.iter().filter(|(_, e)| e.non_preemptible).map(|(l, _)| *l));
             }
         }
         false
@@ -124,20 +141,21 @@ pub fn inversions() -> Vec<Inversion> {
 
 /// Number of distinct ordering edges recorded (diagnostic).
 pub fn edge_count() -> usize {
-    ORDER
-        .lock()
-        .as_ref()
-        .map(|s| s.edges.values().map(HashSet::len).sum())
-        .unwrap_or(0)
+    ORDER.lock().as_ref().map(|s| s.edges.values().map(HashMap::len).sum()).unwrap_or(0)
 }
 
-pub(crate) fn note_acquired(id: LockId, name: &str) {
+/// Record the order edges of an acquisition *attempt*: the thread holds
+/// its current lock set and is about to block on (or test) `id`. Recording
+/// at attempt time — before the acquisition can succeed — means a
+/// discipline whose demonstration ends in an actual deadlock still leaves
+/// the inverted edge on record; acquisition-time recording would lose
+/// exactly the edge that completes the cycle.
+pub(crate) fn note_attempt(id: LockId, name: &str, preemptible: bool) {
     if !ENABLED.load(Ordering::Relaxed) {
-        HELD.with(|h| h.borrow_mut().push(id));
         return;
     }
     HELD.with(|h| {
-        let mut held = h.borrow_mut();
+        let held = h.borrow();
         let mut g = ORDER.lock();
         let s = g.get_or_insert_with(OrderState::default);
         s.names.insert(id, name.to_owned());
@@ -145,10 +163,15 @@ pub(crate) fn note_acquired(id: LockId, name: &str) {
             if prior == id {
                 continue;
             }
-            let is_new = s.edges.entry(prior).or_default().insert(id);
-            // A new edge prior→id closes a cycle iff id already reached
-            // prior — a potential deadlock of any cycle length.
-            if is_new && s.reaches(id, prior) {
+            let edge = s.edges.entry(prior).or_default().entry(id).or_default();
+            let newly_non_preemptible = !preemptible && !edge.non_preemptible;
+            edge.non_preemptible |= !preemptible;
+            // An edge prior→id completes a reportable cycle iff id already
+            // reaches prior over non-preemptible edges and this edge has a
+            // non-preemptible witness too. Check whenever the witness is
+            // new: every cycle is caught when its chronologically last
+            // non-preemptible edge lands.
+            if newly_non_preemptible && s.reaches_non_preemptible(id, prior) {
                 let first = s.names.get(&prior).cloned().unwrap_or_else(|| "?".into());
                 let second = s.names.get(&id).cloned().unwrap_or_else(|| "?".into());
                 let (a, b) = if first <= second { (first, second) } else { (second, first) };
@@ -158,8 +181,11 @@ pub(crate) fn note_acquired(id: LockId, name: &str) {
                 }
             }
         }
-        held.push(id);
     });
+}
+
+pub(crate) fn note_acquired(id: LockId) {
+    HELD.with(|h| h.borrow_mut().push(id));
 }
 
 pub(crate) fn note_released(id: LockId) {
@@ -255,6 +281,59 @@ mod tests {
         }
         assert!(inversions().is_empty());
         assert_eq!(edge_count(), 0);
+    }
+
+    #[test]
+    fn preemptible_cycles_are_benign() {
+        let _g = TEST_GATE.lock();
+        reset();
+        enable();
+        let a = std::sync::Arc::new(TxMutex::new("ld.p1", 0u32));
+        let b = std::sync::Arc::new(TxMutex::new("ld.p2", 0u32));
+        // Recipe 3 shape: both orders occur, but revocably, inside
+        // preemptible transactions.
+        for swap in [false, true] {
+            let (a2, b2) = (a.clone(), b.clone());
+            txfix_stm::atomic(move |txn| {
+                let (first, second) = if swap { (&b2, &a2) } else { (&a2, &b2) };
+                first.lock_tx(txn)?;
+                second.lock_tx(txn)?;
+                Ok(())
+            });
+        }
+        disable();
+        assert!(edge_count() >= 2, "revocable attempts still record edges");
+        assert!(
+            inversions().is_empty(),
+            "a cycle carried entirely by revocable acquisitions is preemptible, not a hazard"
+        );
+    }
+
+    #[test]
+    fn failed_attempt_still_records_the_inversion() {
+        let _g = TEST_GATE.lock();
+        reset();
+        enable();
+        let a = std::sync::Arc::new(TxMutex::new("ld.f1", ()));
+        let b = std::sync::Arc::new(TxMutex::new("ld.f2", ()));
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let (a2, b2) = (a.clone(), b.clone());
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let (first, second) = if t == 0 { (&*a2, &*b2) } else { (&*b2, &*a2) };
+                    let g = first.lock().unwrap();
+                    barrier.wait();
+                    // One of the two second acquisitions fails with a
+                    // detected deadlock; its order edge must survive.
+                    let _ = second.lock();
+                    drop(g);
+                });
+            }
+        });
+        disable();
+        assert_eq!(inversions().len(), 1, "{:?}", inversions());
     }
 
     #[test]

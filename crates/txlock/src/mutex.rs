@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use txfix_stm::trace;
 use txfix_stm::{Abort, StmResult, TxResource, Txn};
 
 static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
@@ -88,7 +89,11 @@ impl RawTxLock {
         if st.is_none() {
             *st = Some(me);
             drop(st);
-            crate::lockdep::note_acquired(self.id, &self.name);
+            // A failed try-lock cannot deadlock (the thread never blocks),
+            // so its order edge is only recorded on success.
+            crate::lockdep::note_attempt(self.id, &self.name, false);
+            crate::lockdep::note_acquired(self.id);
+            self.trace_acquired();
             true
         } else {
             false
@@ -100,6 +105,14 @@ impl RawTxLock {
         me: ThreadToken,
         kill: Option<&txfix_stm::KillHandle>,
     ) -> Result<(), AcquireError> {
+        // Record the order edge (and trace event) before the acquisition
+        // can block: a deadlocked attempt must still leave its evidence.
+        // Revocable acquisitions (`kill` present ⇒ called from `lock_tx`
+        // inside a transaction) are preemptible: a cycle through them is
+        // resolved by aborting the transaction, not reported as a hazard.
+        let preemptible = kill.is_some();
+        crate::lockdep::note_attempt(self.id, &self.name, preemptible);
+        self.trace_attempt(preemptible);
         let mut registered_wait = false;
         loop {
             {
@@ -111,14 +124,12 @@ impl RawTxLock {
                         if registered_wait {
                             graph::clear_wait(me);
                         }
-                        crate::lockdep::note_acquired(self.id, &self.name);
+                        crate::lockdep::note_acquired(self.id);
+                        self.trace_acquired();
                         return Ok(());
                     }
                     Some(owner) if owner == me => {
-                        panic!(
-                            "non-reentrant TxMutex \"{}\" acquired twice by {me}",
-                            self.name
-                        );
+                        panic!("non-reentrant TxMutex \"{}\" acquired twice by {me}", self.name);
                     }
                     Some(_) => {}
                 }
@@ -128,9 +139,7 @@ impl RawTxLock {
             match graph::block_and_check(me, self.id) {
                 CycleResolution::NoCycle | CycleResolution::OtherVictim(_) => {}
                 CycleResolution::SelfVictim => return Err(AcquireError::SelfVictim),
-                CycleResolution::Unresolvable(cycle) => {
-                    return Err(AcquireError::Deadlock(cycle))
-                }
+                CycleResolution::Unresolvable(cycle) => return Err(AcquireError::Deadlock(cycle)),
             }
 
             {
@@ -154,9 +163,31 @@ impl RawTxLock {
         assert_eq!(*st, Some(me), "TxMutex \"{}\" released by non-owner", self.name);
         *st = None;
         self.holding_txn.store(0, Ordering::Release);
+        // Emit while the state lock is still held: no waiter can observe the
+        // mutex free (and emit its LockAcquired) before this event lands, so
+        // trace order stays a valid linearization for happens-before replay.
+        trace::emit(trace::EventKind::LockReleased { lock: self.id.0 });
         drop(st);
         crate::lockdep::note_released(self.id);
         self.cv.notify_all();
+    }
+
+    fn trace_attempt(&self, preemptible: bool) {
+        if !trace::is_enabled() {
+            return;
+        }
+        trace::emit(trace::EventKind::LockAttempt {
+            lock: self.id.0,
+            name: self.name.clone(),
+            preemptible,
+        });
+    }
+
+    fn trace_acquired(&self) {
+        if !trace::is_enabled() {
+            return;
+        }
+        trace::emit(trace::EventKind::LockAcquired { lock: self.id.0, name: self.name.clone() });
     }
 }
 
@@ -449,9 +480,7 @@ mod tests {
         let m = Arc::new(TxMutex::new("m", ()));
         let g = m.lock().unwrap();
         let m2 = m.clone();
-        std::thread::spawn(move || assert!(m2.try_lock().is_none()))
-            .join()
-            .unwrap();
+        std::thread::spawn(move || assert!(m2.try_lock().is_none())).join().unwrap();
         drop(g);
         assert!(m.try_lock().is_some());
     }

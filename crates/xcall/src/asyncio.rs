@@ -205,9 +205,13 @@ mod tests {
         let (a, r) = (aio.clone(), ran.clone());
         atomic(move |txn| {
             let r = r.clone();
-            a.x_submit(txn, || (), move |()| {
-                r.fetch_add(1, Ordering::SeqCst);
-            })?;
+            a.x_submit(
+                txn,
+                || (),
+                move |()| {
+                    r.fetch_add(1, Ordering::SeqCst);
+                },
+            )?;
             if first.swap(false, Ordering::SeqCst) {
                 return txn.restart();
             }

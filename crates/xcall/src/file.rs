@@ -106,9 +106,7 @@ impl XFile {
                         for op in st.ops.drain(..) {
                             match op {
                                 PendingOp::Append(bytes) => apply.file.append(&bytes),
-                                PendingOp::WriteAt(off, bytes) => {
-                                    apply.file.write_at(off, &bytes)
-                                }
+                                PendingOp::WriteAt(off, bytes) => apply.file.write_at(off, &bytes),
                             }
                         }
                         st.owner = 0;

@@ -150,11 +150,7 @@ impl XSocket {
 /// Panics inside a [`TxnKind::Atomic`] transaction (unsafe operations are
 /// not allowed there).
 pub fn x_inevitable<T>(txn: &mut Txn, f: impl FnOnce() -> T) -> StmResult<T> {
-    assert_eq!(
-        txn.kind(),
-        TxnKind::Relaxed,
-        "inevitable x-calls require a relaxed transaction"
-    );
+    assert_eq!(txn.kind(), TxnKind::Relaxed, "inevitable x-calls require a relaxed transaction");
     txn.unsafe_op(f)
 }
 
@@ -216,9 +212,7 @@ mod tests {
         let xa = XSocket::new(a);
         let xb = XSocket::new(b);
         atomic(|txn| xa.x_send(txn, b"ping"));
-        let got = atomic(|txn| {
-            Ok(xb.x_recv(txn, 4, Duration::from_millis(200))?.unwrap())
-        });
+        let got = atomic(|txn| Ok(xb.x_recv(txn, 4, Duration::from_millis(200))?.unwrap()));
         assert_eq!(got, b"ping");
     }
 

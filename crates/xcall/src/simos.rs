@@ -309,10 +309,7 @@ impl SimSocket {
     pub fn pair(capacity: usize) -> (SimSocket, SimSocket) {
         let a_to_b = SimPipe::new(capacity);
         let b_to_a = SimPipe::new(capacity);
-        (
-            SimSocket { rx: b_to_a.clone(), tx: a_to_b.clone() },
-            SimSocket { rx: a_to_b, tx: b_to_a },
-        )
+        (SimSocket { rx: b_to_a.clone(), tx: a_to_b.clone() }, SimSocket { rx: a_to_b, tx: b_to_a })
     }
 }
 

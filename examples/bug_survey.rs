@@ -21,7 +21,10 @@ fn main() {
 
     let s = CorpusSummary::compute(&bugs);
     println!();
-    println!("Recipes 1 and 2 alone fix {} bugs; recipe 3 adds {} more.", s.fixed_by_simple_recipes, s.fixed_only_by_recipe3);
+    println!(
+        "Recipes 1 and 2 alone fix {} bugs; recipe 3 adds {} more.",
+        s.fixed_by_simple_recipes, s.fixed_only_by_recipe3
+    );
     println!(
         "Recipe 3 localizes {} of the recipe-1 fixes; recipe 4 spares re-locking work in {} fixes.",
         s.simplified_by_recipe3, s.simplified_by_recipe4
@@ -43,10 +46,8 @@ fn main() {
     for b in &bugs {
         if let Some(key) = b.scenario {
             let plan = analyze(b);
-            let recipe = plan
-                .plan()
-                .map(|p| p.primary.to_string())
-                .unwrap_or_else(|| "-".to_string());
+            let recipe =
+                plan.plan().map(|p| p.primary.to_string()).unwrap_or_else(|| "-".to_string());
             println!("  {:18} {:22} {}", b.id, key, recipe);
         }
     }

@@ -8,13 +8,13 @@
 //! cargo run --bin txfix -- show Mozilla#54743
 //! cargo run --bin txfix -- scenario apache_i --variant buggy
 //! cargo run --bin txfix -- scenarios
+//! cargo run --bin txfix -- analyze av_stats_race
 //! ```
 
 use std::process::ExitCode;
 use txfix::corpus::{all_bugs, all_scenarios, bug_by_id, scenario_by_key, Variant};
 use txfix::recipes::{
-    analyze, preference, table1, table2, table3, tm_difficulty, Analysis, CorpusSummary,
-    Preference,
+    analyze, preference, table1, table2, table3, tm_difficulty, Analysis, CorpusSummary, Preference,
 };
 
 fn main() -> ExitCode {
@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         },
         Some("scenarios") => scenarios(),
         Some("scenario") => scenario(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -52,6 +53,10 @@ fn usage() {
          \x20 scenarios                    list the 18 executable bug reproductions\n\
          \x20 scenario <key> [--variant buggy|dev|tm]\n\
          \x20                              run a reproduction (default: all three variants)\n\
+         \x20 analyze <key> [--variant buggy|dev|tm] [--json]\n\
+         \x20                              run a variant (default: buggy) under the trace\n\
+         \x20                              recorder and report detected bugs with suggested\n\
+         \x20                              fix recipes; exits nonzero on findings\n\
          \x20 help                         this message"
     );
 }
@@ -73,15 +78,31 @@ fn tables() -> ExitCode {
 fn summary() -> ExitCode {
     let s = CorpusSummary::compute(&all_bugs());
     println!("bugs examined:                 {}", s.total);
-    println!("  deadlocks:                   {} ({} fixable)", s.deadlocks.total, s.deadlocks.fixable);
-    println!("  atomicity violations:        {} ({} fixable)", s.atomicity.total, s.atomicity.fixable);
-    println!("TM can fix:                    {} ({:.0}%)", s.fixable(), 100.0 * s.fixable() as f64 / s.total as f64);
+    println!(
+        "  deadlocks:                   {} ({} fixable)",
+        s.deadlocks.total, s.deadlocks.fixable
+    );
+    println!(
+        "  atomicity violations:        {} ({} fixable)",
+        s.atomicity.total, s.atomicity.fixable
+    );
+    println!(
+        "TM can fix:                    {} ({:.0}%)",
+        s.fixable(),
+        100.0 * s.fixable() as f64 / s.total as f64
+    );
     println!("  by recipes 1 and 2 alone:    {}", s.fixed_by_simple_recipes);
     println!("  only by recipe 3:            {}", s.fixed_only_by_recipe3);
     println!("  simplified by recipe 3:      {}", s.simplified_by_recipe3);
     println!("  simplified by recipe 4:      {}", s.simplified_by_recipe4);
-    println!("TM fix judged preferable:      {} ({} DL / {} AV)", s.tm_preferred, s.tm_preferred_deadlock, s.tm_preferred_atomicity);
-    println!("implemented & tested fixes:    {} ({} DL / {} AV)", s.implemented, s.implemented_deadlock, s.implemented_atomicity);
+    println!(
+        "TM fix judged preferable:      {} ({} DL / {} AV)",
+        s.tm_preferred, s.tm_preferred_deadlock, s.tm_preferred_atomicity
+    );
+    println!(
+        "implemented & tested fixes:    {} ({} DL / {} AV)",
+        s.implemented, s.implemented_deadlock, s.implemented_atomicity
+    );
     ExitCode::SUCCESS
 }
 
@@ -175,6 +196,54 @@ fn scenarios() -> ExitCode {
         println!("{:22} {}", s.key(), s.describe());
     }
     ExitCode::SUCCESS
+}
+
+fn analyze_cmd(args: &[String]) -> ExitCode {
+    let Some(key) = args.first() else {
+        return usage_error("analyze needs a key, e.g. `txfix analyze av_stats_race`");
+    };
+    let mut variant = Variant::Buggy;
+    let mut json = false;
+    let mut rest = args[1..].iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--variant" => match rest.next().map(String::as_str) {
+                Some("buggy") => variant = Variant::Buggy,
+                Some("dev") => variant = Variant::DevFix,
+                Some("tm") => variant = Variant::TmFix,
+                _ => return usage_error("--variant takes buggy|dev|tm"),
+            },
+            "--json" => json = true,
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    let Some(report) = txfix::analyze::analyze_scenario(key, variant) else {
+        return usage_error(&format!("no scenario `{key}` (try `txfix scenarios`)"));
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{} ({} variant): {} events recorded",
+            report.scenario, report.variant, report.events
+        );
+        match &report.outcome {
+            txfix::corpus::Outcome::Correct => println!("  run outcome: clean"),
+            txfix::corpus::Outcome::BugObserved(msg) => println!("  run outcome: BUG: {msg}"),
+        }
+        if report.findings.is_empty() {
+            println!("  no findings");
+        }
+        for f in &report.findings {
+            println!("  FINDING: {}", f.kind);
+            println!("    {}", f.explanation);
+        }
+    }
+    if report.has_findings() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn scenario(args: &[String]) -> ExitCode {

@@ -51,3 +51,7 @@ pub use txfix_apps as apps;
 
 /// The 60-bug dataset and the 18 executable bug scenarios.
 pub use txfix_corpus as corpus;
+
+/// Trace-based bug detection: happens-before races, conflict
+/// serializability, lock-order inversions.
+pub use txfix_analyze as analyze;

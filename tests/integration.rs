@@ -9,7 +9,7 @@ use txfix::recipes::{preemptible, wrap_unprotected_atomic, PreemptOptions};
 use txfix::stm::{atomic, TVar};
 use txfix::tmsync::{guard, SerialDomain, SerialMutex, TxCondvar};
 use txfix::txlock::TxMutex;
-use txfix::xcall::{SimFs, XFile, XPipe, SimPipe};
+use txfix::xcall::{SimFs, SimPipe, XFile, XPipe};
 
 #[test]
 fn stm_txlock_and_xcall_compose_in_one_transaction() {

@@ -1,0 +1,271 @@
+//! Minimal reimplementation of the `criterion` API surface that txfix's
+//! benches use, vendored because the build environment has no network access
+//! to crates.io.
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints the median ns/iteration. Under
+//! `cargo test` (cargo passes `--test` to harness-less bench binaries) each
+//! benchmark body executes exactly once as a smoke test, so the tier-1 suite
+//! stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier for parameterized benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier made of a function name plus a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Identifier made of a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.id)
+    }
+}
+
+/// Types accepted as benchmark names by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// One iteration, no timing (cargo test smoke run).
+    Test,
+    /// Timed sampling.
+    Measure { sample_count: u64 },
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure { sample_count } => {
+                // Warm-up and per-sample iteration sizing: aim for samples
+                // of at least ~1ms so Instant resolution noise stays small.
+                let warm = Instant::now();
+                std::hint::black_box(f());
+                let one = warm.elapsed().max(Duration::from_nanos(50));
+                let iters = (Duration::from_millis(1).as_nanos() / one.as_nanos()).max(1) as u64;
+                self.iters_per_sample = iters;
+                self.samples.clear();
+                for _ in 0..sample_count {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    self.samples.push(t.elapsed());
+                }
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.mode == Mode::Test {
+            println!("bench {id}: ok (test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("bench {id}: no samples (closure never called iter)");
+            return;
+        }
+        let mut per_iter: Vec<u128> =
+            self.samples.iter().map(|d| d.as_nanos() / self.iters_per_sample as u128).collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        println!(
+            "bench {id}: median {median} ns/iter (min {lo}, max {hi}, {} samples x {} iters)",
+            per_iter.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes harness-less bench targets with `--test` during
+        // `cargo test`, and with `--bench` during `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some();
+        Criterion { test_mode, default_samples: 24 }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_samples,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_samples;
+        self.run_one(&id.into_id(), samples, |b| f(b));
+        self
+    }
+
+    fn run_one(&self, id: &str, samples: u64, mut f: impl FnMut(&mut Bencher)) {
+        let mode = if self.test_mode {
+            Mode::Test
+        } else {
+            Mode::Measure { sample_count: samples.max(1) }
+        };
+        let mut b = Bencher { mode, samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut b);
+        b.report(id);
+    }
+
+    /// Final reporting hook (no-op; exists for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declare the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion { test_mode: true, default_samples: 4 };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("a", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1, "test mode runs each body exactly once");
+    }
+
+    #[test]
+    fn measure_mode_samples() {
+        let c = Criterion { test_mode: false, default_samples: 3 };
+        let mut calls = 0u64;
+        c.run_one("m", 3, |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls >= 4, "warmup + 3 samples should call several times");
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal std-backed reimplementation of the `crossbeam` API surface that
+//! txfix uses (multi-producer *multi-consumer* channels). Vendored because
+//! the build environment has no network access to crates.io.
+
+pub mod channel {
+    //! MPMC channel compatible with `crossbeam::channel`'s unbounded API.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable for multiple producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable for multiple consumers.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, failing only if every receiver has dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.receivers == 0 {
+                return Err(SendError(value));
+            }
+            q.items.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a value, blocking while the channel is empty; fails once
+        /// the channel is empty *and* every sender has dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue a value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.items.pop_front() {
+                Some(v) => Ok(v),
+                None if q.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.senders -= 1;
+            let drained = q.senders == 0;
+            drop(q);
+            if drained {
+                // Wake blocked receivers so they observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_single_consumer() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn multi_consumer_partitions_items() {
+            let (tx, rx) = unbounded();
+            let total = 100u32;
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            for i in 0..total {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..total).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(3), Err(SendError(3)));
+        }
+    }
+}

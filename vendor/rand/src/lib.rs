@@ -1,0 +1,122 @@
+//! Minimal stand-in for the `rand` API surface txfix uses (a thread-local
+//! generator with `gen_range`). Vendored because the build environment has
+//! no network access to crates.io. The generator is SplitMix64 seeded from
+//! the system clock and a per-thread counter — statistically fine for
+//! benchmarks and tests, not for cryptography.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Trait for random number generation, mirroring the subset of `rand::Rng`
+/// that txfix calls.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range` (half-open).
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// Random `bool` with probability 1/2.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleRange: Copy {
+    /// Map 64 random bits into `range`.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                let span = (range.end - range.start) as u64;
+                assert!(span > 0, "empty range");
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                let span = range.end.wrapping_sub(range.start) as u64;
+                assert!(span > 0, "empty range");
+                range.start.wrapping_add((bits % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, isize);
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Thread-local generator, mirroring `rand::rngs::ThreadRng`.
+#[derive(Debug, Clone)]
+pub struct ThreadRng;
+
+thread_local! {
+    static STATE: Cell<u64> = Cell::new({
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        let tid = std::thread::current().id();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        tid.hash(&mut h);
+        t ^ h.finish()
+    });
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        STATE.with(|s| {
+            let mut state = s.get();
+            let v = splitmix(&mut state);
+            s.set(state);
+            v
+        })
+    }
+}
+
+/// Obtain the thread-local generator, mirroring `rand::thread_rng`.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{thread_rng, Rng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = thread_rng();
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+}
