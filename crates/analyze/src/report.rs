@@ -1,13 +1,13 @@
 //! Findings and machine-readable reports.
 //!
 //! The workspace has no serde (the build environment vendors only a
-//! handful of stand-in crates), so the JSON encoding here is hand-rolled:
-//! [`Report::to_json`] emits a stable object layout and
-//! [`Report::from_json`] parses it back with a minimal recursive-descent
-//! JSON reader. Round-tripping is covered by tests.
+//! handful of stand-in crates), so the JSON encoding here is hand-rolled
+//! over [`txfix_core::json`]: [`Report::to_json`] emits a stable object
+//! layout and [`Report::from_json`] parses it back. Round-tripping is
+//! covered by tests.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use txfix_core::json::{escape, get, push_field, Json};
 use txfix_core::Recipe;
 use txfix_corpus::Outcome;
 
@@ -85,12 +85,12 @@ impl Report {
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
-        push_field(&mut s, "scenario", &json_string(&self.scenario));
-        push_field(&mut s, "variant", &json_string(&self.variant));
+        push_field(&mut s, "scenario", &escape(&self.scenario));
+        push_field(&mut s, "variant", &escape(&self.variant));
         let outcome = match &self.outcome {
             Outcome::Correct => r#"{"kind":"correct"}"#.to_string(),
             Outcome::BugObserved(detail) => {
-                format!(r#"{{"kind":"bug_observed","detail":{}}}"#, json_string(detail))
+                format!(r#"{{"kind":"bug_observed","detail":{}}}"#, escape(detail))
             }
         };
         push_field(&mut s, "outcome", &outcome);
@@ -136,25 +136,25 @@ fn finding_to_json(f: &Finding) -> String {
     let mut s = String::from("{");
     let kind = match &f.kind {
         FindingKind::DataRace { object } => {
-            format!(r#"{{"kind":"data_race","object":{}}}"#, json_string(object))
+            format!(r#"{{"kind":"data_race","object":{}}}"#, escape(object))
         }
         FindingKind::AtomicityViolation { objects } => {
-            let items: Vec<String> = objects.iter().map(|o| json_string(o)).collect();
+            let items: Vec<String> = objects.iter().map(|o| escape(o)).collect();
             format!(r#"{{"kind":"atomicity_violation","objects":[{}]}}"#, items.join(","))
         }
         FindingKind::LockOrderInversion { first, second } => format!(
             r#"{{"kind":"lock_order_inversion","first":{},"second":{}}}"#,
-            json_string(first),
-            json_string(second)
+            escape(first),
+            escape(second)
         ),
     };
     push_field(&mut s, "bug", &kind);
     let recipe = match f.recipe {
-        Some(r) => json_string(recipe_slug(r)),
+        Some(r) => escape(r.slug()),
         None => "null".to_string(),
     };
     push_field(&mut s, "recipe", &recipe);
-    push_field(&mut s, "explanation", &json_string(&f.explanation));
+    push_field(&mut s, "explanation", &escape(&f.explanation));
     s.push('}');
     s
 }
@@ -179,252 +179,9 @@ fn finding_from_json(v: &Json) -> Result<Finding, String> {
     };
     let recipe = match get(obj, "recipe")? {
         Json::Null => None,
-        v => Some(recipe_from_slug(&v.string("recipe")?)?),
+        v => Some(Recipe::from_slug(&v.string("recipe")?)?),
     };
     Ok(Finding { kind, recipe, explanation: get(obj, "explanation")?.string("explanation")? })
-}
-
-fn recipe_slug(r: Recipe) -> &'static str {
-    match r {
-        Recipe::ReplaceLocks => "replace-locks",
-        Recipe::WrapAll => "wrap-all",
-        Recipe::DeadlockPreemption => "deadlock-preemption",
-        Recipe::WrapUnprotected => "wrap-unprotected",
-    }
-}
-
-fn recipe_from_slug(s: &str) -> Result<Recipe, String> {
-    match s {
-        "replace-locks" => Ok(Recipe::ReplaceLocks),
-        "wrap-all" => Ok(Recipe::WrapAll),
-        "deadlock-preemption" => Ok(Recipe::DeadlockPreemption),
-        "wrap-unprotected" => Ok(Recipe::WrapUnprotected),
-        other => Err(format!("unknown recipe {other:?}")),
-    }
-}
-
-fn push_field(s: &mut String, key: &str, value: &str) {
-    if !s.ends_with('{') {
-        s.push(',');
-    }
-    s.push_str(&json_string(key));
-    s.push(':');
-    s.push_str(value);
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// A parsed JSON value (the minimal subset the report layout uses).
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(BTreeMap<String, Json>),
-}
-
-fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
-    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
-}
-
-impl Json {
-    fn parse(input: &str) -> Result<Json, String> {
-        let mut p = Parser { chars: input.chars().collect(), pos: 0 };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.chars.len() {
-            return Err(format!("trailing input at {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn object(&self, what: &str) -> Result<&BTreeMap<String, Json>, String> {
-        match self {
-            Json::Object(m) => Ok(m),
-            other => Err(format!("{what}: expected object, got {other:?}")),
-        }
-    }
-
-    fn array(&self, what: &str) -> Result<&[Json], String> {
-        match self {
-            Json::Array(a) => Ok(a),
-            other => Err(format!("{what}: expected array, got {other:?}")),
-        }
-    }
-
-    fn string(&self, what: &str) -> Result<String, String> {
-        match self {
-            Json::String(s) => Ok(s.clone()),
-            other => Err(format!("{what}: expected string, got {other:?}")),
-        }
-    }
-
-    fn number(&self, what: &str) -> Result<f64, String> {
-        match self {
-            Json::Number(n) => Ok(*n),
-            other => Err(format!("{what}: expected number, got {other:?}")),
-        }
-    }
-}
-
-struct Parser {
-    chars: Vec<char>,
-    pos: usize,
-}
-
-impl Parser {
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek();
-        if c.is_some() {
-            self.pos += 1;
-        }
-        c
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: char) -> Result<(), String> {
-        self.skip_ws();
-        match self.bump() {
-            Some(got) if got == c => Ok(()),
-            got => Err(format!("expected {c:?} at {}, got {got:?}", self.pos)),
-        }
-    }
-
-    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        for expected in word.chars() {
-            if self.bump() != Some(expected) {
-                return Err(format!("malformed literal near {}", self.pos));
-            }
-        }
-        Ok(value)
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some('{') => self.object_value(),
-            Some('[') => self.array_value(),
-            Some('"') => Ok(Json::String(self.string_value()?)),
-            Some('t') => self.keyword("true", Json::Bool(true)),
-            Some('f') => self.keyword("false", Json::Bool(false)),
-            Some('n') => self.keyword("null", Json::Null),
-            Some(c) if c == '-' || c.is_ascii_digit() => self.number_value(),
-            other => Err(format!("unexpected {other:?} at {}", self.pos)),
-        }
-    }
-
-    fn object_value(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some('}') {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string_value()?;
-            self.expect(':')?;
-            map.insert(key, self.value()?);
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => continue,
-                Some('}') => return Ok(Json::Object(map)),
-                got => return Err(format!("expected ',' or '}}', got {got:?}")),
-            }
-        }
-    }
-
-    fn array_value(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => continue,
-                Some(']') => return Ok(Json::Array(items)),
-                got => return Err(format!("expected ',' or ']', got {got:?}")),
-            }
-        }
-    }
-
-    fn string_value(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                Some('"') => return Ok(out),
-                Some('\\') => match self.bump() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self
-                                .bump()
-                                .and_then(|c| c.to_digit(16))
-                                .ok_or("malformed \\u escape")?;
-                            code = code * 16 + d;
-                        }
-                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
-                    }
-                    got => return Err(format!("unknown escape {got:?}")),
-                },
-                Some(c) => out.push(c),
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number_value(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some('-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-')
-        {
-            self.pos += 1;
-        }
-        let text: String = self.chars[start..self.pos].iter().collect();
-        text.parse::<f64>().map(Json::Number).map_err(|e| format!("bad number {text:?}: {e}"))
-    }
 }
 
 #[cfg(test)]
@@ -482,14 +239,20 @@ mod tests {
     }
 
     #[test]
-    fn every_recipe_round_trips() {
+    fn every_recipe_round_trips_in_a_finding() {
         for recipe in [
             Recipe::ReplaceLocks,
             Recipe::WrapAll,
             Recipe::DeadlockPreemption,
             Recipe::WrapUnprotected,
         ] {
-            assert_eq!(recipe_from_slug(recipe_slug(recipe)), Ok(recipe));
+            let f = Finding {
+                kind: FindingKind::DataRace { object: "x".into() },
+                recipe: Some(recipe),
+                explanation: String::new(),
+            };
+            let parsed = finding_from_json(&Json::parse(&finding_to_json(&f)).unwrap()).unwrap();
+            assert_eq!(parsed, f);
         }
     }
 
@@ -500,13 +263,5 @@ mod tests {
         assert!(Report::from_json(r#"{"scenario": 3}"#).is_err());
         let valid = sample_report().to_json();
         assert!(Report::from_json(&format!("{valid}x")).is_err(), "trailing garbage");
-    }
-
-    #[test]
-    fn json_escapes_are_emitted_and_parsed() {
-        let s = json_string("a\"b\\c\nd\u{1}");
-        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
-        let v = Json::parse(&s).unwrap();
-        assert_eq!(v, Json::String("a\"b\\c\nd\u{1}".into()));
     }
 }

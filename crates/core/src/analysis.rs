@@ -33,6 +33,93 @@ impl fmt::Display for Recipe {
     }
 }
 
+impl Recipe {
+    /// Stable machine-readable identifier, used by the JSON report
+    /// formats (`txfix analyze --json`, `txfix lint --json`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Recipe::ReplaceLocks => "replace-locks",
+            Recipe::WrapAll => "wrap-all",
+            Recipe::DeadlockPreemption => "deadlock-preemption",
+            Recipe::WrapUnprotected => "wrap-unprotected",
+        }
+    }
+
+    /// Parse a [`Recipe::slug`] back.
+    ///
+    /// # Errors
+    ///
+    /// When `s` is not one of the four slugs.
+    pub fn from_slug(s: &str) -> Result<Recipe, String> {
+        match s {
+            "replace-locks" => Ok(Recipe::ReplaceLocks),
+            "wrap-all" => Ok(Recipe::WrapAll),
+            "deadlock-preemption" => Ok(Recipe::DeadlockPreemption),
+            "wrap-unprotected" => Ok(Recipe::WrapUnprotected),
+            other => Err(format!("unknown recipe {other:?}")),
+        }
+    }
+}
+
+/// The coarse hazard classes the detectors (dynamic and static) report,
+/// used to map a finding onto the recipe that addresses it and to match
+/// static findings against dynamic ones. Data races and atomicity
+/// violations share one class: both are unserialized access to shared
+/// data, and the same wrap fixes both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HazardClass {
+    /// A cycle in the lock-order graph (potential deadlock).
+    LockCycle,
+    /// A condition-variable wait that keeps a lock a notifier needs.
+    WaitCycle,
+    /// Shared data reachable without common serialization (a data race
+    /// or a torn read-modify-write / multi-location invariant).
+    SharedData,
+    /// A notification that can fire before its waiter is ready.
+    LostWakeup,
+}
+
+impl fmt::Display for HazardClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HazardClass::LockCycle => write!(f, "lock-order cycle"),
+            HazardClass::WaitCycle => write!(f, "wait-with-held-lock cycle"),
+            HazardClass::SharedData => write!(f, "unserialized shared data"),
+            HazardClass::LostWakeup => write!(f, "lost wakeup"),
+        }
+    }
+}
+
+/// The recipe a finding of `class` gets when no corpus record ties it to
+/// the §5.3 decision procedure: the simple recipe of the matching bug
+/// kind (1 for lock cycles, 2 for data), and preemption for CV hazards,
+/// which atomic regions alone cannot express.
+pub fn fallback_recipe(class: HazardClass) -> Recipe {
+    match class {
+        HazardClass::LockCycle => Recipe::ReplaceLocks,
+        HazardClass::WaitCycle => Recipe::DeadlockPreemption,
+        HazardClass::SharedData => Recipe::WrapAll,
+        HazardClass::LostWakeup => Recipe::WrapAll,
+    }
+}
+
+/// The candidate recipes a linter should synthesize for a finding of
+/// `class`: the §5.3 plan (primary first, then the simplifying recipe)
+/// when the finding is tied to an analyzed corpus bug, the per-class
+/// default otherwise, and nothing when the analysis says TM cannot fix
+/// the bug.
+pub fn recipe_candidates(analysis: Option<&Analysis>, class: HazardClass) -> Vec<Recipe> {
+    match analysis {
+        Some(Analysis::Fixable(plan)) => {
+            let mut out = vec![plan.primary];
+            out.extend(plan.simplified_by);
+            out
+        }
+        Some(Analysis::Unfixable(_)) => Vec::new(),
+        None => vec![fallback_recipe(class)],
+    }
+}
+
 /// Why TM cannot fix a bug (§5.3.1 / §5.3.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnfixableReason {
@@ -330,6 +417,38 @@ mod tests {
             let a = analyze(&record(BugKind::AtomicityViolation, chars));
             assert_eq!(a, Analysis::Unfixable(reason));
         }
+    }
+
+    #[test]
+    fn recipe_slugs_round_trip() {
+        for recipe in [
+            Recipe::ReplaceLocks,
+            Recipe::WrapAll,
+            Recipe::DeadlockPreemption,
+            Recipe::WrapUnprotected,
+        ] {
+            assert_eq!(Recipe::from_slug(recipe.slug()), Ok(recipe));
+        }
+        assert!(Recipe::from_slug("recipe-5").is_err());
+    }
+
+    #[test]
+    fn recipe_candidates_follow_the_plan_when_there_is_one() {
+        let plan = Analysis::Fixable(FixPlan {
+            primary: Recipe::WrapAll,
+            simplified_by: Some(Recipe::WrapUnprotected),
+        });
+        assert_eq!(
+            recipe_candidates(Some(&plan), HazardClass::SharedData),
+            vec![Recipe::WrapAll, Recipe::WrapUnprotected]
+        );
+        let unfixable = Analysis::Unfixable(UnfixableReason::DesignFlaw);
+        assert!(recipe_candidates(Some(&unfixable), HazardClass::LockCycle).is_empty());
+        assert_eq!(recipe_candidates(None, HazardClass::LockCycle), vec![Recipe::ReplaceLocks]);
+        assert_eq!(
+            recipe_candidates(None, HazardClass::WaitCycle),
+            vec![Recipe::DeadlockPreemption]
+        );
     }
 
     #[test]

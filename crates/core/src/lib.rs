@@ -20,6 +20,8 @@
 //!   easy/medium/hard and picking the preferable fix.
 //! - [`report`]: rebuild the paper's Tables 1–3 from any dataset
 //!   ([`table1`], [`table2`], [`table3`], [`CorpusSummary`]).
+//! - [`json`]: the hand-rolled JSON reader/writer shared by the
+//!   machine-readable report formats (no serde in this build).
 //!
 //! The 60-bug dataset itself lives in `txfix-corpus`, which also provides
 //! executable reproductions of the 18 implemented fixes.
@@ -29,10 +31,14 @@
 pub mod analysis;
 pub mod bug;
 pub mod difficulty;
+pub mod json;
 pub mod recipe;
 pub mod report;
 
-pub use analysis::{analyze, Analysis, FixPlan, Recipe, UnfixableReason};
+pub use analysis::{
+    analyze, fallback_recipe, recipe_candidates, Analysis, FixPlan, HazardClass, Recipe,
+    UnfixableReason,
+};
 pub use bug::{App, BugChars, BugKind, BugRecord, DevFix, Difficulty, Downcalls, MissingSync};
 pub use difficulty::{preference, tm_difficulty, Preference};
 pub use recipe::{

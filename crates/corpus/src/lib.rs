@@ -1,6 +1,6 @@
 //! # txfix-corpus: the 60-bug study corpus and its executable scenarios
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! - [`dataset`]: the 60 [`BugRecord`](txfix_core::BugRecord)s (22
 //!   deadlocks + 38 atomicity violations across Mozilla, Apache and
@@ -12,14 +12,19 @@
 //!   scenario can run its **buggy** variant (demonstrating the bug via
 //!   deadlock detection or an invariant violation), the **developers'
 //!   fix**, and the **TM fix** built from the corresponding recipe.
+//! - [`summaries`]: declarative critical-section summaries of every
+//!   scenario variant for the static analyzer (`txfix lint`), with
+//!   buggy-variant names matching what the trace recorder emits.
 
 #![warn(missing_docs)]
 
 pub mod dataset;
 pub mod scenarios;
+pub mod summaries;
 
 pub use dataset::{all_bugs, bug_by_id, bug_by_scenario, keys};
 pub use scenarios::{all_scenarios, scenario_by_key, BugScenario, Outcome, Variant};
+pub use summaries::summary_for;
 
 #[cfg(test)]
 mod consistency {

@@ -1,0 +1,912 @@
+//! Critical-section summaries for the 18 executable scenarios.
+//!
+//! Each scenario registers one [`ScenarioSummary`] per variant — a
+//! declarative model of its lock acquisition order, atomic regions,
+//! shared-location accesses and condition-variable traffic — for the
+//! static passes in `txfix-static` (`txfix lint`). The buggy-variant
+//! models use the **same lock and location names the trace recorder
+//! emits**, so static findings can be matched subject-by-subject against
+//! the dynamic analyzer's reports; scenarios the recorder does not
+//! instrument (the §5.4 application miniatures and the condition-variable
+//! scenario) use free names in the same style.
+//!
+//! The models are deliberately minimal: they keep exactly the structure
+//! the bug needs (the nesting that closes a cycle, the dropped lockset,
+//! the early notify) and the structure the fixes restore, and nothing
+//! else. A model is *not* a trace — the passes consider every
+//! interleaving of the modeled paths.
+
+use crate::scenarios::Variant;
+use txfix_static::{Path, ScenarioSummary, Summary};
+
+/// The registered summary for scenario `key`'s `variant`, or `None` for
+/// an unknown key. Every key in [`crate::keys::ALL`] has all three
+/// variants.
+pub fn summary_for(key: &str, variant: Variant) -> Option<ScenarioSummary> {
+    let v = variant;
+    Some(match key {
+        crate::keys::MOZILLA_I => mozilla_i(v),
+        crate::keys::DL_CACHE_ATOMTABLE => dl_cache_atomtable(v),
+        crate::keys::DL_THREE_LOCK_CYCLE => dl_three_lock_cycle(v),
+        crate::keys::DL_INTENTIONAL_RACE => dl_intentional_race(v),
+        crate::keys::APACHE_I => apache_i(v),
+        crate::keys::DL_LOCAL_LOCK_ORDER => dl_local_lock_order(v),
+        crate::keys::DL_MYSQL_TABLE_PAIR => dl_mysql_table_pair(v),
+        crate::keys::AV_WRONG_LOCK => av_wrong_lock(v),
+        crate::keys::AV_REFCOUNT_RACE => av_refcount_race(v),
+        crate::keys::AV_LAZY_INIT => av_lazy_init(v),
+        crate::keys::AV_CV_PARTIAL => av_cv_partial(v),
+        crate::keys::AV_SCOREBOARD => av_scoreboard(v),
+        crate::keys::APACHE_II => apache_ii(v),
+        crate::keys::AV_PAIR_INVARIANT => av_pair_invariant(v),
+        crate::keys::AV_LOG_SEQUENCE => av_log_sequence(v),
+        crate::keys::AV_STATS_RACE => av_stats_race(v),
+        crate::keys::MYSQL_I => mysql_i(v),
+        crate::keys::AV_ADHOC_RETRY => av_adhoc_retry(v),
+        _ => return None,
+    })
+}
+
+fn label(v: Variant) -> &'static str {
+    match v {
+        Variant::Buggy => "buggy",
+        Variant::DevFix => "dev",
+        Variant::TmFix => "tm",
+    }
+}
+
+/// Mozilla-I (§5.4.1): `js_SetSlotThreadSafe` and `ClaimTitle` nest the
+/// title and scope locks in opposite orders.
+fn mozilla_i(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::MOZILLA_I, label(v));
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("set_slot")
+                    .acquire("moz1.title")
+                    .acquire("moz1.scope")
+                    .write("moz1.slot")
+                    .release("moz1.scope")
+                    .release("moz1.title"),
+            )
+            .path(
+                Path::new("claim_title")
+                    .acquire("moz1.scope")
+                    .acquire("moz1.title")
+                    .write("moz1.slot")
+                    .release("moz1.title")
+                    .release("moz1.scope"),
+            ),
+        // The real fix is a release-and-retry dance; the model keeps its
+        // essence — both paths end up nesting in one order.
+        Variant::DevFix => s
+            .path(
+                Path::new("set_slot")
+                    .acquire("moz1.title")
+                    .acquire("moz1.scope")
+                    .write("moz1.slot")
+                    .release("moz1.scope")
+                    .release("moz1.title"),
+            )
+            .path(
+                Path::new("claim_title")
+                    .acquire("moz1.title")
+                    .acquire("moz1.scope")
+                    .write("moz1.slot")
+                    .release("moz1.scope")
+                    .release("moz1.title"),
+            ),
+        Variant::TmFix => s
+            .path(Path::new("set_slot").atomic_begin().write("moz1.slot").atomic_end())
+            .path(Path::new("claim_title").atomic_begin().write("moz1.slot").atomic_end()),
+    }
+    .build()
+}
+
+/// Mozilla#54743: the cache and atom-table locks close an AB-BA cycle.
+fn dl_cache_atomtable(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::DL_CACHE_ATOMTABLE, label(v));
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("cache_flush")
+                    .acquire("m54743.cache")
+                    .write("m54743.cache_data")
+                    .acquire("m54743.atomtable")
+                    .write("m54743.atom_data")
+                    .release("m54743.atomtable")
+                    .release("m54743.cache"),
+            )
+            .path(
+                Path::new("atom_sweep")
+                    .acquire("m54743.atomtable")
+                    .write("m54743.atom_data")
+                    .acquire("m54743.cache")
+                    .write("m54743.cache_data")
+                    .release("m54743.cache")
+                    .release("m54743.atomtable"),
+            ),
+        Variant::DevFix => s
+            .path(
+                Path::new("cache_flush")
+                    .acquire("m54743.cache")
+                    .write("m54743.cache_data")
+                    .acquire("m54743.atomtable")
+                    .write("m54743.atom_data")
+                    .release("m54743.atomtable")
+                    .release("m54743.cache"),
+            )
+            .path(
+                Path::new("atom_sweep")
+                    .acquire("m54743.cache")
+                    .acquire("m54743.atomtable")
+                    .write("m54743.atom_data")
+                    .write("m54743.cache_data")
+                    .release("m54743.atomtable")
+                    .release("m54743.cache"),
+            ),
+        Variant::TmFix => s
+            .path(
+                Path::new("cache_flush")
+                    .atomic_begin()
+                    .write("m54743.cache_data")
+                    .write("m54743.atom_data")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("atom_sweep")
+                    .atomic_begin()
+                    .write("m54743.atom_data")
+                    .write("m54743.cache_data")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Mozilla#60303: three locks acquired in a rotating order.
+fn dl_three_lock_cycle(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::DL_THREE_LOCK_CYCLE, label(v));
+    let nested = |name: &str, first: &str, d1: &str, second: &str, d2: &str| {
+        Path::new(name)
+            .acquire(first)
+            .write(d1)
+            .acquire(second)
+            .write(d2)
+            .release(second)
+            .release(first)
+    };
+    match v {
+        Variant::Buggy => s
+            .path(nested("t0", "m60303.l0", "m60303.d0", "m60303.l1", "m60303.d1"))
+            .path(nested("t1", "m60303.l1", "m60303.d1", "m60303.l2", "m60303.d2"))
+            .path(nested("t2", "m60303.l2", "m60303.d2", "m60303.l0", "m60303.d0")),
+        // The developers imposed a global l0 < l1 < l2 order.
+        Variant::DevFix => s
+            .path(nested("t0", "m60303.l0", "m60303.d0", "m60303.l1", "m60303.d1"))
+            .path(nested("t1", "m60303.l1", "m60303.d1", "m60303.l2", "m60303.d2"))
+            .path(nested("t2", "m60303.l0", "m60303.d0", "m60303.l2", "m60303.d2")),
+        Variant::TmFix => s
+            .path(Path::new("t0").atomic_begin().write("m60303.d0").write("m60303.d1").atomic_end())
+            .path(Path::new("t1").atomic_begin().write("m60303.d1").write("m60303.d2").atomic_end())
+            .path(
+                Path::new("t2").atomic_begin().write("m60303.d2").write("m60303.d0").atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Mozilla#123930: a state/observer lock inversion the developers fixed
+/// by *dropping* the nested acquisition — introducing a deliberate,
+/// benign race.
+fn dl_intentional_race(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::DL_INTENTIONAL_RACE, label(v));
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("mutator")
+                    .acquire("m123930.state")
+                    .write("m123930.state_data")
+                    .acquire("m123930.observer")
+                    .write("m123930.observer_count")
+                    .release("m123930.observer")
+                    .release("m123930.state"),
+            )
+            .path(
+                Path::new("notifier")
+                    .acquire("m123930.observer")
+                    .write("m123930.observer_count")
+                    .acquire("m123930.state")
+                    .write("m123930.state_data")
+                    .release("m123930.state")
+                    .release("m123930.observer"),
+            ),
+        // The racy counter update is modeled as a hardware RMW: the
+        // developers' race is benign precisely because it is a single
+        // word-sized update, which is the granularity the model (and the
+        // recorder) treats as indivisible.
+        Variant::DevFix => s
+            .path(
+                Path::new("mutator")
+                    .acquire("m123930.state")
+                    .write("m123930.state_data")
+                    .release("m123930.state")
+                    .rmw("m123930.observer_count"),
+            )
+            .path(
+                Path::new("notifier")
+                    .acquire("m123930.state")
+                    .write("m123930.state_data")
+                    .release("m123930.state")
+                    .acquire("m123930.observer")
+                    .rmw("m123930.observer_count")
+                    .release("m123930.observer"),
+            ),
+        Variant::TmFix => s
+            .path(
+                Path::new("mutator")
+                    .atomic_begin()
+                    .write("m123930.state_data")
+                    .write("m123930.observer_count")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("notifier")
+                    .atomic_begin()
+                    .write("m123930.observer_count")
+                    .write("m123930.state_data")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Apache-I (§5.4.2): the listener sleeps on the idle-worker condition
+/// variable while holding the timeout mutex, which every worker needs
+/// before it can notify — a lock-and-wait cycle no lock graph sees.
+fn apache_i(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::APACHE_I, label(v));
+    let worker = || {
+        Path::new("worker")
+            .acquire("apache1.queue_lock")
+            .write("apache1.idle")
+            .notify("apache1.idle_cv")
+            .release("apache1.queue_lock")
+            .acquire("apache1.timeout_mutex")
+            .write("apache1.timeouts")
+            .release("apache1.timeout_mutex")
+    };
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("listener")
+                    .acquire("apache1.timeout_mutex")
+                    .write("apache1.timeouts")
+                    .acquire("apache1.queue_lock")
+                    .read("apache1.idle")
+                    .wait("apache1.idle_cv", "apache1.queue_lock", "apache1.idle")
+                    .read("apache1.idle")
+                    .write("apache1.idle")
+                    .release("apache1.queue_lock")
+                    .release("apache1.timeout_mutex"),
+            )
+            .path(worker()),
+        // The developers moved the timeout work out from under the wait.
+        Variant::DevFix => s
+            .path(
+                Path::new("listener")
+                    .acquire("apache1.queue_lock")
+                    .read("apache1.idle")
+                    .wait("apache1.idle_cv", "apache1.queue_lock", "apache1.idle")
+                    .read("apache1.idle")
+                    .write("apache1.idle")
+                    .release("apache1.queue_lock")
+                    .acquire("apache1.timeout_mutex")
+                    .write("apache1.timeouts")
+                    .release("apache1.timeout_mutex"),
+            )
+            .path(worker()),
+        // Recipe 3: the listener becomes a preemptible transaction over
+        // revocable locks; the wait becomes transactional retry.
+        Variant::TmFix => s
+            .path(
+                Path::new("listener")
+                    .atomic_begin()
+                    .acquire_tx("apache1.timeout_mutex")
+                    .write("apache1.timeouts")
+                    .acquire_tx("apache1.queue_lock")
+                    .read("apache1.idle")
+                    .write("apache1.idle")
+                    .release("apache1.queue_lock")
+                    .release("apache1.timeout_mutex")
+                    .atomic_end(),
+            )
+            .path(worker()),
+    }
+    .build()
+}
+
+/// Apache#11600: two local mutexes acquired in both orders.
+fn dl_local_lock_order(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::DL_LOCAL_LOCK_ORDER, label(v));
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("p0")
+                    .acquire("a11600.mutex_a")
+                    .write("a11600.data_a")
+                    .acquire("a11600.mutex_b")
+                    .write("a11600.data_b")
+                    .release("a11600.mutex_b")
+                    .release("a11600.mutex_a"),
+            )
+            .path(
+                Path::new("p1")
+                    .acquire("a11600.mutex_b")
+                    .write("a11600.data_b")
+                    .acquire("a11600.mutex_a")
+                    .write("a11600.data_a")
+                    .release("a11600.mutex_a")
+                    .release("a11600.mutex_b"),
+            ),
+        Variant::DevFix => s
+            .path(
+                Path::new("p0")
+                    .acquire("a11600.mutex_a")
+                    .write("a11600.data_a")
+                    .acquire("a11600.mutex_b")
+                    .write("a11600.data_b")
+                    .release("a11600.mutex_b")
+                    .release("a11600.mutex_a"),
+            )
+            .path(
+                Path::new("p1")
+                    .acquire("a11600.mutex_a")
+                    .acquire("a11600.mutex_b")
+                    .write("a11600.data_b")
+                    .write("a11600.data_a")
+                    .release("a11600.mutex_b")
+                    .release("a11600.mutex_a"),
+            ),
+        Variant::TmFix => s
+            .path(
+                Path::new("p0")
+                    .atomic_begin()
+                    .write("a11600.data_a")
+                    .write("a11600.data_b")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("p1")
+                    .atomic_begin()
+                    .write("a11600.data_b")
+                    .write("a11600.data_a")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// MySQL#3155: two table locks taken in statement order, which differs
+/// between concurrent statements.
+fn dl_mysql_table_pair(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::DL_MYSQL_TABLE_PAIR, label(v));
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("stmt_ab")
+                    .acquire("my3155.table1")
+                    .write("my3155.rows1")
+                    .acquire("my3155.table2")
+                    .write("my3155.rows2")
+                    .release("my3155.table2")
+                    .release("my3155.table1"),
+            )
+            .path(
+                Path::new("stmt_ba")
+                    .acquire("my3155.table2")
+                    .write("my3155.rows2")
+                    .acquire("my3155.table1")
+                    .write("my3155.rows1")
+                    .release("my3155.table1")
+                    .release("my3155.table2"),
+            ),
+        Variant::DevFix => s
+            .path(
+                Path::new("stmt_ab")
+                    .acquire("my3155.table1")
+                    .write("my3155.rows1")
+                    .acquire("my3155.table2")
+                    .write("my3155.rows2")
+                    .release("my3155.table2")
+                    .release("my3155.table1"),
+            )
+            .path(
+                Path::new("stmt_ba")
+                    .acquire("my3155.table1")
+                    .acquire("my3155.table2")
+                    .write("my3155.rows2")
+                    .write("my3155.rows1")
+                    .release("my3155.table2")
+                    .release("my3155.table1"),
+            ),
+        // Recipe 3: each statement keeps its natural order but acquires
+        // revocably inside a preemptible transaction.
+        Variant::TmFix => s
+            .path(
+                Path::new("stmt_ab")
+                    .atomic_begin()
+                    .acquire_tx("my3155.table1")
+                    .write("my3155.rows1")
+                    .acquire_tx("my3155.table2")
+                    .write("my3155.rows2")
+                    .release("my3155.table2")
+                    .release("my3155.table1")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("stmt_ba")
+                    .atomic_begin()
+                    .acquire_tx("my3155.table2")
+                    .write("my3155.rows2")
+                    .acquire_tx("my3155.table1")
+                    .write("my3155.rows1")
+                    .release("my3155.table1")
+                    .release("my3155.table2")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Mozilla#133773/#18025: one client protects the cache counter with the
+/// wrong (unrelated) lock, so the "protected" sections never exclude
+/// each other.
+fn av_wrong_lock(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_WRONG_LOCK, label(v));
+    let right = |lock: &str| {
+        Path::new("evictor")
+            .acquire(lock)
+            .read("m133773.cache_count")
+            .write("m133773.cache_count")
+            .release(lock)
+    };
+    match v {
+        Variant::Buggy => s.path(right("m133773.cache_lock")).path(
+            Path::new("inserter")
+                .acquire("m133773.unrelated_lock")
+                .read("m133773.cache_count")
+                .write("m133773.cache_count")
+                .release("m133773.unrelated_lock"),
+        ),
+        Variant::DevFix => s.path(right("m133773.cache_lock")).path(
+            Path::new("inserter")
+                .acquire("m133773.cache_lock")
+                .read("m133773.cache_count")
+                .write("m133773.cache_count")
+                .release("m133773.cache_lock"),
+        ),
+        // Recipe 4: the wrong-lock path becomes an atomic region
+        // serialized against the intended lock's critical sections.
+        Variant::TmFix => s.path(right("m133773.cache_lock")).path(
+            Path::new("inserter")
+                .atomic_serialized(&["m133773.cache_lock"])
+                .read("m133773.cache_count")
+                .write("m133773.cache_count")
+                .atomic_end(),
+        ),
+    }
+    .build()
+}
+
+/// Mozilla#90994-style: check-then-decrement of a reference count with
+/// no synchronization at all.
+fn av_refcount_race(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_REFCOUNT_RACE, label(v));
+    let bare = |name: &str| Path::new(name).read("m.refcount").write("m.refcount");
+    match v {
+        Variant::Buggy => s.path(bare("releaser")).path(bare("adopter")),
+        // The developers switched to an atomic fetch-and-add.
+        Variant::DevFix => s
+            .path(Path::new("releaser").rmw("m.refcount"))
+            .path(Path::new("adopter").rmw("m.refcount")),
+        Variant::TmFix => s
+            .path(
+                Path::new("releaser")
+                    .atomic_begin()
+                    .read("m.refcount")
+                    .write("m.refcount")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("adopter")
+                    .atomic_begin()
+                    .read("m.refcount")
+                    .write("m.refcount")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Mozilla#52271-style: unsynchronized check-then-initialize of a lazy
+/// singleton.
+fn av_lazy_init(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_LAZY_INIT, label(v));
+    let bare = |name: &str| Path::new(name).read("m52271.initialized").write("m52271.initialized");
+    let locked = |name: &str| {
+        Path::new(name)
+            .acquire("m52271.init_lock")
+            .read("m52271.initialized")
+            .write("m52271.initialized")
+            .release("m52271.init_lock")
+    };
+    match v {
+        Variant::Buggy => s.path(bare("first_user")).path(bare("second_user")),
+        Variant::DevFix => s.path(locked("first_user")).path(locked("second_user")),
+        Variant::TmFix => s
+            .path(
+                Path::new("first_user")
+                    .atomic_begin()
+                    .read("m52271.initialized")
+                    .write("m52271.initialized")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("second_user")
+                    .atomic_begin()
+                    .read("m52271.initialized")
+                    .write("m52271.initialized")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Mozilla#91106-style: the producer notifies the consumer's condition
+/// variable *before* it has published the item — a waiter that checks
+/// its predicate in between goes back to sleep forever.
+fn av_cv_partial(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_CV_PARTIAL, label(v));
+    let consumer = || {
+        Path::new("consumer")
+            .acquire("m91106.monitor")
+            .read("m91106.items")
+            .wait("m91106.cv", "m91106.monitor", "m91106.items")
+            .read("m91106.items")
+            .write("m91106.items")
+            .release("m91106.monitor")
+    };
+    match v {
+        Variant::Buggy => s.path(consumer()).path(
+            Path::new("producer")
+                .notify("m91106.cv")
+                .acquire("m91106.monitor")
+                .write("m91106.items")
+                .release("m91106.monitor"),
+        ),
+        Variant::DevFix => s.path(consumer()).path(
+            Path::new("producer")
+                .acquire("m91106.monitor")
+                .write("m91106.items")
+                .notify("m91106.cv")
+                .release("m91106.monitor"),
+        ),
+        // Recipe 2 + retry: the monitor and condition variable both
+        // dissolve into atomic regions (the consumer's wait becomes a
+        // transactional retry on the same predicate).
+        Variant::TmFix => s
+            .path(
+                Path::new("consumer")
+                    .atomic_begin()
+                    .read("m91106.items")
+                    .write("m91106.items")
+                    .atomic_end(),
+            )
+            .path(Path::new("producer").atomic_begin().write("m91106.items").atomic_end()),
+    }
+    .build()
+}
+
+/// Apache#25520: worker scoreboard slots updated with no lock.
+fn av_scoreboard(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_SCOREBOARD, label(v));
+    let bare = |name: &str| Path::new(name).read("a25520.slot").write("a25520.slot");
+    let locked = |name: &str| {
+        Path::new(name)
+            .acquire("a25520.scoreboard_lock")
+            .read("a25520.slot")
+            .write("a25520.slot")
+            .release("a25520.scoreboard_lock")
+    };
+    match v {
+        Variant::Buggy => s.path(bare("worker")).path(bare("reaper")),
+        Variant::DevFix => s.path(locked("worker")).path(locked("reaper")),
+        Variant::TmFix => s
+            .path(
+                Path::new("worker")
+                    .atomic_begin()
+                    .read("a25520.slot")
+                    .write("a25520.slot")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("reaper")
+                    .atomic_begin()
+                    .read("a25520.slot")
+                    .write("a25520.slot")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Apache-II (§5.4.3): the buffered log writer reads the cursor, copies
+/// bytes, and bumps the cursor — two writers interleaving tear both the
+/// cursor and the buffer/cursor invariant.
+fn apache_ii(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::APACHE_II, label(v))
+        .group(&["apache2.log_buf", "apache2.log_cursor"]);
+    let bare = |name: &str| {
+        Path::new(name)
+            .read("apache2.log_cursor")
+            .write("apache2.log_buf")
+            .write("apache2.log_cursor")
+    };
+    let locked = |name: &str| {
+        Path::new(name)
+            .acquire("apache2.log_lock")
+            .read("apache2.log_cursor")
+            .write("apache2.log_buf")
+            .write("apache2.log_cursor")
+            .release("apache2.log_lock")
+    };
+    match v {
+        Variant::Buggy => s.path(bare("writer1")).path(bare("writer2")),
+        Variant::DevFix => s.path(locked("writer1")).path(locked("writer2")),
+        Variant::TmFix => s
+            .path(
+                Path::new("writer1")
+                    .atomic_begin()
+                    .read("apache2.log_cursor")
+                    .write("apache2.log_buf")
+                    .write("apache2.log_cursor")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("writer2")
+                    .atomic_begin()
+                    .read("apache2.log_cursor")
+                    .write("apache2.log_buf")
+                    .write("apache2.log_cursor")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Apache#31017: the request/byte counter pair must move together, but
+/// each update is its own unsynchronized store.
+fn av_pair_invariant(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_PAIR_INVARIANT, label(v))
+        .group(&["a31017.requests", "a31017.bytes"]);
+    match v {
+        Variant::Buggy => s
+            .path(Path::new("updater").write("a31017.requests").write("a31017.bytes"))
+            .path(Path::new("reporter").read("a31017.requests").read("a31017.bytes")),
+        Variant::DevFix => s
+            .path(
+                Path::new("updater")
+                    .acquire("a31017.stats_lock")
+                    .write("a31017.requests")
+                    .write("a31017.bytes")
+                    .release("a31017.stats_lock"),
+            )
+            .path(
+                Path::new("reporter")
+                    .acquire("a31017.stats_lock")
+                    .read("a31017.requests")
+                    .read("a31017.bytes")
+                    .release("a31017.stats_lock"),
+            ),
+        Variant::TmFix => s
+            .path(
+                Path::new("updater")
+                    .atomic_begin()
+                    .write("a31017.requests")
+                    .write("a31017.bytes")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("reporter")
+                    .atomic_begin()
+                    .read("a31017.requests")
+                    .read("a31017.bytes")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// Apache#29850: read the shared sequence number, emit the log line,
+/// bump the sequence — all unsynchronized.
+fn av_log_sequence(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_LOG_SEQUENCE, label(v));
+    let bare =
+        |name: &str| Path::new(name).read("a29850.seq").write("a29850.log").write("a29850.seq");
+    let locked = |name: &str| {
+        Path::new(name)
+            .acquire("a29850.writer_lock")
+            .read("a29850.seq")
+            .write("a29850.log")
+            .write("a29850.seq")
+            .release("a29850.writer_lock")
+    };
+    match v {
+        Variant::Buggy => s.path(bare("req1")).path(bare("req2")),
+        Variant::DevFix => s.path(locked("req1")).path(locked("req2")),
+        Variant::TmFix => s
+            .path(
+                Path::new("req1")
+                    .atomic_begin()
+                    .read("a29850.seq")
+                    .write("a29850.log")
+                    .write("a29850.seq")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("req2")
+                    .atomic_begin()
+                    .read("a29850.seq")
+                    .write("a29850.log")
+                    .write("a29850.seq")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// MySQL#12228: statistics counters updated without the status lock the
+/// rest of the server uses.
+fn av_stats_race(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_STATS_RACE, label(v));
+    let bare = |name: &str| Path::new(name).read("my12228.queries").write("my12228.queries");
+    let locked = |name: &str| {
+        Path::new(name)
+            .acquire("my12228.lock_status")
+            .read("my12228.queries")
+            .write("my12228.queries")
+            .release("my12228.lock_status")
+    };
+    match v {
+        Variant::Buggy => s.path(bare("conn1")).path(bare("conn2")),
+        Variant::DevFix => s.path(locked("conn1")).path(locked("conn2")),
+        Variant::TmFix => s
+            .path(
+                Path::new("conn1")
+                    .atomic_begin()
+                    .read("my12228.queries")
+                    .write("my12228.queries")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("conn2")
+                    .atomic_begin()
+                    .read("my12228.queries")
+                    .write("my12228.queries")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+/// MySQL-I (§5.4.4): delete-all drops `lock_open` before writing the
+/// binlog, so a concurrent insert can slip between table change and log
+/// record — the table/binlog invariant tears.
+fn mysql_i(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::MYSQL_I, label(v)).group(&["mysql1.table", "mysql1.binlog"]);
+    let insert = || {
+        Path::new("insert")
+            .acquire("mysql1.lock_open")
+            .write("mysql1.table")
+            .write("mysql1.binlog")
+            .release("mysql1.lock_open")
+    };
+    match v {
+        Variant::Buggy => s
+            .path(
+                Path::new("delete_all")
+                    .acquire("mysql1.lock_open")
+                    .read("mysql1.table")
+                    .write("mysql1.table")
+                    .release("mysql1.lock_open")
+                    .write("mysql1.binlog"),
+            )
+            .path(insert()),
+        Variant::DevFix => s
+            .path(
+                Path::new("delete_all")
+                    .acquire("mysql1.lock_open")
+                    .read("mysql1.table")
+                    .write("mysql1.table")
+                    .write("mysql1.binlog")
+                    .release("mysql1.lock_open"),
+            )
+            .path(insert()),
+        // Recipe 4: delete-all becomes one atomic region serialized
+        // against the remaining `lock_open` critical sections.
+        Variant::TmFix => s
+            .path(
+                Path::new("delete_all")
+                    .atomic_serialized(&["mysql1.lock_open"])
+                    .read("mysql1.table")
+                    .write("mysql1.table")
+                    .write("mysql1.binlog")
+                    .atomic_end(),
+            )
+            .path(insert()),
+    }
+    .build()
+}
+
+/// MySQL#16582: a hand-rolled version-check/redo mechanism — read the
+/// version, write the value, bump the version, with no synchronization
+/// underneath.
+fn av_adhoc_retry(v: Variant) -> ScenarioSummary {
+    let s = Summary::new(crate::keys::AV_ADHOC_RETRY, label(v));
+    let bare = |name: &str| {
+        Path::new(name).read("my16582.version").write("my16582.value").write("my16582.version")
+    };
+    match v {
+        Variant::Buggy => s.path(bare("updater1")).path(bare("updater2")),
+        // The developers collapsed the check/update into one CAS-style
+        // atomic word operation.
+        Variant::DevFix => s
+            .path(Path::new("updater1").rmw("my16582.record"))
+            .path(Path::new("updater2").rmw("my16582.record")),
+        Variant::TmFix => s
+            .path(
+                Path::new("updater1")
+                    .atomic_begin()
+                    .read("my16582.version")
+                    .write("my16582.value")
+                    .write("my16582.version")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("updater2")
+                    .atomic_begin()
+                    .read("my16582.version")
+                    .write("my16582.value")
+                    .write("my16582.version")
+                    .atomic_end(),
+            ),
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VARIANTS: [Variant; 3] = [Variant::Buggy, Variant::DevFix, Variant::TmFix];
+
+    #[test]
+    fn every_scenario_has_all_three_summaries_and_they_validate() {
+        for key in crate::keys::ALL {
+            for v in VARIANTS {
+                let s =
+                    summary_for(key, v).unwrap_or_else(|| panic!("no summary for {key} ({v:?})"));
+                s.validate().unwrap_or_else(|e| panic!("{key} ({v:?}): {e}"));
+                assert_eq!(s.key, key);
+                assert_eq!(s.variant, label(v));
+                assert!(s.paths.len() >= 2, "{key} ({v:?}) models fewer than two paths");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_keys_have_no_summary() {
+        assert!(summary_for("no_such_scenario", Variant::Buggy).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Access-fact extraction: walk each path summary and annotate every
+//! data access with the protection it runs under.
+//!
+//! Two protection notions fall out of one walk:
+//!
+//! - **`race_prot`** — what serializes this access against *other
+//!   paths*: the names of held locks, the locks an enclosing atomic
+//!   region is serialized with (Recipe 4), and — for any enclosing
+//!   atomic region — the shared [`ATOMIC`] token, because the STM
+//!   globally serializes transactions against each other. Two accesses
+//!   on different paths race when their `race_prot` sets are disjoint.
+//! - **`unit_prot`** — what holds *continuously across* this path's
+//!   accesses: lock names tagged with an acquisition epoch (bumped on
+//!   each acquire and on each `Wait`, which releases the monitor
+//!   mid-region) and atomic regions tagged with their instance. Two
+//!   accesses in the same path belong to one atomic unit only if their
+//!   `unit_prot` sets intersect; a lock released and retaken between
+//!   them does not count, which is exactly the dropped-lockset pattern
+//!   the atomicity pass looks for.
+
+use crate::ir::{Op, PathSummary, ScenarioSummary};
+use std::collections::BTreeSet;
+
+/// The protection token every atomic region contributes to `race_prot`:
+/// transactions are serialized against each other regardless of
+/// instance. Distinct from any lock name the corpus uses.
+pub(crate) const ATOMIC: &str = "$atomic";
+
+/// One data access (Read/Write/Rmw) with its extracted protection.
+#[derive(Clone, Debug)]
+pub(crate) struct Access {
+    /// Index of the path in the summary.
+    pub path: usize,
+    /// Index of the op within the path.
+    pub op: usize,
+    /// The location touched.
+    pub loc: String,
+    /// Whether the access reads the location.
+    pub reads: bool,
+    /// Whether the access writes the location.
+    pub writes: bool,
+    /// Whether the access is hardware-atomic (Rmw or atomic Read/Write).
+    pub hw_atomic: bool,
+    /// Cross-path serialization: lock names, serialized-with locks, and
+    /// the shared `$atomic` token.
+    pub race_prot: BTreeSet<String>,
+    /// Within-path continuity: `lock@epoch` and `$atomic@instance`.
+    pub unit_prot: BTreeSet<String>,
+    /// Just the real lock names held (no atomic tokens) — used by the
+    /// synthesizer to pick which path Recipe 4 should wrap.
+    pub locks_held: BTreeSet<String>,
+}
+
+/// Extract all access facts from `summary` in path order.
+pub(crate) fn accesses(summary: &ScenarioSummary) -> Vec<Access> {
+    let mut out = Vec::new();
+    for (pi, path) in summary.paths.iter().enumerate() {
+        walk_path(pi, path, &mut out);
+    }
+    out
+}
+
+fn walk_path(pi: usize, path: &PathSummary, out: &mut Vec<Access>) {
+    // Held locks as (name, epoch); epochs make `unit_prot` entries stale
+    // once a lock is released (or dropped inside a Wait) and retaken.
+    let mut held: Vec<(String, u64)> = Vec::new();
+    let mut next_epoch: u64 = 0;
+    // Open atomic regions as (instance, serialized_with).
+    let mut regions: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut next_instance: u64 = 0;
+
+    for (oi, op) in path.ops.iter().enumerate() {
+        match op {
+            Op::Acquire { lock, .. } => {
+                next_epoch += 1;
+                held.push((lock.clone(), next_epoch));
+            }
+            Op::Release { lock } => {
+                if let Some(pos) = held.iter().rposition(|(h, _)| h == lock) {
+                    held.remove(pos);
+                }
+            }
+            Op::AtomicBegin { serialized_with } => {
+                next_instance += 1;
+                regions.push((next_instance, serialized_with.clone()));
+            }
+            Op::AtomicEnd => {
+                regions.pop();
+            }
+            Op::Wait { monitor, .. } => {
+                // The wait releases and reacquires the monitor: any unit
+                // that spans it is not continuously protected.
+                if let Some(pos) = held.iter().rposition(|(h, _)| h == monitor) {
+                    next_epoch += 1;
+                    held[pos].1 = next_epoch;
+                }
+            }
+            Op::Read { loc, atomic } | Op::Write { loc, atomic } => {
+                let reads = matches!(op, Op::Read { .. });
+                out.push(access(pi, oi, loc, reads, !reads, *atomic, &held, &regions));
+            }
+            Op::Rmw { loc } => {
+                out.push(access(pi, oi, loc, true, true, true, &held, &regions));
+            }
+            Op::Notify { .. } => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn access(
+    path: usize,
+    op: usize,
+    loc: &str,
+    reads: bool,
+    writes: bool,
+    hw_atomic: bool,
+    held: &[(String, u64)],
+    regions: &[(u64, Vec<String>)],
+) -> Access {
+    let mut race_prot = BTreeSet::new();
+    let mut unit_prot = BTreeSet::new();
+    let mut locks_held = BTreeSet::new();
+    for (lock, epoch) in held {
+        race_prot.insert(lock.clone());
+        unit_prot.insert(format!("{lock}@{epoch}"));
+        locks_held.insert(lock.clone());
+    }
+    for (instance, serialized_with) in regions {
+        race_prot.insert(ATOMIC.to_string());
+        unit_prot.insert(format!("{ATOMIC}@{instance}"));
+        for lock in serialized_with {
+            // Recipe 4: the region excludes these locks' critical
+            // sections, so accesses under those locks cannot interleave
+            // with it.
+            race_prot.insert(lock.clone());
+        }
+    }
+    Access {
+        path,
+        op,
+        loc: loc.to_string(),
+        reads,
+        writes,
+        hw_atomic,
+        race_prot,
+        unit_prot,
+        locks_held,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Path, Summary};
+
+    #[test]
+    fn lock_epochs_break_continuity_across_release() {
+        let s = Summary::new("t", "buggy")
+            .path(
+                Path::new("p")
+                    .acquire("l")
+                    .read("x")
+                    .release("l")
+                    .acquire("l")
+                    .write("x")
+                    .release("l"),
+            )
+            .build();
+        let a = accesses(&s);
+        assert_eq!(a.len(), 2);
+        // Same race protection (lock name), different unit protection
+        // (epochs differ across the release/reacquire).
+        assert_eq!(a[0].race_prot, a[1].race_prot);
+        assert!(a[0].unit_prot.is_disjoint(&a[1].unit_prot));
+    }
+
+    #[test]
+    fn wait_bumps_the_monitor_epoch() {
+        let s = Summary::new("t", "buggy")
+            .path(
+                Path::new("p").acquire("m").read("x").wait("cv", "m", "x").write("x").release("m"),
+            )
+            .build();
+        let a = accesses(&s);
+        assert!(a[0].unit_prot.is_disjoint(&a[1].unit_prot), "wait must break the unit");
+    }
+
+    #[test]
+    fn atomic_regions_share_the_race_token_but_not_instances() {
+        let s = Summary::new("t", "buggy")
+            .path(
+                Path::new("p")
+                    .atomic_begin()
+                    .read("x")
+                    .atomic_end()
+                    .atomic_begin()
+                    .write("x")
+                    .atomic_end(),
+            )
+            .build();
+        let a = accesses(&s);
+        assert!(a[0].race_prot.contains(ATOMIC));
+        assert_eq!(a[0].race_prot, a[1].race_prot);
+        assert!(a[0].unit_prot.is_disjoint(&a[1].unit_prot));
+    }
+
+    #[test]
+    fn serialized_regions_count_the_locks_they_exclude() {
+        let s = Summary::new("t", "tm")
+            .path(Path::new("p").atomic_serialized(&["l"]).write("x").atomic_end())
+            .build();
+        let a = accesses(&s);
+        assert!(a[0].race_prot.contains("l"));
+        assert!(a[0].locks_held.is_empty(), "serialization is not lock ownership");
+    }
+
+    #[test]
+    fn rmw_reads_and_writes_atomically() {
+        let s = Summary::new("t", "dev").path(Path::new("p").rmw("x")).build();
+        let a = accesses(&s);
+        assert!(a[0].reads && a[0].writes && a[0].hw_atomic);
+    }
+}

@@ -1,0 +1,378 @@
+//! The critical-section summary IR.
+//!
+//! A [`ScenarioSummary`] is a declarative model of one scenario variant:
+//! for each concurrent path, the order of lock acquisitions/releases,
+//! atomic-region entry/exit, shared-location reads/writes, and
+//! condition-variable traffic; plus the invariant groups tying locations
+//! together. Corpus scenarios register one summary per variant, and the
+//! passes in this crate analyze the summaries without running any code —
+//! so a hazard is reported when *any* interleaving of the modeled paths
+//! could hit it, not just the ones a recorder happens to observe.
+//!
+//! Summaries are built with the fluent [`Summary`]/[`Path`] builders and
+//! checked for structural sanity (balanced acquire/release and atomic
+//! nesting, waits only on held monitors) by [`ScenarioSummary::validate`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One operation in a path summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Acquire `lock`. Revocable acquisitions model Recipe 3's
+    /// `TxMutex::lock_tx` — the lock can be preempted by a conflicting
+    /// transaction, so the lock-order pass exempts them from cycles.
+    Acquire {
+        /// Lock name (shared across paths and scenarios).
+        lock: String,
+        /// Whether the acquisition is revocable (`TxMutex`-style).
+        revocable: bool,
+    },
+    /// Release `lock` (must be held).
+    Release {
+        /// Lock name.
+        lock: String,
+    },
+    /// Enter an atomic region. `serialized_with` lists lock names whose
+    /// critical sections the region is serialized against (Recipe 4's
+    /// `SerialDomain`); empty for a plain atomic region.
+    AtomicBegin {
+        /// Locks the region is mutually exclusive with.
+        serialized_with: Vec<String>,
+    },
+    /// Leave the innermost atomic region.
+    AtomicEnd,
+    /// Read shared location `loc`.
+    Read {
+        /// Location name.
+        loc: String,
+        /// Whether the access is hardware-atomic (e.g. `AtomicUsize`).
+        atomic: bool,
+    },
+    /// Write shared location `loc`.
+    Write {
+        /// Location name.
+        loc: String,
+        /// Whether the access is hardware-atomic.
+        atomic: bool,
+    },
+    /// An indivisible hardware read-modify-write of `loc` (CAS loop,
+    /// fetch-and-add): reads and writes the location in one step.
+    Rmw {
+        /// Location name.
+        loc: String,
+    },
+    /// Block on condition variable `cv` until notified, releasing and
+    /// reacquiring the held `monitor` around the sleep. `predicate`
+    /// names the location the waiter's predicate reads, so the
+    /// lost-wakeup pass can relate notifications to the state they
+    /// announce.
+    Wait {
+        /// Condition-variable name.
+        cv: String,
+        /// The monitor lock released for the duration of the wait.
+        monitor: String,
+        /// The location the wait predicate reads.
+        predicate: String,
+    },
+    /// Notify waiters of `cv`.
+    Notify {
+        /// Condition-variable name.
+        cv: String,
+    },
+}
+
+impl Op {
+    /// The location a data access touches, if this op is one.
+    pub fn loc(&self) -> Option<&str> {
+        match self {
+            Op::Read { loc, .. } | Op::Write { loc, .. } | Op::Rmw { loc } => Some(loc),
+            _ => None,
+        }
+    }
+}
+
+/// One concurrent path (thread) of a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSummary {
+    /// Diagnostic name (e.g. `"deleter"`, `"worker"`).
+    pub name: String,
+    /// The path's operations in program order.
+    pub ops: Vec<Op>,
+}
+
+/// The summary of one scenario variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioSummary {
+    /// The scenario key (matches the corpus key).
+    pub key: String,
+    /// Which variant is modeled (`buggy`, `dev`, `tm`).
+    pub variant: String,
+    /// Location groups tied by a multi-location invariant: accessing two
+    /// group members without continuous protection is an atomicity
+    /// hazard even when each member alone looks consistent.
+    pub groups: Vec<Vec<String>>,
+    /// The concurrent paths.
+    pub paths: Vec<PathSummary>,
+}
+
+impl ScenarioSummary {
+    /// Structural sanity check: every release matches a held acquire,
+    /// every wait names a held monitor, atomic regions nest, and every
+    /// path ends with nothing held and no region open.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation, naming the path.
+    pub fn validate(&self) -> Result<(), String> {
+        for p in &self.paths {
+            let mut held: Vec<&str> = Vec::new();
+            let mut depth = 0usize;
+            for (i, op) in p.ops.iter().enumerate() {
+                match op {
+                    Op::Acquire { lock, .. } => {
+                        if held.contains(&lock.as_str()) {
+                            return Err(format!(
+                                "{}/{}: op {i} reacquires held lock {lock:?}",
+                                self.key, p.name
+                            ));
+                        }
+                        held.push(lock);
+                    }
+                    Op::Release { lock } => {
+                        let Some(pos) = held.iter().rposition(|h| *h == lock) else {
+                            return Err(format!(
+                                "{}/{}: op {i} releases unheld lock {lock:?}",
+                                self.key, p.name
+                            ));
+                        };
+                        held.remove(pos);
+                    }
+                    Op::AtomicBegin { .. } => depth += 1,
+                    Op::AtomicEnd => {
+                        depth = depth.checked_sub(1).ok_or_else(|| {
+                            format!(
+                                "{}/{}: op {i} ends an unopened atomic region",
+                                self.key, p.name
+                            )
+                        })?;
+                    }
+                    Op::Wait { monitor, .. } => {
+                        if !held.contains(&monitor.as_str()) {
+                            return Err(format!(
+                                "{}/{}: op {i} waits without holding monitor {monitor:?}",
+                                self.key, p.name
+                            ));
+                        }
+                    }
+                    Op::Read { .. } | Op::Write { .. } | Op::Rmw { .. } | Op::Notify { .. } => {}
+                }
+            }
+            if !held.is_empty() {
+                return Err(format!("{}/{}: path ends holding {held:?}", self.key, p.name));
+            }
+            if depth != 0 {
+                return Err(format!("{}/{}: path ends inside an atomic region", self.key, p.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every lock name acquired anywhere in the summary.
+    pub fn lock_names(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in &self.paths {
+            for op in &p.ops {
+                if let Op::Acquire { lock, .. } = op {
+                    out.insert(lock.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ScenarioSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} variant, {} paths)", self.key, self.variant, self.paths.len())
+    }
+}
+
+/// Fluent builder for a [`PathSummary`].
+#[derive(Clone, Debug)]
+pub struct Path {
+    name: String,
+    ops: Vec<Op>,
+}
+
+impl Path {
+    /// Start a path named `name`.
+    pub fn new(name: &str) -> Path {
+        Path { name: name.to_string(), ops: Vec::new() }
+    }
+
+    fn push(mut self, op: Op) -> Path {
+        self.ops.push(op);
+        self
+    }
+
+    /// Acquire `lock` non-revocably (a plain mutex).
+    pub fn acquire(self, lock: &str) -> Path {
+        self.push(Op::Acquire { lock: lock.to_string(), revocable: false })
+    }
+
+    /// Acquire `lock` revocably (Recipe 3's `TxMutex::lock_tx`).
+    pub fn acquire_tx(self, lock: &str) -> Path {
+        self.push(Op::Acquire { lock: lock.to_string(), revocable: true })
+    }
+
+    /// Release `lock`.
+    pub fn release(self, lock: &str) -> Path {
+        self.push(Op::Release { lock: lock.to_string() })
+    }
+
+    /// Enter a plain atomic region.
+    pub fn atomic_begin(self) -> Path {
+        self.push(Op::AtomicBegin { serialized_with: Vec::new() })
+    }
+
+    /// Enter an atomic region serialized against the named locks'
+    /// critical sections (Recipe 4).
+    pub fn atomic_serialized(self, locks: &[&str]) -> Path {
+        self.push(Op::AtomicBegin {
+            serialized_with: locks.iter().map(|l| l.to_string()).collect(),
+        })
+    }
+
+    /// Leave the innermost atomic region.
+    pub fn atomic_end(self) -> Path {
+        self.push(Op::AtomicEnd)
+    }
+
+    /// Read `loc` non-atomically.
+    pub fn read(self, loc: &str) -> Path {
+        self.push(Op::Read { loc: loc.to_string(), atomic: false })
+    }
+
+    /// Read `loc` with a hardware-atomic load.
+    pub fn read_atomic(self, loc: &str) -> Path {
+        self.push(Op::Read { loc: loc.to_string(), atomic: true })
+    }
+
+    /// Write `loc` non-atomically.
+    pub fn write(self, loc: &str) -> Path {
+        self.push(Op::Write { loc: loc.to_string(), atomic: false })
+    }
+
+    /// Write `loc` with a hardware-atomic store.
+    pub fn write_atomic(self, loc: &str) -> Path {
+        self.push(Op::Write { loc: loc.to_string(), atomic: true })
+    }
+
+    /// An indivisible read-modify-write of `loc`.
+    pub fn rmw(self, loc: &str) -> Path {
+        self.push(Op::Rmw { loc: loc.to_string() })
+    }
+
+    /// Wait on `cv`, releasing `monitor` for the sleep; the wait
+    /// predicate reads `predicate`.
+    pub fn wait(self, cv: &str, monitor: &str, predicate: &str) -> Path {
+        self.push(Op::Wait {
+            cv: cv.to_string(),
+            monitor: monitor.to_string(),
+            predicate: predicate.to_string(),
+        })
+    }
+
+    /// Notify waiters of `cv`.
+    pub fn notify(self, cv: &str) -> Path {
+        self.push(Op::Notify { cv: cv.to_string() })
+    }
+
+    /// Finish the path.
+    pub fn build(self) -> PathSummary {
+        PathSummary { name: self.name, ops: self.ops }
+    }
+}
+
+/// Fluent builder for a [`ScenarioSummary`].
+#[derive(Clone, Debug)]
+pub struct Summary {
+    inner: ScenarioSummary,
+}
+
+impl Summary {
+    /// Start a summary for scenario `key`, variant `variant`.
+    pub fn new(key: &str, variant: &str) -> Summary {
+        Summary {
+            inner: ScenarioSummary {
+                key: key.to_string(),
+                variant: variant.to_string(),
+                groups: Vec::new(),
+                paths: Vec::new(),
+            },
+        }
+    }
+
+    /// Declare a multi-location invariant group.
+    pub fn group(mut self, locs: &[&str]) -> Summary {
+        self.inner.groups.push(locs.iter().map(|l| l.to_string()).collect());
+        self
+    }
+
+    /// Add a concurrent path.
+    pub fn path(mut self, p: Path) -> Summary {
+        self.inner.paths.push(p.build());
+        self
+    }
+
+    /// Finish the summary.
+    pub fn build(self) -> ScenarioSummary {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_a_valid_summary() {
+        let s = Summary::new("demo", "buggy")
+            .group(&["a", "b"])
+            .path(Path::new("p0").acquire("l").read("a").write("b").release("l"))
+            .path(Path::new("p1").atomic_begin().rmw("a").atomic_end())
+            .build();
+        assert_eq!(s.paths.len(), 2);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.lock_names().into_iter().collect::<Vec<_>>(), vec!["l".to_string()]);
+        assert_eq!(s.to_string(), "demo (buggy variant, 2 paths)");
+    }
+
+    #[test]
+    fn validate_rejects_structural_errors() {
+        let unbalanced =
+            Summary::new("demo", "buggy").path(Path::new("p").acquire("l").read("a")).build();
+        assert!(unbalanced.validate().unwrap_err().contains("ends holding"));
+
+        let unheld_release =
+            Summary::new("demo", "buggy").path(Path::new("p").release("l")).build();
+        assert!(unheld_release.validate().unwrap_err().contains("unheld"));
+
+        let reacquire = Summary::new("demo", "buggy")
+            .path(Path::new("p").acquire("l").acquire("l").release("l").release("l"))
+            .build();
+        assert!(reacquire.validate().unwrap_err().contains("reacquires"));
+
+        let bad_atomic = Summary::new("demo", "buggy").path(Path::new("p").atomic_end()).build();
+        assert!(bad_atomic.validate().unwrap_err().contains("unopened"));
+
+        let open_atomic =
+            Summary::new("demo", "buggy").path(Path::new("p").atomic_begin().read("a")).build();
+        assert!(open_atomic.validate().unwrap_err().contains("inside an atomic region"));
+
+        let bad_wait =
+            Summary::new("demo", "buggy").path(Path::new("p").wait("cv", "m", "flag")).build();
+        assert!(bad_wait.validate().unwrap_err().contains("without holding monitor"));
+    }
+}

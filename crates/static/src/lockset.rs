@@ -1,0 +1,293 @@
+//! The static lockset pass: RacerD-style race detection plus
+//! dropped-lockset atomicity checking, over access facts extracted from
+//! the summary IR.
+//!
+//! **Races.** Two accesses to one location on different paths race when
+//! at least one writes, neither is hardware-atomic, and their
+//! cross-path protection sets are disjoint — no common lock, no shared
+//! atomic-region serialization. This is sound over the model: no
+//! interleaving assumptions, just set intersection.
+//!
+//! **Atomicity.** A path that reads a location and later writes it back
+//! forms a read-modify-write unit; if no single protection unit (a lock
+//! held continuously, one atomic-region instance) spans both accesses
+//! while another path writes the location, the unit can be torn. The
+//! same rule lifts to declared invariant groups: touching two group
+//! members without continuous common protection is reported even when
+//! each member alone looks fine.
+
+use crate::facts::{accesses, Access};
+use crate::ir::ScenarioSummary;
+use crate::report::{Finding, Hazard};
+use std::collections::BTreeSet;
+
+/// The race half of the pass.
+pub(crate) fn races(summary: &ScenarioSummary) -> Vec<Finding> {
+    let accs = accesses(summary);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (i, a) in accs.iter().enumerate() {
+        for b in &accs[i + 1..] {
+            if a.path == b.path || a.loc != b.loc || seen.contains(&a.loc) {
+                continue;
+            }
+            if !(a.writes || b.writes) || (a.hw_atomic && b.hw_atomic) {
+                continue;
+            }
+            if a.race_prot.is_disjoint(&b.race_prot) {
+                seen.insert(a.loc.clone());
+                out.push(Finding {
+                    hazard: Hazard::Race { loc: a.loc.clone() },
+                    explanation: format!(
+                        "{} ({}) and {} ({}) can interleave freely: no common lock or \
+                         serialized atomic region protects {}",
+                        summary.paths[a.path].name,
+                        prot_desc(a),
+                        summary.paths[b.path].name,
+                        prot_desc(b),
+                        a.loc,
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn prot_desc(a: &Access) -> String {
+    if a.race_prot.is_empty() {
+        "unprotected".to_string()
+    } else {
+        format!("under {}", a.race_prot.iter().cloned().collect::<Vec<_>>().join("+"))
+    }
+}
+
+/// The atomicity half of the pass: dropped-lockset read-modify-write
+/// units, then invariant groups.
+pub(crate) fn atomicity(summary: &ScenarioSummary) -> Vec<Finding> {
+    let accs = accesses(summary);
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+
+    // Stale-read rule: within one path, pair each write with the latest
+    // preceding access of the same location; when that access is a read
+    // (so a value computed from it is being written back) and no
+    // protection unit spans both, the read-modify-write can be torn —
+    // provided some other path writes the location at all.
+    for w in accs.iter().filter(|a| a.writes && !a.reads) {
+        let Some(r) = accs
+            .iter()
+            .filter(|r| r.path == w.path && r.loc == w.loc && r.op < w.op)
+            .max_by_key(|r| r.op)
+        else {
+            continue;
+        };
+        if !r.reads || r.writes {
+            continue; // the unit starts at a write (or an indivisible RMW)
+        }
+        if !r.unit_prot.is_disjoint(&w.unit_prot) {
+            continue; // continuously protected
+        }
+        let contended = accs.iter().any(|o| o.path != w.path && o.loc == w.loc && o.writes);
+        if !contended {
+            continue;
+        }
+        let key = vec![w.loc.clone()];
+        if seen.insert(key.clone()) {
+            out.push(Finding {
+                hazard: Hazard::Atomicity { locs: key },
+                explanation: format!(
+                    "{} reads {} and writes it back without continuous protection \
+                     (the lockset is dropped between the accesses) while another \
+                     path writes it",
+                    summary.paths[w.path].name, w.loc,
+                ),
+            });
+        }
+    }
+
+    // Invariant-group rule: two accesses to distinct members of a
+    // declared group on one path, with no protection unit spanning both,
+    // while another path writes a member.
+    for group in &summary.groups {
+        let members: BTreeSet<&String> = group.iter().collect();
+        let group_accs: Vec<&Access> = accs.iter().filter(|a| members.contains(&a.loc)).collect();
+        let torn = group_accs.iter().enumerate().any(|(i, a)| {
+            group_accs[i + 1..].iter().any(|b| {
+                a.path == b.path && a.loc != b.loc && a.unit_prot.is_disjoint(&b.unit_prot)
+            })
+        });
+        let contended =
+            group_accs.iter().any(|a| a.writes && group_accs.iter().any(|b| b.path != a.path));
+        if torn && contended {
+            let mut locs: Vec<String> = group.clone();
+            locs.sort();
+            if seen.insert(locs.clone()) {
+                out.push(Finding {
+                    hazard: Hazard::Atomicity { locs: locs.clone() },
+                    explanation: format!(
+                        "the invariant tying {} together can be observed torn: a path \
+                         touches both without one continuous critical section",
+                        locs.join(" and "),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Path, Summary};
+
+    fn loc_of(f: &Finding) -> &Hazard {
+        &f.hazard
+    }
+
+    #[test]
+    fn disjoint_locksets_race() {
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").acquire("a").write("x").release("a"))
+            .path(Path::new("p1").acquire("b").write("x").release("b"))
+            .build();
+        let r = races(&s);
+        assert_eq!(r.len(), 1);
+        assert_eq!(*loc_of(&r[0]), Hazard::Race { loc: "x".into() });
+    }
+
+    #[test]
+    fn common_lock_and_read_read_do_not_race() {
+        let common = Summary::new("t", "dev")
+            .path(Path::new("p0").acquire("a").write("x").release("a"))
+            .path(Path::new("p1").acquire("a").acquire("b").write("x").release("b").release("a"))
+            .build();
+        assert!(races(&common).is_empty());
+
+        let readers = Summary::new("t", "dev")
+            .path(Path::new("p0").read("x"))
+            .path(Path::new("p1").read("x"))
+            .build();
+        assert!(races(&readers).is_empty());
+    }
+
+    #[test]
+    fn atomic_regions_serialize_against_each_other() {
+        let s = Summary::new("t", "tm")
+            .path(Path::new("p0").atomic_begin().write("x").atomic_end())
+            .path(Path::new("p1").atomic_begin().write("x").atomic_end())
+            .build();
+        assert!(races(&s).is_empty());
+    }
+
+    #[test]
+    fn serialized_region_excludes_the_lock_it_names() {
+        let s = Summary::new("t", "tm")
+            .path(Path::new("p0").acquire("l").write("x").release("l"))
+            .path(Path::new("p1").atomic_serialized(&["l"]).write("x").atomic_end())
+            .build();
+        assert!(races(&s).is_empty());
+
+        let unserialized = Summary::new("t", "tm")
+            .path(Path::new("p0").acquire("l").write("x").release("l"))
+            .path(Path::new("p1").atomic_begin().write("x").atomic_end())
+            .build();
+        assert_eq!(races(&unserialized).len(), 1, "plain region vs lock still races");
+    }
+
+    #[test]
+    fn hardware_atomics_do_not_race_but_still_tear() {
+        let s = Summary::new("t", "dev")
+            .path(Path::new("p0").rmw("x"))
+            .path(Path::new("p1").rmw("x"))
+            .build();
+        assert!(races(&s).is_empty());
+        assert!(atomicity(&s).is_empty(), "an RMW is one indivisible unit");
+
+        // Separate atomic load + atomic store: no data race, but the
+        // read-modify-write unit is torn.
+        let torn = Summary::new("t", "buggy")
+            .path(Path::new("p0").read_atomic("x").write_atomic("x"))
+            .path(Path::new("p1").read_atomic("x").write_atomic("x"))
+            .build();
+        assert!(races(&torn).is_empty());
+        assert_eq!(atomicity(&torn).len(), 1);
+    }
+
+    #[test]
+    fn dropped_lockset_between_read_and_write_is_flagged() {
+        let s = Summary::new("t", "buggy")
+            .path(
+                Path::new("p0")
+                    .acquire("l")
+                    .read("x")
+                    .release("l")
+                    .acquire("l")
+                    .write("x")
+                    .release("l"),
+            )
+            .path(Path::new("p1").acquire("l").write("x").release("l"))
+            .build();
+        assert!(races(&s).is_empty(), "every access is under the lock");
+        let av = atomicity(&s);
+        assert_eq!(av.len(), 1);
+        assert_eq!(*loc_of(&av[0]), Hazard::Atomicity { locs: vec!["x".into()] });
+    }
+
+    #[test]
+    fn continuous_protection_and_uncontended_units_are_clean() {
+        let continuous = Summary::new("t", "dev")
+            .path(Path::new("p0").acquire("l").read("x").write("x").release("l"))
+            .path(Path::new("p1").acquire("l").write("x").release("l"))
+            .build();
+        assert!(atomicity(&continuous).is_empty());
+
+        let uncontended = Summary::new("t", "dev")
+            .path(Path::new("p0").read("x").write("x"))
+            .path(Path::new("p1").read("x"))
+            .build();
+        assert!(atomicity(&uncontended).is_empty(), "no concurrent writer");
+    }
+
+    #[test]
+    fn a_reread_restores_the_unit() {
+        // read; (unit break); read again; write — the value written
+        // derives from the post-break read, as after a condition wait.
+        let s = Summary::new("t", "dev")
+            .path(
+                Path::new("p0")
+                    .acquire("l")
+                    .read("x")
+                    .release("l")
+                    .acquire("l")
+                    .read("x")
+                    .write("x")
+                    .release("l"),
+            )
+            .path(Path::new("p1").acquire("l").write("x").release("l"))
+            .build();
+        assert!(atomicity(&s).is_empty());
+    }
+
+    #[test]
+    fn invariant_groups_catch_torn_multi_location_updates() {
+        let s = Summary::new("t", "buggy")
+            .group(&["x", "y"])
+            .path(Path::new("w").write("x").write("y"))
+            .path(Path::new("r").read("x").read("y"))
+            .build();
+        let av = atomicity(&s);
+        assert!(
+            av.iter().any(|f| f.hazard == Hazard::Atomicity { locs: vec!["x".into(), "y".into()] }),
+            "{av:?}"
+        );
+
+        let locked = Summary::new("t", "dev")
+            .group(&["x", "y"])
+            .path(Path::new("w").acquire("l").write("x").write("y").release("l"))
+            .path(Path::new("r").acquire("l").read("x").read("y").release("l"))
+            .build();
+        assert!(atomicity(&locked).is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Static findings and the `txfix lint` report, with the same
+//! hand-rolled JSON treatment as the dynamic analyzer's reports (via
+//! [`txfix_core::json`]).
+
+use crate::synth::Verification;
+use std::fmt;
+use txfix_core::json::{escape, get, push_field, string_array, Json};
+use txfix_core::{HazardClass, Recipe};
+
+/// What a static pass detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hazard {
+    /// Two paths can reach `loc` with disjoint locksets, at least one
+    /// writing, neither hardware-atomic.
+    Race {
+        /// The racing location.
+        loc: String,
+    },
+    /// A read-modify-write (or invariant-group access) whose protection
+    /// is dropped partway: the locations are individually reachable but
+    /// not covered by one continuous critical section.
+    Atomicity {
+        /// The locations whose unit is torn (sorted).
+        locs: Vec<String>,
+    },
+    /// A cycle in the lock-order graph through non-revocable
+    /// acquisitions (potential deadlock).
+    LockCycle {
+        /// The locks on the cycle (sorted).
+        locks: Vec<String>,
+    },
+    /// A path waits on `cv` while holding `lock`, which a notifying
+    /// path must acquire: the notifier can block behind the waiter
+    /// forever.
+    WaitCycle {
+        /// The condition variable waited on.
+        cv: String,
+        /// The non-revocable lock held across the wait.
+        lock: String,
+    },
+    /// A path notifies `cv` before writing `loc`, the state the wait
+    /// predicate reads: the waiter can test a stale predicate and sleep
+    /// through the only wakeup.
+    LostWakeup {
+        /// The condition variable notified.
+        cv: String,
+        /// The predicate location written after the notify.
+        loc: String,
+    },
+}
+
+impl Hazard {
+    /// The coarse class, for recipe mapping and dynamic/static matching.
+    pub fn class(&self) -> HazardClass {
+        match self {
+            Hazard::Race { .. } | Hazard::Atomicity { .. } => HazardClass::SharedData,
+            Hazard::LockCycle { .. } => HazardClass::LockCycle,
+            Hazard::WaitCycle { .. } => HazardClass::WaitCycle,
+            Hazard::LostWakeup { .. } => HazardClass::LostWakeup,
+        }
+    }
+
+    /// The names (locations, locks, condition variables) the hazard is
+    /// about, for overlap matching.
+    pub fn subjects(&self) -> Vec<String> {
+        match self {
+            Hazard::Race { loc } => vec![loc.clone()],
+            Hazard::Atomicity { locs } => locs.clone(),
+            Hazard::LockCycle { locks } => locks.clone(),
+            Hazard::WaitCycle { cv, lock } => vec![cv.clone(), lock.clone()],
+            Hazard::LostWakeup { cv, loc } => vec![cv.clone(), loc.clone()],
+        }
+    }
+
+    /// Whether two hazards are about the same problem: same class and at
+    /// least one shared subject name. Race and Atomicity deliberately
+    /// share a class — a data race and the torn unit around it are one
+    /// bug, and one wrap fixes both.
+    pub fn overlaps(&self, other: &Hazard) -> bool {
+        self.class() == other.class()
+            && self.subjects().iter().any(|s| other.subjects().contains(s))
+    }
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hazard::Race { loc } => write!(f, "possible data race on {loc}"),
+            Hazard::Atomicity { locs } => {
+                write!(f, "atomicity not continuous across {}", locs.join(", "))
+            }
+            Hazard::LockCycle { locks } => {
+                write!(f, "lock-order cycle through {}", locks.join(" -> "))
+            }
+            Hazard::WaitCycle { cv, lock } => {
+                write!(f, "wait on {cv} holds \"{lock}\" that a notifier needs")
+            }
+            Hazard::LostWakeup { cv, loc } => {
+                write!(f, "{cv} notified before {loc} is updated (lost wakeup)")
+            }
+        }
+    }
+}
+
+/// One static finding: a hazard and the account of how it was derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// What was detected.
+    pub hazard: Hazard,
+    /// Human-readable account of the derivation.
+    pub explanation: String,
+}
+
+/// One lint finding: a hazard plus the synthesized fixes and their
+/// static verification results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintFinding {
+    /// What was detected.
+    pub hazard: Hazard,
+    /// Human-readable account of the derivation.
+    pub explanation: String,
+    /// The candidate recipes, each applied to the summary and re-checked
+    /// (primary recipe first).
+    pub fixes: Vec<Verification>,
+}
+
+impl LintFinding {
+    /// Whether at least one synthesized fix statically verifies.
+    pub fn has_verified_fix(&self) -> bool {
+        self.fixes.iter().any(|v| v.verified)
+    }
+}
+
+/// The result of linting one scenario-variant summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintReport {
+    /// The scenario key.
+    pub scenario: String,
+    /// Which variant was linted (`buggy`, `dev`, `tm`).
+    pub variant: String,
+    /// How many concurrent paths the summary models.
+    pub paths: usize,
+    /// Everything the static passes detected.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// Whether the passes found anything.
+    pub fn has_findings(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_field(&mut s, "scenario", &escape(&self.scenario));
+        push_field(&mut s, "variant", &escape(&self.variant));
+        push_field(&mut s, "paths", &self.paths.to_string());
+        let findings: Vec<String> = self.findings.iter().map(finding_to_json).collect();
+        push_field(&mut s, "findings", &format!("[{}]", findings.join(",")));
+        s.push('}');
+        s
+    }
+
+    /// Parse a report back from [`LintReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed construct.
+    pub fn from_json(input: &str) -> Result<LintReport, String> {
+        let v = Json::parse(input)?;
+        let obj = v.object("lint report")?;
+        let findings = get(obj, "findings")?
+            .array("findings")?
+            .iter()
+            .map(finding_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LintReport {
+            scenario: get(obj, "scenario")?.string("scenario")?,
+            variant: get(obj, "variant")?.string("variant")?,
+            paths: get(obj, "paths")?.number("paths")? as usize,
+            findings,
+        })
+    }
+}
+
+fn hazard_to_json(h: &Hazard) -> String {
+    match h {
+        Hazard::Race { loc } => format!(r#"{{"kind":"race","loc":{}}}"#, escape(loc)),
+        Hazard::Atomicity { locs } => {
+            format!(r#"{{"kind":"atomicity","locs":{}}}"#, string_array(locs))
+        }
+        Hazard::LockCycle { locks } => {
+            format!(r#"{{"kind":"lock_cycle","locks":{}}}"#, string_array(locks))
+        }
+        Hazard::WaitCycle { cv, lock } => {
+            format!(r#"{{"kind":"wait_cycle","cv":{},"lock":{}}}"#, escape(cv), escape(lock))
+        }
+        Hazard::LostWakeup { cv, loc } => {
+            format!(r#"{{"kind":"lost_wakeup","cv":{},"loc":{}}}"#, escape(cv), escape(loc))
+        }
+    }
+}
+
+fn hazard_from_json(v: &Json) -> Result<Hazard, String> {
+    let obj = v.object("hazard")?;
+    let strings = |key: &str| -> Result<Vec<String>, String> {
+        get(obj, key)?.array(key)?.iter().map(|s| s.string(key)).collect::<Result<Vec<_>, _>>()
+    };
+    match get(obj, "kind")?.string("hazard.kind")?.as_str() {
+        "race" => Ok(Hazard::Race { loc: get(obj, "loc")?.string("loc")? }),
+        "atomicity" => Ok(Hazard::Atomicity { locs: strings("locs")? }),
+        "lock_cycle" => Ok(Hazard::LockCycle { locks: strings("locks")? }),
+        "wait_cycle" => Ok(Hazard::WaitCycle {
+            cv: get(obj, "cv")?.string("cv")?,
+            lock: get(obj, "lock")?.string("lock")?,
+        }),
+        "lost_wakeup" => Ok(Hazard::LostWakeup {
+            cv: get(obj, "cv")?.string("cv")?,
+            loc: get(obj, "loc")?.string("loc")?,
+        }),
+        other => Err(format!("unknown hazard kind {other:?}")),
+    }
+}
+
+fn finding_to_json(f: &LintFinding) -> String {
+    let mut s = String::from("{");
+    push_field(&mut s, "hazard", &hazard_to_json(&f.hazard));
+    push_field(&mut s, "explanation", &escape(&f.explanation));
+    let fixes: Vec<String> = f.fixes.iter().map(fix_to_json).collect();
+    push_field(&mut s, "fixes", &format!("[{}]", fixes.join(",")));
+    s.push('}');
+    s
+}
+
+fn finding_from_json(v: &Json) -> Result<LintFinding, String> {
+    let obj = v.object("finding")?;
+    let fixes = get(obj, "fixes")?
+        .array("fixes")?
+        .iter()
+        .map(fix_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(LintFinding {
+        hazard: hazard_from_json(get(obj, "hazard")?)?,
+        explanation: get(obj, "explanation")?.string("explanation")?,
+        fixes,
+    })
+}
+
+fn fix_to_json(v: &Verification) -> String {
+    let mut s = String::from("{");
+    push_field(&mut s, "recipe", &escape(v.recipe.slug()));
+    push_field(&mut s, "verified", if v.verified { "true" } else { "false" });
+    push_field(&mut s, "residual", &string_array(&v.residual));
+    push_field(&mut s, "introduced", &string_array(&v.introduced));
+    s.push('}');
+    s
+}
+
+fn fix_from_json(v: &Json) -> Result<Verification, String> {
+    let obj = v.object("fix")?;
+    let strings = |key: &str| -> Result<Vec<String>, String> {
+        get(obj, key)?.array(key)?.iter().map(|s| s.string(key)).collect::<Result<Vec<_>, _>>()
+    };
+    Ok(Verification {
+        recipe: Recipe::from_slug(&get(obj, "recipe")?.string("recipe")?)?,
+        verified: get(obj, "verified")?.bool("verified")?,
+        residual: strings("residual")?,
+        introduced: strings("introduced")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            scenario: "av_wrong_lock".into(),
+            variant: "buggy".into(),
+            paths: 2,
+            findings: vec![
+                LintFinding {
+                    hazard: Hazard::Race { loc: "m133773.cache_count".into() },
+                    explanation: "paths reach it with disjoint locksets \"quoted\"\n".into(),
+                    fixes: vec![
+                        Verification {
+                            recipe: Recipe::WrapAll,
+                            verified: true,
+                            residual: vec![],
+                            introduced: vec![],
+                        },
+                        Verification {
+                            recipe: Recipe::WrapUnprotected,
+                            verified: false,
+                            residual: vec!["possible data race on x".into()],
+                            introduced: vec!["lock-order cycle through a -> b".into()],
+                        },
+                    ],
+                },
+                LintFinding {
+                    hazard: Hazard::LockCycle { locks: vec!["a".into(), "b".into()] },
+                    explanation: "both orders".into(),
+                    fixes: vec![],
+                },
+                LintFinding {
+                    hazard: Hazard::WaitCycle { cv: "cv".into(), lock: "l".into() },
+                    explanation: "".into(),
+                    fixes: vec![],
+                },
+                LintFinding {
+                    hazard: Hazard::LostWakeup { cv: "cv".into(), loc: "x".into() },
+                    explanation: "".into(),
+                    fixes: vec![],
+                },
+                LintFinding {
+                    hazard: Hazard::Atomicity { locs: vec!["x".into(), "y".into()] },
+                    explanation: "".into(),
+                    fixes: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lint_reports_round_trip_through_json() {
+        let r = sample_report();
+        let parsed = LintReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert!(parsed.has_findings());
+        assert!(parsed.findings[0].has_verified_fix());
+        assert!(!parsed.findings[1].has_verified_fix());
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r =
+            LintReport { scenario: "x".into(), variant: "tm".into(), paths: 3, findings: vec![] };
+        let parsed = LintReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert!(!parsed.has_findings());
+    }
+
+    #[test]
+    fn malformed_lint_json_is_rejected() {
+        assert!(LintReport::from_json("{").is_err());
+        assert!(LintReport::from_json(r#"{"scenario":"x"}"#).is_err());
+        assert!(LintReport::from_json(
+            r#"{"scenario":"x","variant":"buggy","paths":1,"findings":[{"hazard":{"kind":"nope"},"explanation":"","fixes":[]}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn overlap_requires_same_class_and_shared_subject() {
+        let race = Hazard::Race { loc: "x".into() };
+        let av = Hazard::Atomicity { locs: vec!["x".into(), "y".into()] };
+        let other_av = Hazard::Atomicity { locs: vec!["z".into()] };
+        let cycle = Hazard::LockCycle { locks: vec!["x".into()] };
+        assert!(race.overlaps(&av), "race and torn unit on one loc are one bug");
+        assert!(!race.overlaps(&other_av));
+        assert!(!race.overlaps(&cycle), "same name, different class");
+    }
+}

@@ -1,0 +1,608 @@
+//! Recipe synthesis and static fix verification.
+//!
+//! For a finding, [`apply`] transforms the summary IR the way the
+//! paper's recipe would transform the code:
+//!
+//! - **Recipe 1** (replace locks): every acquire/release of a cycle
+//!   lock becomes atomic-region entry/exit.
+//! - **Recipe 2** (wrap all): every path touching the affected
+//!   locations gets its touching span wrapped in a plain atomic region
+//!   (spans grow to respect lock and region nesting). For lost
+//!   wakeups, the wait/notify pair is replaced by wrapping the monitor
+//!   regions — the TM retry idiom.
+//! - **Recipe 3** (deadlock preemption): one participant of the cycle
+//!   becomes a preemptible transaction — wrapped in an atomic region
+//!   with its cycle-lock acquisitions revocable; a condition wait is
+//!   replaced by transactional retry.
+//! - **Recipe 4** (wrap unprotected): only the under-protected paths
+//!   are wrapped, in an atomic region serialized against every lock the
+//!   location is elsewhere protected by; lock critical sections the
+//!   wrap subsumes are dropped, as the serialization replaces them.
+//!
+//! [`synthesize`] then re-runs every static pass on the transformed
+//! summary and reports whether the fix **clears the finding** (no
+//! residual hazard overlapping it) **without introducing new hazards**
+//! (every remaining finding was already in the baseline) — the
+//! VeriFix-style check that a proposed fix does not trade a race for a
+//! deadlock.
+
+use crate::facts::accesses;
+use crate::ir::{Op, PathSummary, ScenarioSummary};
+use crate::report::{Finding, Hazard};
+use std::collections::BTreeSet;
+use txfix_core::Recipe;
+
+/// The result of statically verifying one synthesized fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verification {
+    /// The recipe that was applied.
+    pub recipe: Recipe,
+    /// Whether the transformed summaries pass both checks.
+    pub verified: bool,
+    /// Hazards still overlapping the target finding after the fix.
+    pub residual: Vec<String>,
+    /// Hazards present after the fix that the baseline did not have.
+    pub introduced: Vec<String>,
+}
+
+/// Transform `summary` as `recipe` would to address `hazard`, or `None`
+/// when the recipe does not apply to that hazard class.
+pub fn apply(
+    summary: &ScenarioSummary,
+    hazard: &Hazard,
+    recipe: Recipe,
+) -> Option<ScenarioSummary> {
+    match (recipe, hazard) {
+        (Recipe::ReplaceLocks, Hazard::LockCycle { locks }) => Some(replace_locks(summary, locks)),
+        (Recipe::DeadlockPreemption, Hazard::LockCycle { locks }) => preempt_cycle(summary, locks),
+        (Recipe::DeadlockPreemption, Hazard::WaitCycle { cv, .. }) => {
+            Some(preempt_wait(summary, cv))
+        }
+        (Recipe::WrapAll, Hazard::Race { loc }) => {
+            Some(wrap_all(summary, std::slice::from_ref(loc)))
+        }
+        (Recipe::WrapAll, Hazard::Atomicity { locs }) => Some(wrap_all(summary, locs)),
+        (Recipe::WrapAll, Hazard::LostWakeup { cv, .. }) => {
+            Some(retire_monitor(summary, cv, false))
+        }
+        (Recipe::WrapUnprotected, Hazard::Race { loc }) => {
+            Some(wrap_unprotected(summary, std::slice::from_ref(loc)))
+        }
+        (Recipe::WrapUnprotected, Hazard::Atomicity { locs }) => {
+            Some(wrap_unprotected(summary, locs))
+        }
+        (Recipe::WrapUnprotected, Hazard::LostWakeup { cv, .. }) => {
+            Some(retire_monitor(summary, cv, true))
+        }
+        _ => None,
+    }
+}
+
+/// Apply `recipe` to `summary` for `target` and statically re-verify:
+/// the target hazard must be gone and nothing new may appear relative to
+/// `baseline` (the findings on the untransformed summary).
+pub fn synthesize(
+    summary: &ScenarioSummary,
+    baseline: &[Finding],
+    target: &Hazard,
+    recipe: Recipe,
+) -> Verification {
+    let Some(transformed) = apply(summary, target, recipe) else {
+        return Verification {
+            recipe,
+            verified: false,
+            residual: vec![format!("{recipe} does not address a {}", target.class())],
+            introduced: Vec::new(),
+        };
+    };
+    debug_assert_eq!(transformed.validate(), Ok(()), "transform broke summary structure");
+    let after = crate::check(&transformed);
+    let residual: Vec<String> =
+        after.iter().filter(|f| f.hazard.overlaps(target)).map(|f| f.hazard.to_string()).collect();
+    let introduced: Vec<String> = after
+        .iter()
+        .filter(|f| !baseline.iter().any(|b| b.hazard.overlaps(&f.hazard)))
+        .map(|f| f.hazard.to_string())
+        .collect();
+    Verification {
+        recipe,
+        verified: residual.is_empty() && introduced.is_empty(),
+        residual,
+        introduced,
+    }
+}
+
+/// Recipe 1: every acquire/release of a cycle lock becomes atomic-region
+/// entry/exit, in every path.
+fn replace_locks(summary: &ScenarioSummary, locks: &[String]) -> ScenarioSummary {
+    let set: BTreeSet<&str> = locks.iter().map(String::as_str).collect();
+    map_paths(summary, |path| {
+        path.ops
+            .iter()
+            .map(|op| match op {
+                Op::Acquire { lock, .. } if set.contains(lock.as_str()) => {
+                    Op::AtomicBegin { serialized_with: Vec::new() }
+                }
+                Op::Release { lock } if set.contains(lock.as_str()) => Op::AtomicEnd,
+                other => other.clone(),
+            })
+            .collect()
+    })
+}
+
+/// Recipe 3 on a lock cycle: the first path that closes the cycle (it
+/// acquires a cycle lock while holding another) becomes a preemptible
+/// transaction — whole path wrapped, its cycle-lock acquisitions
+/// revocable.
+fn preempt_cycle(summary: &ScenarioSummary, locks: &[String]) -> Option<ScenarioSummary> {
+    let set: BTreeSet<&str> = locks.iter().map(String::as_str).collect();
+    let participant = summary.paths.iter().position(|path| {
+        let mut held: Vec<&str> = Vec::new();
+        path.ops.iter().any(|op| match op {
+            Op::Acquire { lock, .. } => {
+                let closes = set.contains(lock.as_str()) && held.iter().any(|h| set.contains(h));
+                held.push(lock);
+                closes
+            }
+            Op::Release { lock } => {
+                if let Some(pos) = held.iter().rposition(|h| h == lock) {
+                    held.remove(pos);
+                }
+                false
+            }
+            _ => false,
+        })
+    })?;
+    let mut out = summary.clone();
+    let path = &mut out.paths[participant];
+    let mut ops = vec![Op::AtomicBegin { serialized_with: Vec::new() }];
+    ops.extend(path.ops.iter().map(|op| match op {
+        Op::Acquire { lock, .. } if set.contains(lock.as_str()) => {
+            Op::Acquire { lock: lock.clone(), revocable: true }
+        }
+        other => other.clone(),
+    }));
+    ops.push(Op::AtomicEnd);
+    path.ops = ops;
+    Some(out)
+}
+
+/// Recipe 3 on a wait cycle: every path that waits on `cv` becomes a
+/// preemptible transaction — the wait turns into transactional retry
+/// (modeled as re-running the wrapped region), and every lock the
+/// transaction still takes becomes revocable.
+fn preempt_wait(summary: &ScenarioSummary, cv: &str) -> ScenarioSummary {
+    map_paths(summary, |path| {
+        let waits_here = path.ops.iter().any(|op| matches!(op, Op::Wait { cv: c, .. } if c == cv));
+        if !waits_here {
+            return path.ops.clone();
+        }
+        let mut ops = vec![Op::AtomicBegin { serialized_with: Vec::new() }];
+        ops.extend(path.ops.iter().filter_map(|op| match op {
+            Op::Wait { cv: c, .. } if c == cv => None,
+            Op::Acquire { lock, .. } => Some(Op::Acquire { lock: lock.clone(), revocable: true }),
+            other => Some(other.clone()),
+        }));
+        ops.push(Op::AtomicEnd);
+        ops
+    })
+}
+
+/// Close `locs` over the summary's invariant groups: a wrap that covers
+/// one member of a group must cover them all, or the group's atomicity
+/// hazard survives the fix.
+fn expand_groups(summary: &ScenarioSummary, locs: &[String]) -> Vec<String> {
+    let mut set: BTreeSet<String> = locs.iter().cloned().collect();
+    loop {
+        let before = set.len();
+        for group in &summary.groups {
+            if group.iter().any(|l| set.contains(l)) {
+                set.extend(group.iter().cloned());
+            }
+        }
+        if set.len() == before {
+            return set.into_iter().collect();
+        }
+    }
+}
+
+/// Recipe 2 on data: wrap every path's span of accesses to `locs` in a
+/// plain atomic region.
+fn wrap_all(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSummary {
+    let locs = expand_groups(summary, locs);
+    let paths: BTreeSet<usize> = (0..summary.paths.len()).collect();
+    wrap_spans(summary, &locs, &paths, &[])
+}
+
+/// Recipe 4 on data: wrap only the under-protected paths, serialized
+/// against every lock the locations are protected by elsewhere. When no
+/// path is fully unprotected (a wrong-lock bug), the least-protected one
+/// is wrapped.
+fn wrap_unprotected(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSummary {
+    let locs = expand_groups(summary, locs);
+    let subjects: BTreeSet<&str> = locs.iter().map(String::as_str).collect();
+    let accs = accesses(summary);
+    let subject_accs: Vec<_> = accs.iter().filter(|a| subjects.contains(a.loc.as_str())).collect();
+
+    let mut unprotected: BTreeSet<usize> =
+        subject_accs.iter().filter(|a| a.locks_held.is_empty()).map(|a| a.path).collect();
+    if unprotected.is_empty() {
+        // Wrong-lock rather than no-lock: wrap the path with the weakest
+        // protection (ties go to the later path, the usual "other"
+        // client of the data).
+        let weakest = subject_accs
+            .iter()
+            .map(|a| (a.locks_held.len(), usize::MAX - a.path))
+            .min()
+            .map(|(_, inv)| usize::MAX - inv);
+        unprotected.extend(weakest);
+    }
+
+    let mut serialized: BTreeSet<String> =
+        subject_accs.iter().flat_map(|a| a.locks_held.iter().cloned()).collect();
+    if serialized.is_empty() {
+        // Nothing anywhere protects these locations; serialize against
+        // whatever locks the scenario has (possibly none — the wrap then
+        // degenerates to Recipe 2's plain region, which is correct).
+        serialized = summary.lock_names();
+    }
+    let serialized: Vec<String> = serialized.into_iter().collect();
+    wrap_spans(summary, &locs, &unprotected, &serialized)
+}
+
+/// Recipe 2/4 on a lost wakeup: drop the wait/notify pair on `cv` and
+/// turn the monitor's critical sections (in the paths that used the cv)
+/// into atomic regions — TM's retry idiom subsumes the condition
+/// variable. With `serialize`, the regions are serialized against
+/// remaining users of the monitor locks (Recipe 4); otherwise they are
+/// plain (Recipe 2).
+fn retire_monitor(summary: &ScenarioSummary, cv: &str, serialize: bool) -> ScenarioSummary {
+    let monitors: BTreeSet<String> = summary
+        .paths
+        .iter()
+        .flat_map(|p| p.ops.iter())
+        .filter_map(|op| match op {
+            Op::Wait { cv: c, monitor, .. } if c == cv => Some(monitor.clone()),
+            _ => None,
+        })
+        .collect();
+    map_paths(summary, |path| {
+        let uses_cv = path
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Wait { cv: c, .. } | Op::Notify { cv: c } if c == cv));
+        if !uses_cv {
+            return path.ops.clone();
+        }
+        path.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Wait { cv: c, .. } | Op::Notify { cv: c } if c == cv => None,
+                Op::Acquire { lock, .. } if monitors.contains(lock) => Some(Op::AtomicBegin {
+                    serialized_with: if serialize { vec![lock.clone()] } else { Vec::new() },
+                }),
+                Op::Release { lock } if monitors.contains(lock) => Some(Op::AtomicEnd),
+                other => Some(other.clone()),
+            })
+            .collect()
+    })
+}
+
+fn map_paths(
+    summary: &ScenarioSummary,
+    mut f: impl FnMut(&PathSummary) -> Vec<Op>,
+) -> ScenarioSummary {
+    let mut out = summary.clone();
+    for path in &mut out.paths {
+        path.ops = f(path);
+    }
+    out
+}
+
+/// Wrap, in each selected path, the span of ops touching `locs` in an
+/// atomic region serialized with `serialized`. Spans are extended until
+/// they cut no lock pair and no existing atomic region; critical
+/// sections of locks in `serialized` that end up fully inside the span
+/// are dropped — the region's serialization replaces them.
+fn wrap_spans(
+    summary: &ScenarioSummary,
+    locs: &[String],
+    paths: &BTreeSet<usize>,
+    serialized: &[String],
+) -> ScenarioSummary {
+    let subjects: BTreeSet<&str> = locs.iter().map(String::as_str).collect();
+    let mut out = summary.clone();
+    for (pi, path) in out.paths.iter_mut().enumerate() {
+        if !paths.contains(&pi) {
+            continue;
+        }
+        let touching: Vec<usize> = path
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| op.loc().filter(|l| subjects.contains(l)).map(|_| i))
+            .collect();
+        let (Some(&lo), Some(&hi)) = (touching.first(), touching.last()) else {
+            continue;
+        };
+        let (lo, hi) = balance(&path.ops, lo, hi, serialized);
+        let mut ops: Vec<Op> = path.ops[..lo].to_vec();
+        ops.push(Op::AtomicBegin { serialized_with: serialized.to_vec() });
+        ops.extend(
+            path.ops[lo..=hi]
+                .iter()
+                .filter(|op| match op {
+                    Op::Acquire { lock, .. } | Op::Release { lock } => !serialized.contains(lock),
+                    _ => true,
+                })
+                .cloned(),
+        );
+        ops.push(Op::AtomicEnd);
+        ops.extend(path.ops[hi + 1..].iter().cloned());
+        path.ops = ops;
+    }
+    out
+}
+
+/// Grow `[lo, hi]` until it cuts no acquire/release pair and no atomic
+/// begin/end pair. Critical sections of `serialized` locks additionally
+/// pull the span out to their boundaries whenever they enclose it: the
+/// new region replaces those sections, so they must be wholly inside it.
+fn balance(ops: &[Op], mut lo: usize, mut hi: usize, serialized: &[String]) -> (usize, usize) {
+    // Matched (start, end) index pairs; lock pairs remember their name.
+    let mut pairs: Vec<(usize, usize, Option<&str>)> = Vec::new();
+    let mut lock_stack: Vec<(&str, usize)> = Vec::new();
+    let mut region_stack: Vec<usize> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Acquire { lock, .. } => lock_stack.push((lock, i)),
+            Op::Release { lock } => {
+                if let Some(pos) = lock_stack.iter().rposition(|(h, _)| h == lock) {
+                    pairs.push((lock_stack.remove(pos).1, i, Some(lock)));
+                }
+            }
+            Op::AtomicBegin { .. } => region_stack.push(i),
+            Op::AtomicEnd => {
+                if let Some(start) = region_stack.pop() {
+                    pairs.push((start, i, None));
+                }
+            }
+            _ => {}
+        }
+    }
+    loop {
+        let (prev_lo, prev_hi) = (lo, hi);
+        for &(a, b, lock) in &pairs {
+            let a_inside = a >= lo && a <= hi;
+            let b_inside = b >= lo && b <= hi;
+            let cut = a_inside != b_inside;
+            let encloses_serialized =
+                a < lo && b > hi && lock.is_some_and(|l| serialized.iter().any(|s| s == l));
+            if cut || encloses_serialized {
+                lo = lo.min(a);
+                hi = hi.max(b);
+            }
+        }
+        if (lo, hi) == (prev_lo, prev_hi) {
+            return (lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Path, Summary};
+    use crate::report::Hazard;
+
+    fn lock_cycle_summary() -> ScenarioSummary {
+        Summary::new("t", "buggy")
+            .path(
+                Path::new("p0")
+                    .acquire("a")
+                    .write("x")
+                    .acquire("b")
+                    .write("y")
+                    .release("b")
+                    .release("a"),
+            )
+            .path(
+                Path::new("p1")
+                    .acquire("b")
+                    .write("y")
+                    .acquire("a")
+                    .write("x")
+                    .release("a")
+                    .release("b"),
+            )
+            .build()
+    }
+
+    fn cycle() -> Hazard {
+        Hazard::LockCycle { locks: vec!["a".into(), "b".into()] }
+    }
+
+    #[test]
+    fn recipe1_clears_a_lock_cycle() {
+        let s = lock_cycle_summary();
+        let baseline = crate::check(&s);
+        let v = synthesize(&s, &baseline, &cycle(), Recipe::ReplaceLocks);
+        assert!(v.verified, "{v:?}");
+        // The transform really removed the locks.
+        let t = apply(&s, &cycle(), Recipe::ReplaceLocks).unwrap();
+        assert!(t.lock_names().is_empty());
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn recipe3_preempts_one_side_of_the_cycle() {
+        let s = lock_cycle_summary();
+        let baseline = crate::check(&s);
+        let v = synthesize(&s, &baseline, &cycle(), Recipe::DeadlockPreemption);
+        assert!(v.verified, "{v:?}");
+        let t = apply(&s, &cycle(), Recipe::DeadlockPreemption).unwrap();
+        // Only the first path becomes a transaction; the second is
+        // untouched — that is the recipe's asymmetry.
+        assert!(matches!(t.paths[0].ops.first(), Some(Op::AtomicBegin { .. })));
+        assert_eq!(t.paths[1], s.paths[1]);
+        assert!(t.paths[0]
+            .ops
+            .iter()
+            .all(|op| !matches!(op, Op::Acquire { revocable: false, .. })));
+    }
+
+    #[test]
+    fn recipe2_wraps_every_racing_path() {
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").read("x").write("x"))
+            .path(Path::new("p1").write("x"))
+            .build();
+        let baseline = crate::check(&s);
+        assert!(!baseline.is_empty());
+        for f in &baseline {
+            let v = synthesize(&s, &baseline, &f.hazard, Recipe::WrapAll);
+            assert!(v.verified, "{:?}: {v:?}", f.hazard);
+        }
+    }
+
+    #[test]
+    fn recipe4_serializes_the_wrong_lock_path() {
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").acquire("right").read("x").write("x").release("right"))
+            .path(Path::new("p1").acquire("wrong").read("x").write("x").release("wrong"))
+            .build();
+        let baseline = crate::check(&s);
+        let race = Hazard::Race { loc: "x".into() };
+        let v = synthesize(&s, &baseline, &race, Recipe::WrapUnprotected);
+        assert!(v.verified, "{v:?}");
+        let t = apply(&s, &race, Recipe::WrapUnprotected).unwrap();
+        // p0 (the "right lock" side) is untouched; p1 was wrapped and
+        // serialized against both locks, its own (subsumed) lock dropped.
+        assert_eq!(t.paths[0], s.paths[0]);
+        assert!(t.paths[1].ops.iter().any(|op| matches!(
+            op,
+            Op::AtomicBegin { serialized_with } if serialized_with.contains(&"right".to_string())
+        )));
+        assert!(!t.paths[1].ops.iter().any(|op| matches!(op, Op::Acquire { .. })));
+    }
+
+    #[test]
+    fn recipe4_on_wholly_unprotected_data_degenerates_to_a_plain_wrap() {
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").read("x").write("x"))
+            .path(Path::new("p1").read("x").write("x"))
+            .build();
+        let race = Hazard::Race { loc: "x".into() };
+        let v = synthesize(&s, &crate::check(&s), &race, Recipe::WrapUnprotected);
+        assert!(v.verified, "{v:?}");
+    }
+
+    #[test]
+    fn wrapping_one_group_member_wraps_the_whole_invariant() {
+        // Fixing the race on `x` alone would leave the {x, y} invariant
+        // torn (a residual hazard overlapping the race, since both are
+        // SharedData on x): the wrap must grow to the declared group.
+        let s = Summary::new("t", "buggy")
+            .group(&["x", "y"])
+            .path(Path::new("p0").write("x").write("y"))
+            .path(Path::new("p1").read("x").read("y"))
+            .build();
+        let baseline = crate::check(&s);
+        let race = Hazard::Race { loc: "x".into() };
+        assert!(baseline.iter().any(|f| f.hazard == race), "{baseline:?}");
+        for recipe in [Recipe::WrapAll, Recipe::WrapUnprotected] {
+            let v = synthesize(&s, &baseline, &race, recipe);
+            assert!(v.verified, "{recipe:?}: {v:?}");
+        }
+        let t = apply(&s, &race, Recipe::WrapAll).unwrap();
+        assert!(
+            matches!(t.paths[0].ops.as_slice(), [Op::AtomicBegin { .. }, .., Op::AtomicEnd]),
+            "{:?}",
+            t.paths[0].ops
+        );
+    }
+
+    #[test]
+    fn wrap_spans_grow_over_cut_lock_pairs() {
+        // The span starts before a critical section and ends inside it:
+        // wrapping must pull the whole section in to stay balanced.
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").write("x").acquire("l").write("other").write("x").release("l"))
+            .path(Path::new("p1").write("x"))
+            .build();
+        let t = wrap_all(&s, &["x".to_string()]);
+        assert_eq!(t.validate(), Ok(()));
+        assert!(
+            matches!(t.paths[0].ops.first(), Some(Op::AtomicBegin { .. }))
+                && matches!(t.paths[0].ops.last(), Some(Op::AtomicEnd)),
+            "{:?}",
+            t.paths[0].ops
+        );
+    }
+
+    #[test]
+    fn wrap_spans_nest_inside_uninvolved_lock_sections() {
+        // The span is strictly inside a critical section of a lock the
+        // wrap is NOT serialized against: the region nests inside it.
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").acquire("l").write("other").write("x").release("l"))
+            .path(Path::new("p1").write("x"))
+            .build();
+        let t = wrap_all(&s, &["x".to_string()]);
+        assert_eq!(t.validate(), Ok(()));
+        assert!(matches!(t.paths[0].ops.first(), Some(Op::Acquire { .. })), "{:?}", t.paths[0].ops);
+    }
+
+    #[test]
+    fn retiring_a_monitor_removes_the_cv_and_keeps_exclusion() {
+        let s = Summary::new("t", "buggy")
+            .path(
+                Path::new("consumer")
+                    .acquire("m")
+                    .read("q")
+                    .wait("cv", "m", "q")
+                    .read("q")
+                    .write("q")
+                    .release("m"),
+            )
+            .path(Path::new("producer").notify("cv").acquire("m").write("q").release("m"))
+            .build();
+        let baseline = crate::check(&s);
+        let lost = Hazard::LostWakeup { cv: "cv".into(), loc: "q".into() };
+        assert!(baseline.iter().any(|f| f.hazard == lost), "{baseline:?}");
+        for recipe in [Recipe::WrapAll, Recipe::WrapUnprotected] {
+            let v = synthesize(&s, &baseline, &lost, recipe);
+            assert!(v.verified, "{recipe:?}: {v:?}");
+        }
+        let t = apply(&s, &lost, Recipe::WrapAll).unwrap();
+        assert!(t.lock_names().is_empty(), "the monitor became atomic regions");
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn inapplicable_recipes_fail_verification_loudly() {
+        let s = lock_cycle_summary();
+        let v = synthesize(&s, &crate::check(&s), &cycle(), Recipe::WrapAll);
+        assert!(!v.verified);
+        assert!(!v.residual.is_empty());
+    }
+
+    #[test]
+    fn an_incomplete_fix_leaves_residual_hazards() {
+        // "Fix" only the x race and then ask whether it cleared the y
+        // race: it must not.
+        let s = Summary::new("t", "buggy")
+            .path(Path::new("p0").write("x").write("y"))
+            .path(Path::new("p1").write("x").write("y"))
+            .build();
+        let baseline = crate::check(&s);
+        let y = Hazard::Race { loc: "y".into() };
+        // wrap_all over x only, checked against the y target.
+        let t = wrap_all(&s, &["x".to_string()]);
+        let after = crate::check(&t);
+        assert!(after.iter().any(|f| f.hazard.overlaps(&y)), "y still racy");
+        // The real synthesize on the y target wraps y and verifies.
+        let v = synthesize(&s, &baseline, &y, Recipe::WrapAll);
+        assert!(v.verified, "{v:?}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Condition-variable passes: wait-with-held-lock cycles and lost
+//! wakeups.
+//!
+//! **Wait cycles.** A `Wait` releases only its monitor. If the waiting
+//! path holds another non-revocable lock across the sleep, and some
+//! path that notifies the condition variable must acquire that lock,
+//! the notifier can block behind the sleeper forever — the
+//! condition-variable analogue of a lock-order inversion (Apache#42031
+//! is the corpus instance). Revocable (Recipe 3) acquisitions are
+//! exempt on both sides: a preemptible transaction rolls the sleeper
+//! back instead of deadlocking.
+//!
+//! **Lost wakeups.** A notification announces a predicate change. If a
+//! path notifies *before* writing the predicate location (or never
+//! writes it), a waiter can run its predicate check between the write
+//! and the notify's intended order, observe stale state, and sleep
+//! through the only wakeup.
+
+use crate::ir::{Op, ScenarioSummary};
+use crate::report::{Finding, Hazard};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The wait-cycle pass.
+pub(crate) fn wait_cycles(summary: &ScenarioSummary) -> Vec<Finding> {
+    // For each cv, which locks do notifying paths acquire non-revocably?
+    let mut notifier_locks: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for path in &summary.paths {
+        let notified: BTreeSet<&str> = path
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Notify { cv } => Some(cv.as_str()),
+                _ => None,
+            })
+            .collect();
+        if notified.is_empty() {
+            continue;
+        }
+        let acquired: BTreeSet<&str> = path
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Acquire { lock, revocable: false } => Some(lock.as_str()),
+                _ => None,
+            })
+            .collect();
+        for cv in notified {
+            notifier_locks.entry(cv).or_default().extend(acquired.iter().copied());
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for path in &summary.paths {
+        let mut held: Vec<(&str, bool)> = Vec::new();
+        for op in &path.ops {
+            match op {
+                Op::Acquire { lock, revocable } => held.push((lock, *revocable)),
+                Op::Release { lock } => {
+                    if let Some(pos) = held.iter().rposition(|(h, _)| h == lock) {
+                        held.remove(pos);
+                    }
+                }
+                Op::Wait { cv, monitor, .. } => {
+                    for (lock, revocable) in &held {
+                        if *revocable || lock == monitor {
+                            continue;
+                        }
+                        let needed = notifier_locks
+                            .get(cv.as_str())
+                            .is_some_and(|locks| locks.contains(lock));
+                        if needed && seen.insert((cv.clone(), lock.to_string())) {
+                            out.push(Finding {
+                                hazard: Hazard::WaitCycle {
+                                    cv: cv.clone(),
+                                    lock: lock.to_string(),
+                                },
+                                explanation: format!(
+                                    "{} sleeps on {cv} holding \"{lock}\" (only the monitor \
+                                     \"{monitor}\" is released), but a path that notifies \
+                                     {cv} acquires \"{lock}\" first",
+                                    path.name,
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The lost-wakeup pass.
+pub(crate) fn lost_wakeups(summary: &ScenarioSummary) -> Vec<Finding> {
+    // The predicate locations each cv's waiters read.
+    let mut predicates: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for path in &summary.paths {
+        for op in &path.ops {
+            if let Op::Wait { cv, predicate, .. } = op {
+                predicates.entry(cv).or_default().insert(predicate);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for path in &summary.paths {
+        for (i, op) in path.ops.iter().enumerate() {
+            let Op::Notify { cv } = op else { continue };
+            let Some(locs) = predicates.get(cv.as_str()) else { continue };
+            for loc in locs {
+                let writes_at = |op: &Op| match op {
+                    Op::Write { loc: l, .. } | Op::Rmw { loc: l } => l == loc,
+                    _ => false,
+                };
+                let before = path.ops[..i].iter().any(writes_at);
+                let after = path.ops[i + 1..].iter().any(writes_at);
+                if !before && after && seen.insert((cv.clone(), loc.to_string())) {
+                    out.push(Finding {
+                        hazard: Hazard::LostWakeup { cv: cv.clone(), loc: loc.to_string() },
+                        explanation: format!(
+                            "{} notifies {cv} before it updates {loc}, the state the wait \
+                             predicate reads: a waiter checking {loc} now goes back to \
+                             sleep and misses the wakeup",
+                            path.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Path, Summary};
+
+    fn waiter(extra_lock: bool) -> Path {
+        let p = Path::new("waiter");
+        let p = if extra_lock { p.acquire("outer") } else { p };
+        let p = p.acquire("m").wait("cv", "m", "flag").release("m");
+        if extra_lock {
+            p.release("outer")
+        } else {
+            p
+        }
+    }
+
+    #[test]
+    fn wait_holding_a_lock_the_notifier_needs_is_a_cycle() {
+        let s = Summary::new("t", "buggy")
+            .path(waiter(true))
+            .path(
+                Path::new("notifier")
+                    .acquire("outer")
+                    .release("outer")
+                    .acquire("m")
+                    .write("flag")
+                    .notify("cv")
+                    .release("m"),
+            )
+            .build();
+        let c = wait_cycles(&s);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].hazard, Hazard::WaitCycle { cv: "cv".into(), lock: "outer".into() });
+    }
+
+    #[test]
+    fn waiting_with_only_the_monitor_is_clean() {
+        let s = Summary::new("t", "dev")
+            .path(waiter(false))
+            .path(Path::new("notifier").acquire("m").write("flag").notify("cv").release("m"))
+            .build();
+        assert!(wait_cycles(&s).is_empty());
+    }
+
+    #[test]
+    fn unrelated_held_locks_are_not_cycles() {
+        // The notifier never touches "outer", so holding it is fine.
+        let s = Summary::new("t", "dev")
+            .path(waiter(true))
+            .path(Path::new("notifier").acquire("m").write("flag").notify("cv").release("m"))
+            .build();
+        assert!(wait_cycles(&s).is_empty());
+    }
+
+    #[test]
+    fn revocable_held_lock_is_exempt() {
+        let s = Summary::new("t", "tm")
+            .path(
+                Path::new("waiter")
+                    .atomic_begin()
+                    .acquire_tx("outer")
+                    .acquire("m")
+                    .wait("cv", "m", "flag")
+                    .release("m")
+                    .release("outer")
+                    .atomic_end(),
+            )
+            .path(
+                Path::new("notifier")
+                    .acquire("outer")
+                    .release("outer")
+                    .acquire("m")
+                    .write("flag")
+                    .notify("cv")
+                    .release("m"),
+            )
+            .build();
+        assert!(wait_cycles(&s).is_empty());
+    }
+
+    #[test]
+    fn notify_before_the_predicate_write_is_a_lost_wakeup() {
+        let s = Summary::new("t", "buggy")
+            .path(waiter(false))
+            .path(Path::new("notifier").notify("cv").acquire("m").write("flag").release("m"))
+            .build();
+        let l = lost_wakeups(&s);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].hazard, Hazard::LostWakeup { cv: "cv".into(), loc: "flag".into() });
+    }
+
+    #[test]
+    fn notify_after_the_predicate_write_is_clean() {
+        let s = Summary::new("t", "dev")
+            .path(waiter(false))
+            .path(Path::new("notifier").acquire("m").write("flag").release("m").notify("cv"))
+            .build();
+        assert!(lost_wakeups(&s).is_empty());
+    }
+
+    #[test]
+    fn notify_without_waiters_is_clean() {
+        let s =
+            Summary::new("t", "dev").path(Path::new("notifier").notify("cv").write("flag")).build();
+        assert!(lost_wakeups(&s).is_empty());
+    }
+}

@@ -9,10 +9,15 @@
 //! cargo run --bin txfix -- scenario apache_i --variant buggy
 //! cargo run --bin txfix -- scenarios
 //! cargo run --bin txfix -- analyze av_stats_race
+//! cargo run --bin txfix -- lint --all
 //! ```
 
 use std::process::ExitCode;
-use txfix::corpus::{all_bugs, all_scenarios, bug_by_id, scenario_by_key, Variant};
+use txfix::corpus::{
+    all_bugs, all_scenarios, bug_by_id, bug_by_scenario, keys, scenario_by_key, summary_for,
+    Variant,
+};
+use txfix::lint::{lint_summary, LintReport};
 use txfix::recipes::{
     analyze, preference, table1, table2, table3, tm_difficulty, Analysis, CorpusSummary, Preference,
 };
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
         Some("scenarios") => scenarios(),
         Some("scenario") => scenario(&args[1..]),
         Some("analyze") => analyze_cmd(&args[1..]),
+        Some("lint") => lint_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -57,6 +63,10 @@ fn usage() {
          \x20                              run a variant (default: buggy) under the trace\n\
          \x20                              recorder and report detected bugs with suggested\n\
          \x20                              fix recipes; exits nonzero on findings\n\
+         \x20 lint [<key>|--all] [--variant buggy|dev|tm] [--json]\n\
+         \x20                              statically analyze critical-section summaries\n\
+         \x20                              (default: all three variants) and verify the\n\
+         \x20                              synthesized fix recipes; exits nonzero on findings\n\
          \x20 help                         this message"
     );
 }
@@ -223,9 +233,10 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
     if json {
         println!("{}", report.to_json());
     } else {
+        let bug_id = bug_by_scenario(key).map(|b| format!(" [{}]", b.id)).unwrap_or_default();
         println!(
-            "{} ({} variant): {} events recorded",
-            report.scenario, report.variant, report.events
+            "scenario {}{} — {} variant: {} events recorded",
+            report.scenario, bug_id, report.variant, report.events
         );
         match &report.outcome {
             txfix::corpus::Outcome::Correct => println!("  run outcome: clean"),
@@ -240,6 +251,92 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
         }
     }
     if report.has_findings() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut key: Option<&str> = None;
+    let mut all = false;
+    let mut variants: Option<Vec<Variant>> = None;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--all" => all = true,
+            "--variant" => match rest.next().map(String::as_str) {
+                Some("buggy") => variants = Some(vec![Variant::Buggy]),
+                Some("dev") => variants = Some(vec![Variant::DevFix]),
+                Some("tm") => variants = Some(vec![Variant::TmFix]),
+                _ => return usage_error("--variant takes buggy|dev|tm"),
+            },
+            "--json" => json = true,
+            other if !other.starts_with('-') && key.is_none() => key = Some(other),
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    let selected: Vec<&str> = if all {
+        keys::ALL.to_vec()
+    } else if let Some(k) = key {
+        vec![k]
+    } else {
+        return usage_error("lint needs a scenario key or --all, e.g. `txfix lint av_stats_race`");
+    };
+    let variants =
+        variants.unwrap_or_else(|| vec![Variant::Buggy, Variant::DevFix, Variant::TmFix]);
+
+    let mut reports = Vec::new();
+    for k in &selected {
+        for &v in &variants {
+            let Some(summary) = summary_for(k, v) else {
+                return usage_error(&format!("no scenario `{k}` (try `txfix scenarios`)"));
+            };
+            let analysis = bug_by_scenario(k).map(|b| analyze(&b));
+            match lint_summary(&summary, analysis.as_ref()) {
+                Ok(r) => reports.push(r),
+                Err(e) => {
+                    eprintln!("error: summary for {k} is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if json {
+        let items: Vec<String> = reports.iter().map(LintReport::to_json).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for r in &reports {
+            let bug_id = bug_by_scenario(&r.scenario).map(|b| format!(" [{}]", b.id));
+            println!(
+                "scenario {}{} — {} variant: {} paths modeled",
+                r.scenario,
+                bug_id.unwrap_or_default(),
+                r.variant,
+                r.paths
+            );
+            if r.findings.is_empty() {
+                println!("  no findings");
+            }
+            for f in &r.findings {
+                println!("  FINDING: {}", f.hazard);
+                println!("    {}", f.explanation);
+                for fix in &f.fixes {
+                    let status = if fix.verified { "statically verified" } else { "NOT verified" };
+                    println!("    fix: {} — {status}", fix.recipe);
+                    for h in &fix.residual {
+                        println!("      residual: {h}");
+                    }
+                    for h in &fix.introduced {
+                        println!("      introduced: {h}");
+                    }
+                }
+            }
+        }
+    }
+    if reports.iter().any(LintReport::has_findings) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -55,3 +55,7 @@ pub use txfix_corpus as corpus;
 /// Trace-based bug detection: happens-before races, conflict
 /// serializability, lock-order inversions.
 pub use txfix_analyze as analyze;
+
+/// Static critical-section analysis over declarative scenario summaries,
+/// with recipe synthesis and static fix verification (`txfix lint`).
+pub use txfix_static as lint;

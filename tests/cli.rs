@@ -56,6 +56,51 @@ fn scenario_runs_a_fast_reproduction() {
 }
 
 #[test]
+fn analyze_header_names_the_scenario_bug_and_variant() {
+    let (out, ok) = txfix(&["analyze", "av_stats_race", "--variant", "tm"]);
+    assert!(ok, "tm variant must analyze clean");
+    assert!(out.contains("scenario av_stats_race [MySQL#12228] — tm variant"), "{out}");
+}
+
+#[test]
+fn lint_flags_a_buggy_scenario_and_clears_its_fixes() {
+    let (out, ok) = txfix(&["lint", "av_stats_race"]);
+    assert!(!ok, "findings must fail the exit code");
+    assert!(out.contains("FINDING: possible data race on my12228.queries"), "{out}");
+    assert!(out.contains("statically verified"), "{out}");
+    let (out, ok) = txfix(&["lint", "av_stats_race", "--variant", "tm"]);
+    assert!(ok, "the TM fix must lint clean");
+    assert!(out.contains("no findings"), "{out}");
+}
+
+#[test]
+fn lint_all_covers_the_corpus_and_fails() {
+    let (out, ok) = txfix(&["lint", "--all"]);
+    assert!(!ok, "buggy variants are included, so --all must fail");
+    assert_eq!(out.matches("paths modeled").count(), 18 * 3);
+}
+
+#[test]
+fn lint_json_parses_back_into_reports() {
+    use txfix::lint::LintReport;
+    let (out, ok) = txfix(&["lint", "dl_cache_atomtable", "--json"]);
+    assert!(!ok);
+    // The output is a JSON array of per-variant reports; split it with
+    // the same parser the reports use.
+    let v = txfix::recipes::json::Json::parse(out.trim()).expect("valid JSON");
+    let reports: Vec<LintReport> = v
+        .array("lint output")
+        .expect("array")
+        .iter()
+        .map(|r| LintReport::from_json(&r.to_string()))
+        .collect::<Result<_, _>>()
+        .expect("every report parses");
+    assert_eq!(reports.len(), 3);
+    assert!(reports[0].has_findings(), "buggy report comes first");
+    assert!(!reports[2].has_findings(), "tm report is clean");
+}
+
+#[test]
 fn bad_input_fails_with_usage() {
     let (_, ok) = txfix(&["show"]);
     assert!(!ok);

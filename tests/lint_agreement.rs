@@ -1,0 +1,150 @@
+//! The static analyzer (`txfix lint`) against the dynamic one (`txfix
+//! analyze`), over the whole corpus:
+//!
+//! - On **buggy** variants, every dynamic finding is covered by a static
+//!   finding (the summaries model at least everything the recorder can
+//!   see), every buggy variant is statically flagged, and every static
+//!   finding carries a statically verified synthesized fix.
+//! - On **developer-fix** and **TM-fix** variants, both analyzers are
+//!   silent.
+//! - Static findings with no dynamic counterpart are individually
+//!   allowlisted with the reason for the divergence — the static side is
+//!   *supposed* to see more (it models state the recorder does not
+//!   instrument), but each such case must be intentional.
+
+use txfix::analyze::{analyze_scenario, FindingKind};
+use txfix::corpus::{bug_by_scenario, keys, summary_for, Variant};
+use txfix::lint::{lint_summary, Hazard, LintReport};
+use txfix::recipes::{analyze, HazardClass};
+
+/// Static findings expected to have no dynamic counterpart, as
+/// `"key: hazard"` display strings. Every entry must actually occur
+/// (a stale entry fails the test), and every uncovered static finding
+/// must be listed here.
+const STATIC_ONLY: &[&str] = &[
+    // The §5.4.1 miniature reproduces its deadlock inside the app model,
+    // whose locks the trace recorder does not instrument.
+    "mozilla_i: lock-order cycle through moz1.scope -> moz1.title",
+    // A lock-AND-WAIT cycle: no lock-order inversion ever forms, so the
+    // lock-graph-based dynamic detector is structurally blind to it.
+    "apache_i: wait on apache1.idle_cv holds \"apache1.timeout_mutex\" that a notifier needs",
+    // Condition-variable traffic (notify/wait ordering) is not traced.
+    "av_cv_partial: m91106.cv notified before m91106.items is updated (lost wakeup)",
+    // The Apache-II miniature logs through plain memory and simulated
+    // file I/O, none of it visible to the recorder.
+    "apache_ii: possible data race on apache2.log_buf",
+    "apache_ii: possible data race on apache2.log_cursor",
+    "apache_ii: atomicity not continuous across apache2.log_cursor",
+    "apache_ii: atomicity not continuous across apache2.log_buf, apache2.log_cursor",
+    // The emitted log line goes to a deferred-I/O buffer the recorder
+    // does not see; dynamically only the sequence counter is visible.
+    "av_log_sequence: possible data race on a29850.log",
+    // The §5.4.4 miniature's table and binlog live inside the app model,
+    // outside the traced-cell instrumentation.
+    "mysql_i: possible data race on mysql1.binlog",
+    "mysql_i: atomicity not continuous across mysql1.binlog, mysql1.table",
+];
+
+/// Run the full lint loop for one scenario variant.
+fn lint(key: &str, variant: Variant) -> LintReport {
+    let summary = summary_for(key, variant).expect("registered summary");
+    let analysis = bug_by_scenario(key).map(|bug| analyze(&bug));
+    lint_summary(&summary, analysis.as_ref()).expect("summary validates")
+}
+
+/// The (class, subjects) view of a dynamic finding, for matching against
+/// static hazards.
+fn dynamic_shape(kind: &FindingKind) -> (HazardClass, Vec<String>) {
+    match kind {
+        FindingKind::DataRace { object } => (HazardClass::SharedData, vec![object.clone()]),
+        FindingKind::AtomicityViolation { objects } => (HazardClass::SharedData, objects.clone()),
+        FindingKind::LockOrderInversion { first, second } => {
+            (HazardClass::LockCycle, vec![first.clone(), second.clone()])
+        }
+    }
+}
+
+fn covers(hazard: &Hazard, class: HazardClass, subjects: &[String]) -> bool {
+    hazard.class() == class && hazard.subjects().iter().any(|s| subjects.contains(s))
+}
+
+#[test]
+fn static_findings_cover_every_dynamic_finding_on_buggy_variants() {
+    for key in keys::ALL {
+        let dynamic = analyze_scenario(key, Variant::Buggy).expect("known key");
+        let report = lint(key, Variant::Buggy);
+        for d in &dynamic.findings {
+            let (class, subjects) = dynamic_shape(&d.kind);
+            assert!(
+                report.findings.iter().any(|f| covers(&f.hazard, class, &subjects)),
+                "{key}: dynamic finding {:?} has no static counterpart in {:?}",
+                d.kind,
+                report.findings.iter().map(|f| f.hazard.to_string()).collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+#[test]
+fn every_buggy_variant_is_flagged_with_a_verified_fix() {
+    for key in keys::ALL {
+        let report = lint(key, Variant::Buggy);
+        assert!(report.has_findings(), "{key} buggy: statically clean");
+        for f in &report.findings {
+            assert!(!f.fixes.is_empty(), "{key}: no recipe candidate for {}", f.hazard);
+            assert!(
+                f.fixes[0].verified,
+                "{key}: primary recipe {} failed verification for {}: residual {:?}, introduced {:?}",
+                f.fixes[0].recipe, f.hazard, f.fixes[0].residual, f.fixes[0].introduced
+            );
+            for v in &f.fixes {
+                assert!(
+                    v.verified,
+                    "{key}: recipe {} failed verification for {}: residual {:?}, introduced {:?}",
+                    v.recipe, f.hazard, v.residual, v.introduced
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn both_analyzers_are_silent_on_fixed_variants() {
+    for key in keys::ALL {
+        for variant in [Variant::DevFix, Variant::TmFix] {
+            let report = lint(key, variant);
+            assert!(
+                !report.has_findings(),
+                "{key} ({variant:?}): static findings on a fixed variant: {:?}",
+                report.findings.iter().map(|f| f.hazard.to_string()).collect::<Vec<_>>(),
+            );
+            let dynamic = analyze_scenario(key, variant).expect("known key");
+            assert!(
+                !dynamic.has_findings(),
+                "{key} ({variant:?}): dynamic findings on a fixed variant: {:?}",
+                dynamic.findings,
+            );
+        }
+    }
+}
+
+#[test]
+fn static_only_findings_are_exactly_the_allowlisted_divergences() {
+    let mut unused: Vec<&str> = STATIC_ONLY.to_vec();
+    for key in keys::ALL {
+        let dynamic = analyze_scenario(key, Variant::Buggy).expect("known key");
+        let shapes: Vec<_> = dynamic.findings.iter().map(|d| dynamic_shape(&d.kind)).collect();
+        for f in lint(key, Variant::Buggy).findings {
+            if shapes.iter().any(|(class, subjects)| covers(&f.hazard, *class, subjects)) {
+                continue;
+            }
+            let entry = format!("{key}: {}", f.hazard);
+            assert!(
+                STATIC_ONLY.contains(&entry.as_str()),
+                "unallowlisted static-only finding {entry:?}",
+            );
+            unused.retain(|e| *e != entry);
+        }
+    }
+    assert!(unused.is_empty(), "stale allowlist entries: {unused:?}");
+}
