@@ -1,13 +1,13 @@
 //! Findings and machine-readable reports.
 //!
 //! The workspace has no serde (the build environment vendors only a
-//! handful of stand-in crates), so the JSON encoding here is hand-rolled
-//! over [`txfix_core::json`]: [`Report::to_json`] emits a stable object
-//! layout and [`Report::from_json`] parses it back. Round-tripping is
-//! covered by tests.
+//! handful of stand-in crates), so the JSON encoding here goes through
+//! [`txfix_core::json`]: [`ToJson`] builds a stable object layout and
+//! [`Report::from_json`] parses it back. Round-tripping is covered by
+//! tests.
 
 use std::fmt;
-use txfix_core::json::{escape, get, push_field, Json};
+use txfix_core::json::{get, Json, ToJson};
 use txfix_core::Recipe;
 use txfix_corpus::Outcome;
 
@@ -82,26 +82,7 @@ impl Report {
         !self.findings.is_empty()
     }
 
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{");
-        push_field(&mut s, "scenario", &escape(&self.scenario));
-        push_field(&mut s, "variant", &escape(&self.variant));
-        let outcome = match &self.outcome {
-            Outcome::Correct => r#"{"kind":"correct"}"#.to_string(),
-            Outcome::BugObserved(detail) => {
-                format!(r#"{{"kind":"bug_observed","detail":{}}}"#, escape(detail))
-            }
-        };
-        push_field(&mut s, "outcome", &outcome);
-        push_field(&mut s, "events", &self.events.to_string());
-        let findings: Vec<String> = self.findings.iter().map(finding_to_json).collect();
-        push_field(&mut s, "findings", &format!("[{}]", findings.join(",")));
-        s.push('}');
-        s
-    }
-
-    /// Parse a report back from [`Report::to_json`] output.
+    /// Parse a report back from [`ToJson::to_json`] output.
     ///
     /// # Errors
     ///
@@ -132,31 +113,47 @@ impl Report {
     }
 }
 
-fn finding_to_json(f: &Finding) -> String {
-    let mut s = String::from("{");
-    let kind = match &f.kind {
-        FindingKind::DataRace { object } => {
-            format!(r#"{{"kind":"data_race","object":{}}}"#, escape(object))
-        }
-        FindingKind::AtomicityViolation { objects } => {
-            let items: Vec<String> = objects.iter().map(|o| escape(o)).collect();
-            format!(r#"{{"kind":"atomicity_violation","objects":[{}]}}"#, items.join(","))
-        }
-        FindingKind::LockOrderInversion { first, second } => format!(
-            r#"{{"kind":"lock_order_inversion","first":{},"second":{}}}"#,
-            escape(first),
-            escape(second)
-        ),
-    };
-    push_field(&mut s, "bug", &kind);
-    let recipe = match f.recipe {
-        Some(r) => escape(r.slug()),
-        None => "null".to_string(),
-    };
-    push_field(&mut s, "recipe", &recipe);
-    push_field(&mut s, "explanation", &escape(&f.explanation));
-    s.push('}');
-    s
+impl ToJson for Report {
+    fn to_json_value(&self) -> Json {
+        let outcome = match &self.outcome {
+            Outcome::Correct => Json::obj([("kind", Json::str("correct"))]),
+            Outcome::BugObserved(detail) => Json::obj([
+                ("kind", Json::str("bug_observed")),
+                ("detail", Json::str(detail.clone())),
+            ]),
+        };
+        Json::obj([
+            ("scenario", Json::str(self.scenario.clone())),
+            ("variant", Json::str(self.variant.clone())),
+            ("outcome", outcome),
+            ("events", Json::int(self.events as u64)),
+            ("findings", Json::list(self.findings.iter().map(ToJson::to_json_value))),
+        ])
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json_value(&self) -> Json {
+        let bug = match &self.kind {
+            FindingKind::DataRace { object } => {
+                Json::obj([("kind", Json::str("data_race")), ("object", Json::str(object.clone()))])
+            }
+            FindingKind::AtomicityViolation { objects } => Json::obj([
+                ("kind", Json::str("atomicity_violation")),
+                ("objects", Json::strings(objects)),
+            ]),
+            FindingKind::LockOrderInversion { first, second } => Json::obj([
+                ("kind", Json::str("lock_order_inversion")),
+                ("first", Json::str(first.clone())),
+                ("second", Json::str(second.clone())),
+            ]),
+        };
+        Json::obj([
+            ("bug", bug),
+            ("recipe", self.recipe.map_or(Json::Null, |r| Json::str(r.slug()))),
+            ("explanation", Json::str(self.explanation.clone())),
+        ])
+    }
 }
 
 fn finding_from_json(v: &Json) -> Result<Finding, String> {
@@ -251,7 +248,7 @@ mod tests {
                 recipe: Some(recipe),
                 explanation: String::new(),
             };
-            let parsed = finding_from_json(&Json::parse(&finding_to_json(&f)).unwrap()).unwrap();
+            let parsed = finding_from_json(&Json::parse(&f.to_json()).unwrap()).unwrap();
             assert_eq!(parsed, f);
         }
     }

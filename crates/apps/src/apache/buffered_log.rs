@@ -17,7 +17,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use txfix_stm::{atomic_with, OverheadModel, TVar, TxnOptions};
+use txfix_stm::{OverheadModel, TVar, Txn, TxnBuilder};
 use txfix_txlock::TxMutex;
 use txfix_xcall::{SimFile, SimFs, XFile};
 
@@ -165,7 +165,7 @@ pub struct TmBufferedLog {
     buf: TVar<Vec<u8>>,
     xfile: XFile,
     capacity: usize,
-    opts: TxnOptions,
+    txn: TxnBuilder,
 }
 
 impl fmt::Debug for TmBufferedLog {
@@ -188,32 +188,34 @@ impl TmBufferedLog {
             buf: TVar::new(Vec::with_capacity(capacity)),
             xfile: XFile::open_or_create(fs, path),
             capacity,
-            opts: TxnOptions::default().overhead(overhead),
+            txn: Txn::build().site("apache_ii_log").overhead(overhead),
         }
     }
 }
 
 impl LogWriter for TmBufferedLog {
     fn write_record(&self, record: &[u8]) {
-        atomic_with(&self.opts, |txn| {
-            let mut buf = self.buf.read(txn)?;
-            if buf.len() + record.len() > self.capacity {
-                self.xfile.x_append(txn, &buf)?;
-                buf.clear();
-            }
-            buf.extend_from_slice(record);
-            self.buf.write(txn, buf)
-        })
-        .expect("log transaction cannot fail terminally");
+        self.txn
+            .try_run(|txn| {
+                let mut buf = self.buf.read(txn)?;
+                if buf.len() + record.len() > self.capacity {
+                    self.xfile.x_append(txn, &buf)?;
+                    buf.clear();
+                }
+                buf.extend_from_slice(record);
+                self.buf.write(txn, buf)
+            })
+            .expect("log transaction cannot fail terminally");
     }
 
     fn flush(&self) {
-        atomic_with(&self.opts, |txn| {
-            let buf = self.buf.read(txn)?;
-            self.xfile.x_append(txn, &buf)?;
-            self.buf.write(txn, Vec::new())
-        })
-        .expect("log flush transaction cannot fail terminally");
+        self.txn
+            .try_run(|txn| {
+                let buf = self.buf.read(txn)?;
+                self.xfile.x_append(txn, &buf)?;
+                self.buf.write(txn, Vec::new())
+            })
+            .expect("log flush transaction cannot fail terminally");
     }
 
     fn file(&self) -> &Arc<SimFile> {

@@ -14,13 +14,13 @@
 use super::store::ObjectStore;
 use std::fmt;
 use txfix_core::{preemptible, PreemptOptions};
-use txfix_stm::{atomic_with, OverheadModel, TVar, TxnOptions};
+use txfix_stm::{OverheadModel, TVar, Txn, TxnBuilder};
 use txfix_txlock::TxMutex;
 
 /// Recipe 1: all synchronization replaced by atomic regions.
 pub struct StmStore {
     objects: Vec<Vec<TVar<i64>>>,
-    opts: TxnOptions,
+    txn: TxnBuilder,
     name: &'static str,
 }
 
@@ -43,7 +43,7 @@ impl StmStore {
     ) -> StmStore {
         StmStore {
             objects: (0..objects).map(|_| (0..slots).map(|_| TVar::new(0)).collect()).collect(),
-            opts: TxnOptions::default().overhead(overhead),
+            txn: Txn::build().site("spidermonkey_stm").overhead(overhead),
             name,
         }
     }
@@ -62,7 +62,7 @@ impl StmStore {
             OverheadModel::SOFTWARE_TM,
             "tm-replace (software, eager)",
         );
-        s.opts = s.opts.write_policy(txfix_stm::WritePolicy::Eager);
+        s.txn = s.txn.write_policy(txfix_stm::WritePolicy::Eager);
         s
     }
 
@@ -80,26 +80,27 @@ impl StmStore {
 impl ObjectStore for StmStore {
     fn set_slot(&self, _thread: usize, obj: usize, slot: usize, value: i64) {
         let v = &self.objects[obj][slot];
-        atomic_with(&self.opts, |txn| v.write(txn, value)).expect("slot write cannot fail");
+        self.txn.try_run(|txn| v.write(txn, value)).expect("slot write cannot fail");
     }
 
     fn get_slot(&self, _thread: usize, obj: usize, slot: usize) -> i64 {
         let v = &self.objects[obj][slot];
-        atomic_with(&self.opts, |txn| v.read(txn)).expect("slot read cannot fail")
+        self.txn.try_run(|txn| v.read(txn)).expect("slot read cannot fail").0
     }
 
     fn move_slot(&self, _thread: usize, src: usize, dst: usize, slot: usize) -> bool {
         let s = &self.objects[src][slot];
         let d = &self.objects[dst][slot];
-        atomic_with(&self.opts, |txn| {
-            let v = s.read(txn)?;
-            if v != 0 {
-                s.write(txn, 0)?;
-                d.write(txn, v)?;
-            }
-            Ok(())
-        })
-        .expect("move cannot fail");
+        self.txn
+            .try_run(|txn| {
+                let v = s.read(txn)?;
+                if v != 0 {
+                    s.write(txn, 0)?;
+                    d.write(txn, v)?;
+                }
+                Ok(())
+            })
+            .expect("move cannot fail");
         true
     }
 

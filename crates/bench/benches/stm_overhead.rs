@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use txfix_htm::{hybrid_atomic, HtmConfig};
-use txfix_stm::{atomic_with, OverheadModel, TVar, TxnOptions};
+use txfix_stm::{OverheadModel, TVar, Txn};
 use txfix_txlock::TxMutex;
 
 fn bench_mechanisms(c: &mut Criterion) {
@@ -40,11 +40,11 @@ fn bench_mechanisms(c: &mut Criterion) {
     let a = TVar::new(0u64);
     let bb = TVar::new(0u64);
     let mut tx_bench = |name: &str, overhead: OverheadModel| {
-        let opts = TxnOptions::default().overhead(overhead);
+        let txb = Txn::build().overhead(overhead);
         let (a, bb) = (a.clone(), bb.clone());
         g.bench_function(name, move |bch| {
             bch.iter(|| {
-                atomic_with(&opts, |txn| {
+                txb.try_run(|txn| {
                     let x = a.read(txn)?;
                     a.write(txn, x.wrapping_add(1))?;
                     let y = bb.read(txn)?;
@@ -52,6 +52,7 @@ fn bench_mechanisms(c: &mut Criterion) {
                     Ok(y)
                 })
                 .expect("uncontended transaction")
+                .0
             })
         });
     };
@@ -60,14 +61,38 @@ fn bench_mechanisms(c: &mut Criterion) {
     tx_bench("stm_software_model", OverheadModel::SOFTWARE_TM);
     tx_bench("stm_hardware_model", OverheadModel::HARDWARE_TM);
 
+    // The obs registry's contract: disabled (the default, as in
+    // `stm_native` above) costs one relaxed load per hook; this variant
+    // pins what turning it on adds. Compare `stm_native` against the
+    // pre-observability baseline to check the ≤5% disabled budget.
+    {
+        txfix_stm::obs::enable();
+        let txb = Txn::build().site("bench.obs_enabled");
+        let (a, bb) = (a.clone(), bb.clone());
+        g.bench_function("stm_native_obs_enabled", move |bch| {
+            bch.iter(|| {
+                txb.try_run(|txn| {
+                    let x = a.read(txn)?;
+                    a.write(txn, x.wrapping_add(1))?;
+                    let y = bb.read(txn)?;
+                    bb.write(txn, y.wrapping_add(x))?;
+                    Ok(y)
+                })
+                .expect("uncontended transaction")
+                .0
+            })
+        });
+        txfix_stm::obs::disable();
+    }
+
     // Eager (encounter-time locking, undo log) — the write policy of the
     // paper's actual platform (Intel's STM).
     {
-        let opts = TxnOptions::default().write_policy(txfix_stm::WritePolicy::Eager);
+        let txb = Txn::build().write_policy(txfix_stm::WritePolicy::Eager);
         let (a, bb) = (a.clone(), bb.clone());
         g.bench_function("stm_eager_native", move |bch| {
             bch.iter(|| {
-                atomic_with(&opts, |txn| {
+                txb.try_run(|txn| {
                     let x = a.read(txn)?;
                     a.write(txn, x.wrapping_add(1))?;
                     let y = bb.read(txn)?;
@@ -75,6 +100,7 @@ fn bench_mechanisms(c: &mut Criterion) {
                     Ok(y)
                 })
                 .expect("uncontended eager transaction")
+                .0
             })
         });
     }

@@ -1,12 +1,14 @@
 //! Run every experiment and print paper-reported vs. measured values —
 //! the source of EXPERIMENTS.md's results section.
 //!
-//! Pass `--full` for benchmark-scale case-study runs.
+//! Pass `--full` for benchmark-scale case-study runs and `--json` for a
+//! machine-readable version of the whole run.
 
 use txfix_bench::{
     apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison,
     CaseComparison, Scale,
 };
+use txfix_core::json::{Json, ToJson};
 use txfix_core::{table1, table2, table3, CorpusSummary};
 
 fn check(label: &str, paper: u64, measured: u64) {
@@ -18,6 +20,38 @@ fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
     let bugs = txfix_corpus::all_bugs();
     let s = CorpusSummary::compute(&bugs);
+
+    if std::env::args().any(|a| a == "--json") {
+        let scenarios = Json::list(txfix_corpus::all_scenarios().iter().map(|sc| {
+            Json::obj([
+                ("key", Json::str(sc.key())),
+                ("buggy", Json::Bool(sc.run(txfix_corpus::Variant::Buggy).is_bug())),
+                ("dev", Json::Bool(sc.run(txfix_corpus::Variant::DevFix).is_bug())),
+                ("tm", Json::Bool(sc.run(txfix_corpus::Variant::TmFix).is_bug())),
+            ])
+        }));
+        let cases = [
+            mozilla_i_comparison(scale),
+            apache_i_comparison(scale),
+            apache_ii_comparison(scale),
+            mysql_i_comparison(scale),
+        ];
+        let doc = Json::obj([
+            (
+                "tables",
+                Json::list([
+                    table1(&bugs).to_json_value(),
+                    table2(&bugs).to_json_value(),
+                    table3(&bugs).to_json_value(),
+                ]),
+            ),
+            ("summary", s.to_json_value()),
+            ("scenarios_bug_observed", scenarios),
+            ("cases", Json::list(cases.iter().map(ToJson::to_json_value))),
+        ]);
+        println!("{}", doc.to_json());
+        return;
+    }
 
     println!("== T1–T3: study tables =============================================\n");
     print!("{}", table1(&bugs));

@@ -1,9 +1,20 @@
 //! Regenerate Table 1: concurrency bugs that TM can fix.
+//!
+//! Pass `--json` for a machine-readable version (table rows plus the
+//! corpus summary aggregates).
+
+use txfix_core::json::{Json, ToJson};
 
 fn main() {
     let bugs = txfix_corpus::all_bugs();
-    print!("{}", txfix_core::table1(&bugs));
+    let table = txfix_core::table1(&bugs);
     let s = txfix_core::CorpusSummary::compute(&bugs);
+    if std::env::args().any(|a| a == "--json") {
+        let doc = Json::obj([("table", table.to_json_value()), ("summary", s.to_json_value())]);
+        println!("{}", doc.to_json());
+        return;
+    }
+    print!("{table}");
     println!(
         "\nTM can fix {} of {} bugs ({:.0}%); {} judged simpler than the developers' fix ({:.0}%).",
         s.fixable(),

@@ -1,6 +1,15 @@
 //! Regenerate Table 2: difficulty of developers' vs. TM fixes.
+//!
+//! Pass `--json` for a machine-readable version.
+
+use txfix_core::json::ToJson;
 
 fn main() {
     let bugs = txfix_corpus::all_bugs();
-    print!("{}", txfix_core::table2(&bugs));
+    let table = txfix_core::table2(&bugs);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", table.to_json());
+    } else {
+        print!("{table}");
+    }
 }

@@ -1,6 +1,15 @@
 //! Regenerate Table 3: downcalls performed by the TM fixes' atomic blocks.
+//!
+//! Pass `--json` for a machine-readable version.
+
+use txfix_core::json::ToJson;
 
 fn main() {
     let bugs = txfix_corpus::all_bugs();
-    print!("{}", txfix_core::table3(&bugs));
+    let table = txfix_core::table3(&bugs);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", table.to_json());
+    } else {
+        print!("{table}");
+    }
 }

@@ -1,15 +1,19 @@
 //! Regenerate Table 4: the four demonstration fixes — recipe applied,
 //! performance relative to the developers' fix, and fix size.
 //!
-//! Pass `--full` for benchmark-scale runs (the default is a quick pass).
+//! Pass `--full` for benchmark-scale runs (the default is a quick pass)
+//! and `--json` for a machine-readable version (table rows plus the full
+//! per-variant case comparisons).
 
 use txfix_bench::{
     apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison, Scale,
 };
+use txfix_core::json::{Json, ToJson};
 use txfix_core::TextTable;
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let json = std::env::args().any(|a| a == "--json");
     let cases = [
         (mozilla_i_comparison(scale), "DL", "involves locks only", 23u32),
         (apache_i_comparison(scale), "DL", "involves lock and wait", 32),
@@ -31,6 +35,14 @@ fn main() {
             format!("{:.1}%", c.measured_relative() * 100.0),
             loc.to_string(),
         ]);
+    }
+    if json {
+        let doc = Json::obj([
+            ("table", t.to_json_value()),
+            ("cases", Json::list(cases.iter().map(|(c, ..)| c.to_json_value()))),
+        ]);
+        println!("{}", doc.to_json());
+        return;
     }
     print!("{t}");
     println!("\nPer-variant detail:\n");

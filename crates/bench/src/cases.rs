@@ -16,6 +16,7 @@ use txfix_apps::spidermonkey::{
     run_script_workload, HwModelStore, ObjectStore, OwnershipMode, OwnershipStore, PreemptStore,
     ScriptParams, StmStore,
 };
+use txfix_core::json::{Json, ToJson};
 use txfix_stm::OverheadModel;
 use txfix_xcall::SimFs;
 
@@ -85,6 +86,37 @@ impl CaseComparison {
             ));
         }
         out
+    }
+}
+
+/// JSON has no NaN/Infinity; degenerate ratios become `null`.
+fn finite(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Number(v)
+    } else {
+        Json::Null
+    }
+}
+
+impl ToJson for Measurement {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("ops_per_sec", finite(self.ops_per_sec)),
+            ("relative_to_dev", finite(self.relative_to_dev)),
+        ])
+    }
+}
+
+impl ToJson for CaseComparison {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("case", Json::str(self.case)),
+            ("recipe", Json::str(self.recipe)),
+            ("paper_relative", finite(self.paper_relative)),
+            ("measured_relative", finite(self.measured_relative())),
+            ("measurements", Json::list(self.measurements.iter().map(ToJson::to_json_value))),
+        ])
     }
 }
 

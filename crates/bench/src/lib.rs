@@ -4,13 +4,18 @@
 //! binaries print the paper's tables from the corpus and the case-study
 //! comparisons; `experiments` runs everything and prints paper-reported
 //! vs. measured values; the criterion benches under `benches/` measure the
-//! same comparisons with statistical rigor plus the three ablations.
+//! same comparisons with statistical rigor plus the three ablations; the
+//! [`stress`] module sustains open-ended load against each fix variant and
+//! reports throughput, abort rate and latency percentiles (`txfix
+//! stress`).
 
 #![warn(missing_docs)]
 
 pub mod cases;
+pub mod stress;
 
 pub use cases::{
     apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison,
     CaseComparison, Measurement, Scale,
 };
+pub use stress::{run_stress, stress_report, StressConfig, StressRun, SCENARIOS};

@@ -1,12 +1,14 @@
 //! Minimal hand-rolled JSON support shared by the machine-readable
-//! reports (`txfix analyze --json`, `txfix lint --json`).
+//! reports (`txfix analyze --json`, `txfix lint --json`, `txfix stress
+//! --json`, the bench binaries' `--json` mode).
 //!
 //! The workspace has no serde (the build environment vendors only a
-//! handful of stand-in crates), so the encoding is by hand: writers build
-//! strings with [`escape`] and [`push_field`], readers parse with
-//! [`Json::parse`], a minimal recursive-descent reader. This module was
-//! extracted from `txfix-analyze` so every report format in the workspace
-//! shares one implementation.
+//! handful of stand-in crates), so the encoding is by hand: writers
+//! implement [`ToJson`] and build [`Json`] values with the constructors
+//! ([`Json::obj`], [`Json::str`], …); readers parse with [`Json::parse`],
+//! a minimal recursive-descent reader. This module was extracted from
+//! `txfix-analyze` so every report format in the workspace shares one
+//! implementation — no report hand-formats JSON text.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -148,16 +150,54 @@ impl fmt::Display for Json {
     }
 }
 
-/// Append `"key":value` to an object literal under construction (a string
-/// currently ending inside `{...}`), inserting the comma as needed.
-/// `value` must already be valid JSON text.
-pub fn push_field(s: &mut String, key: &str, value: &str) {
-    if !s.ends_with('{') {
-        s.push(',');
+/// Types that serialize themselves as a [`Json`] value.
+///
+/// This is the single serialization surface for every machine-readable
+/// format in the workspace: implement `to_json_value` (building the value
+/// with the [`Json`] constructors) and the textual form comes for free
+/// from the [`Json`] serializer.
+pub trait ToJson {
+    /// Build the JSON value.
+    fn to_json_value(&self) -> Json;
+
+    /// Serialize to compact JSON text.
+    fn to_json(&self) -> String {
+        self.to_json_value().to_string()
     }
-    s.push_str(&escape(key));
-    s.push(':');
-    s.push_str(value);
+}
+
+impl ToJson for Json {
+    fn to_json_value(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// A non-negative integer value (reports only emit integers that fit
+    /// an `f64` exactly).
+    pub fn int(n: u64) -> Json {
+        Json::Number(n as f64)
+    }
+
+    /// An array of string values.
+    pub fn strings<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> Json {
+        Json::Array(items.into_iter().map(|s| Json::String(s.as_ref().to_string())).collect())
+    }
+
+    /// An array value.
+    pub fn list(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// An object value from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
 }
 
 /// Quote and escape `s` as a JSON string literal.
@@ -177,12 +217,6 @@ pub fn escape(s: &str) -> String {
     }
     out.push('"');
     out
-}
-
-/// Render a slice of strings as a JSON array of string literals.
-pub fn string_array(items: &[String]) -> String {
-    let quoted: Vec<String> = items.iter().map(|s| escape(s)).collect();
-    format!("[{}]", quoted.join(","))
 }
 
 struct Parser {
@@ -340,26 +374,26 @@ mod tests {
     }
 
     #[test]
-    fn push_field_builds_objects() {
-        let mut s = String::from("{");
-        push_field(&mut s, "a", "1");
-        push_field(&mut s, "b", "\"x\"");
-        s.push('}');
-        assert_eq!(s, r#"{"a":1,"b":"x"}"#);
-        let v = Json::parse(&s).unwrap();
+    fn builders_compose_objects() {
+        let v = Json::obj([
+            ("a", Json::int(1)),
+            ("b", Json::str("x")),
+            ("c", Json::list([Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(v.to_json(), r#"{"a":1,"b":"x","c":[true,null]}"#);
         let obj = v.object("obj").unwrap();
         assert_eq!(get(obj, "a").unwrap().number("a").unwrap(), 1.0);
         assert_eq!(get(obj, "b").unwrap().string("b").unwrap(), "x");
     }
 
     #[test]
-    fn string_array_round_trips() {
-        let items = vec!["x".to_string(), "y\"z".to_string()];
-        let v = Json::parse(&string_array(&items)).unwrap();
-        let arr = v.array("arr").unwrap();
+    fn strings_round_trip() {
+        let v = Json::strings(["x", "y\"z"]);
+        let reparsed = Json::parse(&v.to_json()).unwrap();
+        let arr = reparsed.array("arr").unwrap();
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[1].string("arr[1]").unwrap(), "y\"z");
-        assert_eq!(string_array(&[]), "[]");
+        assert_eq!(Json::strings(Vec::<String>::new()).to_json(), "[]");
     }
 
     #[test]

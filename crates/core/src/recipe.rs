@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use txfix_stm::{atomic_with, BackoffPolicy, StmResult, Txn, TxnError, TxnOptions, TxnReport};
+use txfix_stm::{BackoffPolicy, StmResult, Txn, TxnBuilder, TxnError, TxnReport};
 use txfix_tmsync::{serial_atomic_with, SerialDomain};
 
 /// **Recipe 1 — replace deadlock-prone locks.** Remove the locks that form
@@ -73,15 +73,9 @@ impl Default for PreemptOptions {
 /// [`TxMutex::lock_tx`]: txfix_txlock::TxMutex::lock_tx
 pub fn preemptible<T>(
     opts: &PreemptOptions,
-    mut body: impl FnMut(&mut Txn) -> StmResult<T>,
+    body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> Result<T, TxnError> {
-    let mut txn_opts = TxnOptions::default().backoff(opts.backoff);
-    txn_opts.max_attempts = opts.max_attempts;
-    let priority = opts.priority;
-    atomic_with(&txn_opts, move |txn| {
-        txfix_txlock::enlist_preemptible(txn, priority);
-        body(txn)
-    })
+    preemptible_report(opts, body).map(|(v, _)| v)
 }
 
 /// Like [`preemptible`], additionally returning the execution report
@@ -94,10 +88,12 @@ pub fn preemptible_report<T>(
     opts: &PreemptOptions,
     mut body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> Result<(T, TxnReport), TxnError> {
-    let mut txn_opts = TxnOptions::default().backoff(opts.backoff);
-    txn_opts.max_attempts = opts.max_attempts;
+    let mut builder = Txn::build().site("recipe3_preemptible").backoff(opts.backoff);
+    if let Some(n) = opts.max_attempts {
+        builder = builder.max_attempts(n);
+    }
     let priority = opts.priority;
-    txfix_stm::atomic_report(&txn_opts, move |txn| {
+    builder.try_run(move |txn| {
         txfix_txlock::enlist_preemptible(txn, priority);
         body(txn)
     })
@@ -111,7 +107,7 @@ pub fn wrap_unprotected_atomic<T>(
     domain: &Arc<SerialDomain>,
     body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> T {
-    serial_atomic_with(domain, &TxnOptions::default(), body)
+    serial_atomic_with(domain, &TxnBuilder::default().site("recipe4_wrap_unprotected"), body)
         .expect("default serial atomic region cannot fail terminally")
 }
 

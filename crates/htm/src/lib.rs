@@ -18,9 +18,7 @@
 
 #![warn(missing_docs)]
 
-use txfix_stm::{
-    atomic_report, OverheadModel, StmResult, Txn, TxnError, TxnKind, TxnOptions, TxnReport,
-};
+use txfix_stm::{OverheadModel, StmResult, Txn, TxnError, TxnReport};
 
 /// Capacity and cost parameters of the modelled hardware.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,13 +134,14 @@ pub fn hybrid_atomic<T>(
     config: &HtmConfig,
     mut body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> Result<(T, HybridReport), TxnError> {
-    let hw_opts = TxnOptions::default()
+    let hw = Txn::build()
+        .site("htm_hw")
         .capacity(config.read_capacity, config.write_capacity)
         .max_attempts(config.max_hw_attempts)
         .overhead(config.overhead);
 
     let hw_attempts;
-    match atomic_report(&hw_opts, &mut body) {
+    match hw.try_run(&mut body) {
         Ok((v, inner)) => {
             return Ok((
                 v,
@@ -158,7 +157,7 @@ pub fn hybrid_atomic<T>(
         FallbackPolicy::Fail => {
             // Re-run once more in hardware so the caller sees the real
             // terminal failure kind (capacity vs. retry limit).
-            match atomic_report(&hw_opts.clone().max_attempts(1), &mut body) {
+            match hw.clone().max_attempts(1).try_run(&mut body) {
                 Ok((v, inner)) => {
                     Ok((v, HybridReport { path: CommitPath::Hardware, hw_attempts, inner }))
                 }
@@ -166,13 +165,12 @@ pub fn hybrid_atomic<T>(
             }
         }
         FallbackPolicy::SoftwareTm(overhead) => {
-            let sw_opts = TxnOptions::default().overhead(overhead);
-            let (v, inner) = atomic_report(&sw_opts, &mut body)?;
+            let (v, inner) =
+                Txn::build().site("htm_sw_fallback").overhead(overhead).try_run(&mut body)?;
             Ok((v, HybridReport { path: CommitPath::SoftwareFallback, hw_attempts, inner }))
         }
         FallbackPolicy::GlobalLock => {
-            let sw_opts = TxnOptions::default().kind(TxnKind::Relaxed);
-            let (v, inner) = atomic_report(&sw_opts, |txn| {
+            let (v, inner) = Txn::build().site("htm_lock_fallback").relaxed().try_run(|txn| {
                 txn.become_irrevocable()?;
                 body(txn)
             })?;

@@ -1,10 +1,10 @@
-//! Static findings and the `txfix lint` report, with the same
-//! hand-rolled JSON treatment as the dynamic analyzer's reports (via
+//! Static findings and the `txfix lint` report, with the same JSON
+//! treatment as the dynamic analyzer's reports ([`ToJson`] over
 //! [`txfix_core::json`]).
 
 use crate::synth::Verification;
 use std::fmt;
-use txfix_core::json::{escape, get, push_field, string_array, Json};
+use txfix_core::json::{get, Json, ToJson};
 use txfix_core::{HazardClass, Recipe};
 
 /// What a static pass detected.
@@ -150,19 +150,7 @@ impl LintReport {
         !self.findings.is_empty()
     }
 
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{");
-        push_field(&mut s, "scenario", &escape(&self.scenario));
-        push_field(&mut s, "variant", &escape(&self.variant));
-        push_field(&mut s, "paths", &self.paths.to_string());
-        let findings: Vec<String> = self.findings.iter().map(finding_to_json).collect();
-        push_field(&mut s, "findings", &format!("[{}]", findings.join(",")));
-        s.push('}');
-        s
-    }
-
-    /// Parse a report back from [`LintReport::to_json`] output.
+    /// Parse a report back from [`ToJson::to_json`] output.
     ///
     /// # Errors
     ///
@@ -184,20 +172,39 @@ impl LintReport {
     }
 }
 
-fn hazard_to_json(h: &Hazard) -> String {
-    match h {
-        Hazard::Race { loc } => format!(r#"{{"kind":"race","loc":{}}}"#, escape(loc)),
-        Hazard::Atomicity { locs } => {
-            format!(r#"{{"kind":"atomicity","locs":{}}}"#, string_array(locs))
-        }
-        Hazard::LockCycle { locks } => {
-            format!(r#"{{"kind":"lock_cycle","locks":{}}}"#, string_array(locks))
-        }
-        Hazard::WaitCycle { cv, lock } => {
-            format!(r#"{{"kind":"wait_cycle","cv":{},"lock":{}}}"#, escape(cv), escape(lock))
-        }
-        Hazard::LostWakeup { cv, loc } => {
-            format!(r#"{{"kind":"lost_wakeup","cv":{},"loc":{}}}"#, escape(cv), escape(loc))
+impl ToJson for LintReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::str(self.scenario.clone())),
+            ("variant", Json::str(self.variant.clone())),
+            ("paths", Json::int(self.paths as u64)),
+            ("findings", Json::list(self.findings.iter().map(ToJson::to_json_value))),
+        ])
+    }
+}
+
+impl ToJson for Hazard {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Hazard::Race { loc } => {
+                Json::obj([("kind", Json::str("race")), ("loc", Json::str(loc.clone()))])
+            }
+            Hazard::Atomicity { locs } => {
+                Json::obj([("kind", Json::str("atomicity")), ("locs", Json::strings(locs))])
+            }
+            Hazard::LockCycle { locks } => {
+                Json::obj([("kind", Json::str("lock_cycle")), ("locks", Json::strings(locks))])
+            }
+            Hazard::WaitCycle { cv, lock } => Json::obj([
+                ("kind", Json::str("wait_cycle")),
+                ("cv", Json::str(cv.clone())),
+                ("lock", Json::str(lock.clone())),
+            ]),
+            Hazard::LostWakeup { cv, loc } => Json::obj([
+                ("kind", Json::str("lost_wakeup")),
+                ("cv", Json::str(cv.clone())),
+                ("loc", Json::str(loc.clone())),
+            ]),
         }
     }
 }
@@ -223,14 +230,14 @@ fn hazard_from_json(v: &Json) -> Result<Hazard, String> {
     }
 }
 
-fn finding_to_json(f: &LintFinding) -> String {
-    let mut s = String::from("{");
-    push_field(&mut s, "hazard", &hazard_to_json(&f.hazard));
-    push_field(&mut s, "explanation", &escape(&f.explanation));
-    let fixes: Vec<String> = f.fixes.iter().map(fix_to_json).collect();
-    push_field(&mut s, "fixes", &format!("[{}]", fixes.join(",")));
-    s.push('}');
-    s
+impl ToJson for LintFinding {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("hazard", self.hazard.to_json_value()),
+            ("explanation", Json::str(self.explanation.clone())),
+            ("fixes", Json::list(self.fixes.iter().map(ToJson::to_json_value))),
+        ])
+    }
 }
 
 fn finding_from_json(v: &Json) -> Result<LintFinding, String> {
@@ -247,14 +254,15 @@ fn finding_from_json(v: &Json) -> Result<LintFinding, String> {
     })
 }
 
-fn fix_to_json(v: &Verification) -> String {
-    let mut s = String::from("{");
-    push_field(&mut s, "recipe", &escape(v.recipe.slug()));
-    push_field(&mut s, "verified", if v.verified { "true" } else { "false" });
-    push_field(&mut s, "residual", &string_array(&v.residual));
-    push_field(&mut s, "introduced", &string_array(&v.introduced));
-    s.push('}');
-    s
+impl ToJson for Verification {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("recipe", Json::str(self.recipe.slug())),
+            ("verified", Json::Bool(self.verified)),
+            ("residual", Json::strings(&self.residual)),
+            ("introduced", Json::strings(&self.introduced)),
+        ])
+    }
 }
 
 fn fix_from_json(v: &Json) -> Result<Verification, String> {

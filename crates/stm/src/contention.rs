@@ -59,10 +59,8 @@ impl Backoff {
                     std::hint::spin_loop();
                 }
             }
-            BackoffPolicy::ExpJitter { base, max } => {
-                let exp = self.failures.min(16);
-                let window =
-                    base.saturating_mul(1u32 << exp.min(31)).min(max).max(Duration::from_nanos(1));
+            BackoffPolicy::ExpJitter { base, .. } => {
+                let window = jitter_window(self.policy, self.failures).unwrap_or(base);
                 let nanos = window.as_nanos() as u64;
                 let jittered = xorshift_below(nanos.max(1));
                 std::thread::sleep(Duration::from_nanos(jittered));
@@ -70,9 +68,33 @@ impl Backoff {
         }
     }
 
+    /// Forget accumulated failures: the next wait starts from the base
+    /// window again. The runtime calls this when a commit succeeds mid-loop
+    /// (commit-before-wait), since a successful publish means the
+    /// contention that grew the window is gone.
+    pub(crate) fn reset(&mut self) {
+        self.failures = 0;
+    }
+
     #[cfg(test)]
     pub(crate) fn failures(&self) -> u32 {
         self.failures
+    }
+}
+
+/// The jitter window an [`BackoffPolicy::ExpJitter`] policy sleeps within
+/// after `failures` consecutive failures: `base * 2^min(failures, 16)`,
+/// capped at `max` and floored at 1 ns. `None` for other policies.
+///
+/// Separated from [`Backoff::wait`] so growth and capping are testable
+/// without sleeping.
+pub(crate) fn jitter_window(policy: BackoffPolicy, failures: u32) -> Option<Duration> {
+    match policy {
+        BackoffPolicy::ExpJitter { base, max } => {
+            let exp = failures.min(16);
+            Some(base.saturating_mul(1u32 << exp.min(31)).min(max).max(Duration::from_nanos(1)))
+        }
+        _ => None,
     }
 }
 
@@ -142,6 +164,57 @@ mod tests {
         let start = Instant::now();
         b.wait();
         assert!(start.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn window_growth_is_exponential_then_capped() {
+        let base = Duration::from_micros(5);
+        let max = Duration::from_millis(2);
+        let policy = BackoffPolicy::ExpJitter { base, max };
+        // Doubles while below the cap...
+        let mut prev = jitter_window(policy, 1).unwrap();
+        assert_eq!(prev, Duration::from_micros(10));
+        for failures in 2..=8 {
+            let w = jitter_window(policy, failures).unwrap();
+            assert_eq!(w, (prev * 2).min(max), "window at {failures} failures");
+            prev = w;
+        }
+        // ...then stays exactly at the cap, no matter how many failures.
+        for failures in [9, 16, 17, 1000, u32::MAX] {
+            assert_eq!(jitter_window(policy, failures).unwrap(), max);
+        }
+        assert_eq!(jitter_window(BackoffPolicy::None, 5), None);
+        assert_eq!(jitter_window(BackoffPolicy::Spin { iters: 1 }, 5), None);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_window() {
+        // The sleep duration is drawn uniformly from [0, window); check the
+        // generator over the same bound the policy would use.
+        let policy = BackoffPolicy::ExpJitter {
+            base: Duration::from_micros(5),
+            max: Duration::from_millis(2),
+        };
+        for failures in 1..=20 {
+            let window = jitter_window(policy, failures).unwrap().as_nanos() as u64;
+            for _ in 0..50 {
+                assert!(xorshift_below(window) < window);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_base_window() {
+        let mut b = Backoff::new(BackoffPolicy::None);
+        for _ in 0..7 {
+            b.wait();
+        }
+        assert_eq!(b.failures(), 7);
+        b.reset();
+        assert_eq!(b.failures(), 0);
+        // The first wait after a reset is back in the smallest window.
+        b.wait();
+        assert_eq!(b.failures(), 1);
     }
 
     #[test]

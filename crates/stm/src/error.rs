@@ -8,8 +8,9 @@ use std::sync::Arc;
 ///
 /// Values of this type flow out of transactional reads, writes and lock
 /// acquisitions via [`StmResult`] and are interpreted by the retry loop in
-/// [`atomic_with`](crate::atomic_with). User code normally just propagates
-/// them with `?`; the runtime decides whether to retry, block or give up.
+/// [`TxnBuilder::try_run`](crate::TxnBuilder::try_run). User code normally
+/// just propagates them with `?`; the runtime decides whether to retry,
+/// block or give up.
 #[derive(Clone, Debug)]
 pub enum Abort {
     /// A conflict with a concurrent transaction was detected (read-set
@@ -24,7 +25,7 @@ pub enum Abort {
     /// re-execution ([`Txn::restart`](crate::Txn::restart)). This is the
     /// paper's `abort` statement used to preempt a deadlocking transaction.
     Restart,
-    /// The user cancelled the transaction; `atomic_with` returns
+    /// The user cancelled the transaction; the retry loop returns
     /// [`TxnError::Cancelled`] without re-executing.
     Cancel,
     /// The transaction was chosen as a deadlock victim by the lock runtime
@@ -123,14 +124,14 @@ impl fmt::Debug for dyn WaitPoint {
     }
 }
 
-/// Terminal error returned by [`atomic_with`](crate::atomic_with).
+/// Terminal error returned by [`TxnBuilder::try_run`](crate::TxnBuilder::try_run).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TxnError {
     /// The transaction body requested cancellation via
     /// [`Txn::cancel`](crate::Txn::cancel).
     Cancelled,
     /// The transaction did not commit within
-    /// [`TxnOptions::max_attempts`](crate::TxnOptions::max_attempts).
+    /// [`TxnBuilder::max_attempts`](crate::TxnBuilder::max_attempts).
     RetryLimit {
         /// Number of attempts performed.
         attempts: u64,

@@ -29,8 +29,34 @@
 //!   per-read/write/commit costs so benchmarks reproduce the 3–5×
 //!   instrumentation overhead of software TM and the near-zero overhead of
 //!   the simulated hardware TM.
-//! - **Capacity bounds**: [`TxnOptions::capacity`] models bounded hardware
+//! - **Capacity bounds**: [`TxnBuilder::capacity`] models bounded hardware
 //!   read/write sets (used by `txfix-htm`).
+//! - **One entry-point family**: every transaction goes through
+//!   [`Txn::build`] (or the [`atomic`] / [`atomic_relaxed`] convenience
+//!   wrappers over it).
+//! - **Per-site metrics**: [`TxnBuilder::site`] labels transactions for
+//!   the [`obs`] observability layer (commit/abort/latency attribution
+//!   behind `txfix stress`).
+//!
+//! ## Migrating from the pre-builder entry points
+//!
+//! Earlier revisions exposed four parallel entry points (`atomic`,
+//! `atomic_relaxed`, `atomic_report`, `atomic_with`) plus a bare
+//! `TxnOptions` struct. They collapsed into one fluent builder:
+//!
+//! | before                                         | now                                          |
+//! |------------------------------------------------|----------------------------------------------|
+//! | `atomic(body)`                                 | unchanged (thin wrapper)                     |
+//! | `atomic_relaxed(body)`                         | unchanged (thin wrapper)                     |
+//! | `atomic_report(&opts, body)?`                  | `Txn::build()….try_run(body)?`               |
+//! | `atomic_with(&opts, body)?`                    | `Txn::build()….try_run(body)?` (drop report) |
+//! | `TxnOptions::default().kind(TxnKind::Relaxed)` | `Txn::build().relaxed()`                     |
+//! | `opts.capacity(r, w)`, `.max_attempts(n)`, `.backoff(p)`, `.overhead(m)`, `.write_policy(p)` | same method names on the builder |
+//!
+//! The builder is `Clone` and cheap to store, so code that previously kept
+//! a `TxnOptions` in a struct keeps a configured [`TxnBuilder`] instead.
+//! New with the redesign: [`TxnBuilder::site`] attributes every
+//! transaction from that builder to a named site for per-site metrics.
 //!
 //! ## Example
 //!
@@ -58,6 +84,7 @@ mod clock;
 mod contention;
 mod error;
 mod notifier;
+pub mod obs;
 mod overhead;
 mod runtime;
 mod serial;
@@ -68,11 +95,12 @@ mod txn;
 
 pub use contention::BackoffPolicy;
 pub use error::{Abort, CapacityKind, ConflictKind, StmResult, TxnError, WaitPoint};
+pub use obs::SiteId;
 pub use overhead::OverheadModel;
-pub use runtime::{atomic, atomic_relaxed, atomic_report, atomic_with, TxnReport};
-pub use stats::{stats, StatsSnapshot};
+pub use runtime::{atomic, atomic_relaxed, TxnBuilder, TxnReport};
+pub use stats::{quiescent_stats, stats, StatsSnapshot};
 pub use tvar::{TVar, VarId};
-pub use txn::{KillHandle, TxResource, Txn, TxnKind, TxnOptions, WritePolicy};
+pub use txn::{KillHandle, TxResource, Txn, TxnKind, WritePolicy};
 
 /// Current value of the global version clock (diagnostic).
 pub fn clock_now() -> u64 {

@@ -1,12 +1,18 @@
-//! The `atomic` entry points: execute a transaction body until it commits,
-//! handling conflicts, explicit aborts, blocking retry, commit-before-wait
-//! and capacity overflow.
+//! The transaction entry points: the [`TxnBuilder`] (and its [`atomic`] /
+//! [`atomic_relaxed`] convenience wrappers) execute a transaction body
+//! until it commits, handling conflicts, explicit aborts, blocking retry,
+//! commit-before-wait and capacity overflow. The migration table from the
+//! pre-builder entry points lives in the crate docs.
 
 use crate::contention::Backoff;
 use crate::error::{Abort, ConflictKind, StmResult, TxnError};
 use crate::notifier;
+use crate::obs;
+use crate::obs::SiteId;
+use crate::overhead::OverheadModel;
 use crate::stats;
-use crate::txn::{Txn, TxnKind, TxnOptions};
+use crate::txn::{Txn, TxnKind, TxnOptions, WritePolicy};
+use std::time::{Duration, Instant};
 
 /// Diagnostic information about one completed `atomic` call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -23,13 +29,133 @@ pub struct TxnReport {
     pub preemptions: u64,
 }
 
+/// Fluent configuration for a transaction, obtained from [`Txn::build`].
+///
+/// The builder is the single way to configure a transaction; terminal
+/// methods [`run`](TxnBuilder::run) and [`try_run`](TxnBuilder::try_run)
+/// execute a body under the accumulated options. It is `Clone` and can be
+/// stored and reused — every `run` from the same builder starts a fresh
+/// transaction.
+///
+/// # Examples
+///
+/// ```
+/// use txfix_stm::{Txn, TVar};
+///
+/// let hits = TVar::new(0u64);
+/// let (value, report) = Txn::build()
+///     .site("docs_example")
+///     .run(|txn| hits.modify(txn, |h| h + 1).map(|()| 1u64));
+/// assert_eq!(value, 1);
+/// assert!(report.attempts >= 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TxnBuilder {
+    opts: TxnOptions,
+}
+
+impl Txn {
+    /// Start configuring a transaction.
+    pub fn build() -> TxnBuilder {
+        TxnBuilder::default()
+    }
+}
+
+impl TxnBuilder {
+    /// Make the transaction *relaxed*: it may contain unsafe operations via
+    /// [`Txn::unsafe_op`] at the cost of becoming irrevocable.
+    pub fn relaxed(mut self) -> Self {
+        self.opts.kind = TxnKind::Relaxed;
+        self
+    }
+
+    /// Set the write policy (lazy write-back vs. eager in-place).
+    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
+        self.opts.write_policy = policy;
+        self
+    }
+
+    /// Give up with [`TxnError::RetryLimit`] after `n` attempts.
+    pub fn max_attempts(mut self, n: u64) -> Self {
+        self.opts.max_attempts = Some(n);
+        self
+    }
+
+    /// Set the inter-attempt contention management policy.
+    pub fn backoff(mut self, policy: crate::BackoffPolicy) -> Self {
+        self.opts.backoff = policy;
+        self
+    }
+
+    /// Bound the read and write sets (hardware TM model).
+    pub fn capacity(mut self, reads: usize, writes: usize) -> Self {
+        self.opts.read_capacity = Some(reads);
+        self.opts.write_capacity = Some(writes);
+        self
+    }
+
+    /// Set the modelled instrumentation cost (see [`OverheadModel`]).
+    pub fn overhead(mut self, model: OverheadModel) -> Self {
+        self.opts.overhead = model;
+        self
+    }
+
+    /// Upper bound on one blocking interval of [`Txn::retry`]; on timeout
+    /// the transaction re-executes anyway.
+    pub fn retry_timeout(mut self, timeout: Duration) -> Self {
+        self.opts.retry_timeout = timeout;
+        self
+    }
+
+    /// Label transactions from this builder for per-site metrics
+    /// attribution (see [`crate::obs`]). Interns `name` on first use.
+    pub fn site(mut self, name: &'static str) -> Self {
+        self.opts.site = obs::intern(name);
+        self
+    }
+
+    /// The builder's metrics site (the unattributed site unless
+    /// [`site`](TxnBuilder::site) was called).
+    pub fn site_id(&self) -> SiteId {
+        self.opts.site
+    }
+
+    /// Execute `body` as a transaction, retrying until it commits, and
+    /// return its result together with a [`TxnReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on terminal failure — the body cancelled, the attempt bound
+    /// was exceeded, or a capacity bound was hit. Use
+    /// [`try_run`](TxnBuilder::try_run) to observe those as errors.
+    pub fn run<T>(&self, body: impl FnMut(&mut Txn) -> StmResult<T>) -> (T, TxnReport) {
+        self.try_run(body).expect("transaction failed terminally; use try_run to handle this")
+    }
+
+    /// Execute `body` as a transaction, retrying until it commits or fails
+    /// terminally.
+    ///
+    /// # Errors
+    ///
+    /// - [`TxnError::Cancelled`] if the body cancelled;
+    /// - [`TxnError::RetryLimit`] if `max_attempts` was exceeded;
+    /// - [`TxnError::Capacity`] if a capacity bound was exceeded.
+    pub fn try_run<T>(
+        &self,
+        body: impl FnMut(&mut Txn) -> StmResult<T>,
+    ) -> Result<(T, TxnReport), TxnError> {
+        atomic_report(&self.opts, body)
+    }
+}
+
 /// Execute `body` as an atomic transaction, retrying until it commits, and
 /// return its result.
 ///
 /// This is the reproduction of the paper's `atomic { ... }` language
-/// construct. The body may be re-executed many times; it must confine its
-/// side effects to transactional operations (reads/writes of
-/// [`TVar`](crate::TVar)s, revocable locks, x-calls, hooks).
+/// construct, and a thin wrapper over [`Txn::build`]. The body may be
+/// re-executed many times; it must confine its side effects to
+/// transactional operations (reads/writes of [`TVar`](crate::TVar)s,
+/// revocable locks, x-calls, hooks).
 ///
 /// # Examples
 ///
@@ -50,50 +176,34 @@ pub struct TxnReport {
 ///
 /// # Panics
 ///
-/// Panics if the body calls [`Txn::cancel`]; use [`atomic_with`] to observe
-/// cancellation as an error.
+/// Panics if the body calls [`Txn::cancel`]; use
+/// [`TxnBuilder::try_run`] to observe cancellation as an error.
 pub fn atomic<T>(body: impl FnMut(&mut Txn) -> StmResult<T>) -> T {
-    atomic_with(&TxnOptions::default(), body)
-        .expect("default atomic transaction cannot fail terminally")
+    Txn::build().run(body).0
 }
 
 /// Execute `body` as a *relaxed* transaction, which may perform unsafe
-/// operations via [`Txn::unsafe_op`] at the cost of irrevocability.
+/// operations via [`Txn::unsafe_op`] at the cost of irrevocability. A thin
+/// wrapper over [`Txn::build`]`.relaxed()`.
 ///
 /// # Panics
 ///
 /// Panics if the body calls [`Txn::cancel`].
 pub fn atomic_relaxed<T>(body: impl FnMut(&mut Txn) -> StmResult<T>) -> T {
-    atomic_with(&TxnOptions::default().kind(TxnKind::Relaxed), body)
-        .expect("default relaxed transaction cannot fail terminally")
+    Txn::build().relaxed().run(body).0
 }
 
-/// Execute `body` with explicit [`TxnOptions`].
-///
-/// # Errors
-///
-/// - [`TxnError::Cancelled`] if the body cancelled;
-/// - [`TxnError::RetryLimit`] if `opts.max_attempts` was exceeded;
-/// - [`TxnError::Capacity`] if a hardware capacity bound was exceeded.
-pub fn atomic_with<T>(
-    opts: &TxnOptions,
-    body: impl FnMut(&mut Txn) -> StmResult<T>,
-) -> Result<T, TxnError> {
-    atomic_report(opts, body).map(|(v, _)| v)
-}
-
-/// Like [`atomic_with`], additionally returning a [`TxnReport`] describing
-/// how the transaction executed (attempt count, irrevocability, blocking).
-///
-/// # Errors
-///
-/// Same as [`atomic_with`].
-pub fn atomic_report<T>(
+/// The retry loop shared by every entry point.
+pub(crate) fn atomic_report<T>(
     opts: &TxnOptions,
     mut body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> Result<(T, TxnReport), TxnError> {
     let mut backoff = Backoff::new(opts.backoff);
     let mut report = TxnReport::default();
+    // One relaxed load when metrics are off; the timestamp and the
+    // current-site scope exist only on the enabled path.
+    let started = if obs::is_enabled() { Some(Instant::now()) } else { None };
+    let _site_scope = obs::enter_site(opts.site);
 
     loop {
         report.attempts += 1;
@@ -110,11 +220,18 @@ pub fn atomic_report<T>(
             Ok(value) => match txn.commit() {
                 Ok(()) => {
                     report.committed_irrevocably = txn.was_irrevocable();
+                    if let Some(started) = started {
+                        obs::note_commit(
+                            opts.site,
+                            report.attempts,
+                            started.elapsed().as_nanos() as u64,
+                        );
+                    }
                     return Ok((value, report));
                 }
                 Err(abort) => {
                     txn.abort();
-                    handle_abort(abort, &mut backoff, &mut report)?;
+                    handle_abort(abort, &mut backoff, &mut report, opts.site)?;
                 }
             },
             Err(Abort::Wait(wp)) => {
@@ -124,17 +241,22 @@ pub fn atomic_report<T>(
                 match txn.commit() {
                     Ok(()) => {
                         stats::bump_waits();
+                        obs::note_wait(opts.site);
                         report.waits += 1;
+                        // The commit succeeded, so contention pressure is
+                        // gone: the next attempt starts with fresh backoff.
+                        backoff.reset();
                         wp.wait(ticket);
                     }
                     Err(abort) => {
                         txn.abort();
-                        handle_abort(abort, &mut backoff, &mut report)?;
+                        handle_abort(abort, &mut backoff, &mut report, opts.site)?;
                     }
                 }
             }
             Err(Abort::Retry) => {
                 stats::bump_retries();
+                obs::note_retry_blocked(opts.site);
                 report.blocked_retries += 1;
                 let seen = notifier::global().epoch();
                 let snapshot = txn.take_read_snapshot();
@@ -142,7 +264,7 @@ pub fn atomic_report<T>(
                 if snapshot.is_empty() {
                     // Retrying with an empty read set would block forever;
                     // treat as plain backoff so the caller's loop progresses.
-                    backoff.wait();
+                    backoff_wait(&mut backoff, opts.site);
                 } else {
                     while !snapshot.changed() {
                         if !notifier::global().wait_past(seen, opts.retry_timeout) {
@@ -153,7 +275,7 @@ pub fn atomic_report<T>(
             }
             Err(abort) => {
                 txn.abort();
-                handle_abort(abort, &mut backoff, &mut report)?;
+                handle_abort(abort, &mut backoff, &mut report, opts.site)?;
             }
         }
     }
@@ -163,41 +285,57 @@ fn handle_abort(
     abort: Abort,
     backoff: &mut Backoff,
     report: &mut TxnReport,
+    site: SiteId,
 ) -> Result<(), TxnError> {
     match abort {
-        Abort::Conflict(ConflictKind::ReadValidation) => {
-            stats::bump_conflicts_validation();
-            backoff.wait();
-            Ok(())
-        }
-        Abort::Conflict(ConflictKind::OrecBusy) => {
-            stats::bump_conflicts_orec();
-            backoff.wait();
+        Abort::Conflict(kind) => {
+            match kind {
+                ConflictKind::ReadValidation => stats::bump_conflicts_validation(),
+                ConflictKind::OrecBusy => stats::bump_conflicts_orec(),
+            }
+            obs::note_conflict(site, kind);
+            backoff_wait(backoff, site);
             Ok(())
         }
         Abort::Restart => {
             stats::bump_explicit_restarts();
+            obs::note_restart(site);
             Ok(())
         }
         Abort::Deadlock => {
             stats::bump_deadlock_aborts();
+            obs::note_deadlock(site);
             report.preemptions += 1;
-            backoff.wait();
+            backoff_wait(backoff, site);
             Ok(())
         }
         Abort::Killed => {
             stats::bump_kills();
+            obs::note_killed(site);
             report.preemptions += 1;
-            backoff.wait();
+            backoff_wait(backoff, site);
             Ok(())
         }
         Abort::Cancel => Err(TxnError::Cancelled),
         Abort::Capacity(kind) => {
             stats::bump_capacity();
+            obs::note_capacity(site);
             Err(TxnError::Capacity { kind, attempts: report.attempts })
         }
         Abort::Retry | Abort::Wait(_) => {
             unreachable!("retry/wait are handled before generic abort handling")
         }
+    }
+}
+
+/// Back off between attempts, attributing the time to `site` when metrics
+/// are on (disabled cost: one relaxed load).
+fn backoff_wait(backoff: &mut Backoff, site: SiteId) {
+    if obs::is_enabled() {
+        let started = Instant::now();
+        backoff.wait();
+        obs::note_backoff(site, started.elapsed().as_nanos() as u64);
+    } else {
+        backoff.wait();
     }
 }

@@ -4,6 +4,18 @@
 //! ablation experiments (commit/abort rates, irrevocable entries, retry
 //! blocking). Counters are process-global; use [`StatsSnapshot::delta`]
 //! around a region of interest to measure it in isolation.
+//!
+//! ## Snapshot consistency
+//!
+//! [`stats`] reads each counter with its own relaxed load, so a snapshot
+//! taken while transactions are in flight is not a point-in-time cut: a
+//! commit that lands between two of the loads can appear in some counters
+//! and not others, and a [`delta`](StatsSnapshot::delta) across such a
+//! boundary can be off by the number of transactions mid-flight at either
+//! end. That tolerance is fine for the trending and ratio uses the
+//! counters serve; when a measurement needs exact edges — the stress
+//! driver's per-run abort accounting does — bound it with
+//! [`quiescent_stats`] instead.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -76,7 +88,25 @@ static COUNTERS: Counters = Counters {
 };
 
 /// Take a snapshot of the global counters.
+///
+/// Counter-by-counter relaxed loads: cheap, but not a point-in-time cut
+/// while transactions are in flight (see the module docs for the exact
+/// tolerance). Use [`quiescent_stats`] for exact region accounting.
 pub fn stats() -> StatsSnapshot {
+    COUNTERS.snapshot()
+}
+
+/// Take a snapshot at a quiescent boundary.
+///
+/// Acquires the STM's global serialization lock exclusively, which first
+/// drains every commit currently inside its publication phase and excludes
+/// new ones while the counters are read — so no commit's counter updates
+/// are split across the snapshot. For a fully exact region measurement the
+/// caller must also have stopped its own worker threads (counter bumps for
+/// a commit land just *after* publication releases the lock); the stress
+/// driver joins its workers and then calls this.
+pub fn quiescent_stats() -> StatsSnapshot {
+    let _exclusive = crate::serial::exclusive();
     COUNTERS.snapshot()
 }
 

@@ -6,6 +6,8 @@ use crate::clock;
 use crate::contention::BackoffPolicy;
 use crate::error::{Abort, CapacityKind, ConflictKind, StmResult, WaitPoint};
 use crate::notifier;
+use crate::obs;
+use crate::obs::SiteId;
 use crate::overhead::{charge, OverheadModel};
 use crate::serial;
 use crate::stats;
@@ -55,7 +57,9 @@ pub enum WritePolicy {
     Eager,
 }
 
-/// Configuration for one `atomic_with` invocation.
+/// Configuration for one transaction, assembled by
+/// [`TxnBuilder`](crate::TxnBuilder). Internal: call sites configure
+/// transactions exclusively through the builder.
 #[derive(Clone, Debug)]
 pub struct TxnOptions {
     /// Atomic (default) or relaxed transaction.
@@ -77,6 +81,8 @@ pub struct TxnOptions {
     /// the transaction re-executes anyway (guards against missed
     /// notifications in user code).
     pub retry_timeout: Duration,
+    /// Metrics attribution site (see [`crate::obs`]).
+    pub site: SiteId,
 }
 
 impl Default for TxnOptions {
@@ -90,51 +96,8 @@ impl Default for TxnOptions {
             write_capacity: None,
             overhead: OverheadModel::NONE,
             retry_timeout: Duration::from_millis(50),
+            site: SiteId::UNATTRIBUTED,
         }
-    }
-}
-
-impl TxnOptions {
-    /// Options with every field at its default.
-    pub fn new() -> TxnOptions {
-        TxnOptions::default()
-    }
-
-    /// Set the transaction kind.
-    pub fn kind(mut self, kind: TxnKind) -> Self {
-        self.kind = kind;
-        self
-    }
-
-    /// Bound the number of attempts.
-    pub fn max_attempts(mut self, n: u64) -> Self {
-        self.max_attempts = Some(n);
-        self
-    }
-
-    /// Set the backoff policy.
-    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
-        self.backoff = policy;
-        self
-    }
-
-    /// Bound the read and write sets (hardware TM model).
-    pub fn capacity(mut self, reads: usize, writes: usize) -> Self {
-        self.read_capacity = Some(reads);
-        self.write_capacity = Some(writes);
-        self
-    }
-
-    /// Set the instrumentation cost model.
-    pub fn overhead(mut self, model: OverheadModel) -> Self {
-        self.overhead = model;
-        self
-    }
-
-    /// Set the write policy (lazy write-back vs. eager in-place).
-    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
-        self.write_policy = policy;
-        self
     }
 }
 
@@ -220,6 +183,7 @@ pub struct Txn {
     kind: TxnKind,
     attempt: u64,
     policy: WritePolicy,
+    site: SiteId,
     read_set: Vec<ReadEntry>,
     write_set: Vec<WriteEntry>,
     undo_log: Vec<UndoEntry>,
@@ -260,6 +224,7 @@ impl Txn {
             rv: clock::now(),
             kind: opts.kind,
             policy: opts.write_policy,
+            site: opts.site,
             attempt,
             read_set: Vec::new(),
             write_set: Vec::new(),
@@ -350,12 +315,19 @@ impl Txn {
                 WritePolicy::Eager => var.read_unchecked(),
             });
         }
-        let (value, version) = var.read_consistent()?;
+        let (value, version) = match var.read_consistent() {
+            Ok(r) => r,
+            Err(e) => {
+                obs::note_orec_conflict(var.id);
+                return Err(e);
+            }
+        };
         if version > self.rv {
             self.extend_rv()?;
             if version > self.rv {
                 // Someone committed between our consistent read and the
                 // extension; the read itself may still be stale.
+                obs::note_orec_conflict(var.id);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
         }
@@ -397,6 +369,7 @@ impl Txn {
                 // readers either see the old consistent state (before the
                 // lock) or treat the busy orec as a conflict.
                 if !var.try_lock_orec_spinning(self.serial) {
+                    obs::note_orec_conflict(var.id);
                     return Err(Abort::Conflict(ConflictKind::OrecBusy));
                 }
                 let old_value = var.read_unchecked();
@@ -420,6 +393,7 @@ impl Txn {
         let now = clock::now();
         for e in &self.read_set {
             if !e.var.validate(e.version, self.serial) {
+                obs::note_orec_conflict(e.var.id);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
         }
@@ -462,8 +436,8 @@ impl Txn {
         Err(Abort::Restart)
     }
 
-    /// Abort and make the enclosing `atomic_with` return
-    /// [`TxnError::Cancelled`](crate::TxnError::Cancelled) without
+    /// Abort and make the enclosing [`try_run`](crate::TxnBuilder::try_run)
+    /// return [`TxnError::Cancelled`](crate::TxnError::Cancelled) without
     /// re-executing.
     ///
     /// # Panics
@@ -511,6 +485,7 @@ impl Txn {
         self.irrevocable = Some(guard);
         self.was_irrevocable = true;
         stats::bump_irrevocable();
+        obs::note_irrevocable(self.site);
         Ok(())
     }
 
@@ -610,6 +585,7 @@ impl Txn {
             if self.write_set[i].var.try_lock_orec(self.serial) {
                 locked.push(i);
             } else {
+                obs::note_orec_conflict(self.write_set[i].var.id);
                 for &j in &locked {
                     self.write_set[j].var.unlock_orec(self.serial);
                 }
@@ -622,6 +598,7 @@ impl Txn {
 
         for e in &self.read_set {
             if !e.var.validate(e.version, self.serial) {
+                obs::note_orec_conflict(e.var.id);
                 for &j in &locked {
                     self.write_set[j].var.unlock_orec(self.serial);
                 }
@@ -653,6 +630,7 @@ impl Txn {
         let wv = clock::tick();
         for e in &self.read_set {
             if !e.var.validate(e.version, self.serial) {
+                obs::note_orec_conflict(e.var.id);
                 drop(guard);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }

@@ -4,17 +4,14 @@
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use txfix_stm::{atomic_with, TVar, TxnError, TxnOptions, WritePolicy};
+use txfix_stm::{TVar, Txn, TxnBuilder, TxnError, WritePolicy};
 
-fn eager() -> TxnOptions {
-    TxnOptions::default().write_policy(WritePolicy::Eager)
+fn eager() -> TxnBuilder {
+    Txn::build().write_policy(WritePolicy::Eager)
 }
 
-fn run<T>(
-    opts: &TxnOptions,
-    body: impl FnMut(&mut txfix_stm::Txn) -> txfix_stm::StmResult<T>,
-) -> T {
-    atomic_with(opts, body).expect("transaction cannot fail terminally")
+fn run<T>(txn: &TxnBuilder, body: impl FnMut(&mut txfix_stm::Txn) -> txfix_stm::StmResult<T>) -> T {
+    txn.try_run(body).expect("transaction cannot fail terminally").0
 }
 
 #[test]
@@ -33,11 +30,13 @@ fn eager_basic_read_write() {
 fn eager_abort_rolls_back_in_place_writes() {
     let v = TVar::new(5u64);
     let w = TVar::new(50u64);
-    let r: Result<(), TxnError> = atomic_with(&eager(), |txn| {
-        v.write(txn, 999)?;
-        w.write(txn, 999)?;
-        txn.cancel()
-    });
+    let r: Result<(), TxnError> = eager()
+        .try_run(|txn| {
+            v.write(txn, 999)?;
+            w.write(txn, 999)?;
+            txn.cancel()
+        })
+        .map(|(v, _)| v);
     assert_eq!(r, Err(TxnError::Cancelled));
     assert_eq!(v.load(), 5, "eager write leaked through an abort");
     assert_eq!(w.load(), 50);
@@ -61,7 +60,7 @@ fn eager_restart_never_exposes_intermediate_values() {
         s.spawn(move || {
             for i in 0..300 {
                 let mut aborted_once = false;
-                let _ = atomic_with(&eager(), |txn| {
+                let _ = eager().try_run(|txn| {
                     // Negative = "uncommitted marker".
                     v3.write(txn, -1)?;
                     if !aborted_once {
@@ -113,7 +112,7 @@ fn eager_and_lazy_transactions_interoperate() {
         let (a2, b2) = (a.clone(), b.clone());
         s.spawn(move || {
             for _ in 0..200 {
-                run(&TxnOptions::default(), |txn| {
+                run(&Txn::build(), |txn| {
                     let y = b2.read(txn)?;
                     b2.write(txn, y + 1)?;
                     a2.modify(txn, |x| x + 1)
@@ -147,7 +146,7 @@ fn eager_multi_var_invariant_holds() {
         let (x, y) = (x.clone(), y.clone());
         s.spawn(move || {
             for _ in 0..200 {
-                let (a, b) = run(&TxnOptions::default(), |txn| Ok((x.read(txn)?, y.read(txn)?)));
+                let (a, b) = run(&Txn::build(), |txn| Ok((x.read(txn)?, y.read(txn)?)));
                 assert_eq!(a + b, 1000, "eager transfer tore the invariant");
             }
         });
@@ -158,12 +157,15 @@ fn eager_multi_var_invariant_holds() {
 #[test]
 fn eager_write_capacity_counts_undo_entries() {
     let vars: Vec<TVar<u32>> = (0..8u32).map(TVar::new).collect();
-    let r: Result<(), TxnError> = atomic_with(&eager().capacity(64, 3), |txn| {
-        for v in &vars {
-            v.write(txn, 1)?;
-        }
-        Ok(())
-    });
+    let r: Result<(), TxnError> = eager()
+        .capacity(64, 3)
+        .try_run(|txn| {
+            for v in &vars {
+                v.write(txn, 1)?;
+            }
+            Ok(())
+        })
+        .map(|(v, _)| v);
     assert!(matches!(r, Err(TxnError::Capacity { .. })), "got {r:?}");
     // The failed attempt's writes must have been rolled back.
     for (i, v) in vars.iter().enumerate() {
@@ -183,11 +185,11 @@ proptest! {
     ) {
         let lazy_vars: Vec<TVar<i64>> = init.iter().copied().map(TVar::new).collect();
         let eager_vars: Vec<TVar<i64>> = init.iter().copied().map(TVar::new).collect();
-        for (opts, vars) in [
-            (TxnOptions::default(), &lazy_vars),
+        for (txn, vars) in [
+            (Txn::build(), &lazy_vars),
             (eager(), &eager_vars),
         ] {
-            atomic_with(&opts, |txn| {
+            txn.try_run(|txn| {
                 for &(idx, delta) in &ops {
                     let v = vars[idx].read(txn)?;
                     vars[idx].write(txn, v.wrapping_add(delta))?;

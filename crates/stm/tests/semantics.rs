@@ -7,8 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use txfix_stm::{
-    atomic, atomic_relaxed, atomic_report, atomic_with, BackoffPolicy, CapacityKind, StmResult,
-    TVar, TxnError, TxnOptions,
+    atomic, atomic_relaxed, BackoffPolicy, CapacityKind, StmResult, TVar, Txn, TxnError,
 };
 
 #[test]
@@ -145,10 +144,12 @@ fn restart_reexecutes_the_body() {
 #[test]
 fn cancel_discards_writes_and_reports_error() {
     let v = TVar::new(10u32);
-    let r: Result<(), TxnError> = atomic_with(&TxnOptions::default(), |txn| {
-        v.write(txn, 99)?;
-        txn.cancel()
-    });
+    let r: Result<(), TxnError> = Txn::build()
+        .try_run(|txn| {
+            v.write(txn, 99)?;
+            txn.cancel()
+        })
+        .map(|(v, _)| v);
     assert_eq!(r, Err(TxnError::Cancelled));
     assert_eq!(v.load(), 10, "cancelled transaction leaked a write");
 }
@@ -186,23 +187,27 @@ fn retry_blocks_until_a_read_var_changes() {
 
 #[test]
 fn retry_limit_is_enforced() {
-    let r: Result<(), TxnError> =
-        atomic_with(&TxnOptions::default().max_attempts(3).backoff(BackoffPolicy::None), |txn| {
-            txn.restart()
-        });
+    let r: Result<(), TxnError> = Txn::build()
+        .max_attempts(3)
+        .backoff(BackoffPolicy::None)
+        .try_run(|txn| txn.restart())
+        .map(|(v, _)| v);
     assert_eq!(r, Err(TxnError::RetryLimit { attempts: 3 }));
 }
 
 #[test]
 fn capacity_bound_is_reported() {
     let vars: Vec<TVar<u32>> = (0..8).map(TVar::new).collect();
-    let r: Result<u32, TxnError> = atomic_with(&TxnOptions::default().capacity(4, 4), |txn| {
-        let mut sum = 0;
-        for v in &vars {
-            sum += v.read(txn)?;
-        }
-        Ok(sum)
-    });
+    let r: Result<u32, TxnError> = Txn::build()
+        .capacity(4, 4)
+        .try_run(|txn| {
+            let mut sum = 0;
+            for v in &vars {
+                sum += v.read(txn)?;
+            }
+            Ok(sum)
+        })
+        .map(|(v, _)| v);
     match r {
         Err(TxnError::Capacity { kind: CapacityKind::ReadSet, .. }) => {}
         other => panic!("expected read-set capacity error, got {other:?}"),
@@ -212,12 +217,15 @@ fn capacity_bound_is_reported() {
 #[test]
 fn write_capacity_bound_is_reported() {
     let vars: Vec<TVar<u32>> = (0..8).map(TVar::new).collect();
-    let r: Result<(), TxnError> = atomic_with(&TxnOptions::default().capacity(64, 2), |txn| {
-        for v in &vars {
-            v.write(txn, 1)?;
-        }
-        Ok(())
-    });
+    let r: Result<(), TxnError> = Txn::build()
+        .capacity(64, 2)
+        .try_run(|txn| {
+            for v in &vars {
+                v.write(txn, 1)?;
+            }
+            Ok(())
+        })
+        .map(|(v, _)| v);
     match r {
         Err(TxnError::Capacity { kind: CapacityKind::WriteSet, .. }) => {}
         other => panic!("expected write-set capacity error, got {other:?}"),
@@ -274,8 +282,9 @@ fn relaxed_transactions_run_unsafe_ops_exactly_once() {
     let effect_count = Arc::new(AtomicU64::new(0));
     let v = TVar::new(0u32);
     let ec = effect_count.clone();
-    let (_, report) =
-        atomic_report(&TxnOptions::default().kind(txfix_stm::TxnKind::Relaxed), move |txn| {
+    let (_, report) = Txn::build()
+        .relaxed()
+        .try_run(move |txn| {
             let ec = ec.clone();
             txn.unsafe_op(move || {
                 ec.fetch_add(1, Ordering::SeqCst);
@@ -357,15 +366,16 @@ fn kill_handle_aborts_and_transaction_recovers() {
     let v2 = v.clone();
     let killed_once = Arc::new(AtomicBool::new(false));
     let ko = killed_once.clone();
-    let (_, report) = atomic_report(&TxnOptions::default(), move |txn| {
-        if !ko.swap(true, Ordering::SeqCst) {
-            // Simulate an external deadlock detector killing us mid-flight.
-            txn.kill_handle().kill();
-        }
-        let x = v2.read(txn)?;
-        v2.write(txn, x + 1)
-    })
-    .unwrap();
+    let (_, report) = Txn::build()
+        .try_run(move |txn| {
+            if !ko.swap(true, Ordering::SeqCst) {
+                // Simulate an external deadlock detector killing us mid-flight.
+                txn.kill_handle().kill();
+            }
+            let x = v2.read(txn)?;
+            v2.write(txn, x + 1)
+        })
+        .unwrap();
     assert!(report.attempts >= 2, "kill did not force a re-execution");
     assert!(report.preemptions >= 1);
     assert_eq!(v.load(), 1);

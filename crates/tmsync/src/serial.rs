@@ -14,7 +14,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use txfix_stm::trace;
-use txfix_stm::{atomic_with, StmResult, Txn, TxnError, TxnOptions};
+use txfix_stm::{StmResult, Txn, TxnBuilder, TxnError};
 
 /// A serialization domain: the shared reader/writer lock coupling one set
 /// of mutexes with the atomic regions serialized against them.
@@ -137,18 +137,18 @@ pub fn serial_atomic<T>(
     domain: &Arc<SerialDomain>,
     body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> T {
-    serial_atomic_with(domain, &TxnOptions::default(), body)
+    serial_atomic_with(domain, &Txn::build(), body)
         .expect("default serial atomic region cannot fail terminally")
 }
 
-/// [`serial_atomic`] with explicit transaction options.
+/// [`serial_atomic`] with an explicitly configured [`TxnBuilder`].
 ///
 /// # Errors
 ///
-/// Same terminal errors as [`atomic_with`].
+/// Same terminal errors as [`TxnBuilder::try_run`].
 pub fn serial_atomic_with<T>(
     domain: &Arc<SerialDomain>,
-    opts: &TxnOptions,
+    txn: &TxnBuilder,
     body: impl FnMut(&mut Txn) -> StmResult<T>,
 ) -> Result<T, TxnError> {
     struct ResetHolder<'a>(&'a AtomicU64);
@@ -161,7 +161,7 @@ pub fn serial_atomic_with<T>(
     let _exclusive = domain.rw.write();
     domain.exclusive_holder.store(txfix_txlock::current_thread().as_u64(), Ordering::Release);
     let _reset = ResetHolder(&domain.exclusive_holder);
-    atomic_with(opts, body)
+    txn.try_run(body).map(|(v, _)| v)
 }
 
 #[cfg(test)]

@@ -209,6 +209,9 @@ impl TxResource for LockRelease {
         self.raw.release(self.owner);
     }
     fn abort(&self, _serial: u64) {
+        // An abort-path release is a *revocation*: the lock is taken away
+        // from a still-running transaction (the TxLock discipline).
+        txfix_stm::obs::note_lock_revoked();
         self.raw.release(self.owner);
     }
 }
@@ -345,6 +348,7 @@ impl<T> TxMutex<T> {
         match self.raw.acquire(me, Some(&txn.kill_handle())) {
             Ok(()) => {
                 self.raw.holding_txn.store(txn.serial(), Ordering::Release);
+                txfix_stm::obs::note_lock_acquired();
                 txn.enlist(Arc::new(LockRelease { raw: self.raw.clone(), owner: me }));
                 Ok(())
             }

@@ -107,6 +107,7 @@ impl AsyncIo {
         operation: impl FnOnce() -> T + Send + 'static,
         completion: impl FnOnce(T) + Send + 'static,
     ) -> StmResult<()> {
+        txfix_stm::obs::note_xcall();
         let this = self.clone();
         txn.on_commit(move || {
             this.enqueue(Box::new(move || completion(operation())));

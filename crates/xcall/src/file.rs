@@ -130,6 +130,7 @@ impl XFile {
     ///
     /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
     pub fn x_append(&self, txn: &mut Txn, bytes: &[u8]) -> StmResult<()> {
+        txfix_stm::obs::note_xcall();
         self.enter(txn)?;
         let bytes = bytes.to_vec();
         self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::Append(bytes)))
@@ -141,6 +142,7 @@ impl XFile {
     ///
     /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
     pub fn x_write_at(&self, txn: &mut Txn, offset: usize, bytes: &[u8]) -> StmResult<()> {
+        txfix_stm::obs::note_xcall();
         self.enter(txn)?;
         let bytes = bytes.to_vec();
         self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::WriteAt(offset, bytes)))
@@ -153,6 +155,7 @@ impl XFile {
     ///
     /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
     pub fn x_read_all(&self, txn: &mut Txn) -> StmResult<Vec<u8>> {
+        txfix_stm::obs::note_xcall();
         self.enter(txn)?;
         let committed = self.inner.file.read_all();
         self.inner.lock.with_tx(txn, move |st| {

@@ -45,6 +45,7 @@ impl XPipe {
     /// Never fails at call time (the defer itself is pure); kept fallible
     /// for uniformity with the other x-calls.
     pub fn x_write(&self, txn: &mut Txn, bytes: &[u8]) -> StmResult<()> {
+        txfix_stm::obs::note_xcall();
         let pipe = self.pipe.clone();
         let bytes = bytes.to_vec();
         txn.on_commit(move || {
@@ -68,6 +69,7 @@ impl XPipe {
         max: usize,
         timeout: Duration,
     ) -> StmResult<Result<Vec<u8>, OsError>> {
+        txfix_stm::obs::note_xcall();
         match self.pipe.read(max, timeout) {
             Ok(bytes) => {
                 if !bytes.is_empty() {
@@ -83,6 +85,7 @@ impl XPipe {
 
     /// Non-blocking compensated read.
     pub fn x_try_read(&self, txn: &mut Txn, max: usize) -> StmResult<Option<Vec<u8>>> {
+        txfix_stm::obs::note_xcall();
         match self.pipe.try_read(max) {
             Some(bytes) => {
                 let pipe = self.pipe.clone();
@@ -150,6 +153,7 @@ impl XSocket {
 /// Panics inside a [`TxnKind::Atomic`] transaction (unsafe operations are
 /// not allowed there).
 pub fn x_inevitable<T>(txn: &mut Txn, f: impl FnOnce() -> T) -> StmResult<T> {
+    txfix_stm::obs::note_xcall();
     assert_eq!(txn.kind(), TxnKind::Relaxed, "inevitable x-calls require a relaxed transaction");
     txn.unsafe_op(f)
 }

@@ -18,6 +18,7 @@ use txfix::corpus::{
     Variant,
 };
 use txfix::lint::{lint_summary, LintReport};
+use txfix::recipes::json::ToJson;
 use txfix::recipes::{
     analyze, preference, table1, table2, table3, tm_difficulty, Analysis, CorpusSummary, Preference,
 };
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         Some("scenario") => scenario(&args[1..]),
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("lint") => lint_cmd(&args[1..]),
+        Some("stress") => stress_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -67,6 +69,10 @@ fn usage() {
          \x20                              statically analyze critical-section summaries\n\
          \x20                              (default: all three variants) and verify the\n\
          \x20                              synthesized fix recipes; exits nonzero on findings\n\
+         \x20 stress [<key>|--all] [--secs N] [--threads 1,2,4,8] [--json]\n\
+         \x20                              sustain open-ended load against the dev and TM\n\
+         \x20                              fix variants, report throughput / abort rate /\n\
+         \x20                              latency percentiles, and write BENCH_stm.json\n\
          \x20 help                         this message"
     );
 }
@@ -305,8 +311,8 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
 
     if json {
-        let items: Vec<String> = reports.iter().map(LintReport::to_json).collect();
-        println!("[{}]", items.join(","));
+        let doc = txfix::recipes::json::Json::list(reports.iter().map(ToJson::to_json_value));
+        println!("{}", doc.to_json());
     } else {
         for r in &reports {
             let bug_id = bug_by_scenario(&r.scenario).map(|b| format!(" [{}]", b.id));
@@ -341,6 +347,100 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn stress_cmd(args: &[String]) -> ExitCode {
+    use txfix::bench::stress;
+
+    let mut cfg = stress::StressConfig::default();
+    let mut key: Option<String> = None;
+    let mut all = false;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--all" => all = true,
+            "--secs" => match rest.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => cfg.secs = s,
+                _ => return usage_error("--secs takes a positive number"),
+            },
+            "--threads" => {
+                let parsed: Option<Vec<usize>> = rest
+                    .next()
+                    .map(|list| list.split(',').map(|t| t.trim().parse::<usize>().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(t) if !t.is_empty() && t.iter().all(|&n| n > 0) => cfg.threads = t,
+                    _ => {
+                        return usage_error("--threads takes a comma-separated list, e.g. 1,2,4,8")
+                    }
+                }
+            }
+            "--json" => json = true,
+            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    if !all {
+        let Some(k) = key else {
+            return usage_error("stress needs a scenario key or --all, e.g. `txfix stress --all`");
+        };
+        let Some(&k) = stress::SCENARIOS.iter().find(|&&s| s == k) else {
+            return usage_error(&format!(
+                "no stress scenario `{k}` (available: {})",
+                stress::SCENARIOS.join(", ")
+            ));
+        };
+        cfg.scenarios = vec![k];
+    }
+
+    let runs = stress::run_stress(&cfg);
+    let doc = stress::stress_report(&cfg, &runs);
+    let rendered = doc.to_json();
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "{:22} {:4} {:>3}  {:>12}  {:>9}  {:>10}  {:>10}  {:>7}",
+            "scenario", "var", "thr", "ops/s", "aborts", "p50", "p99", "abort%"
+        );
+        for r in &runs {
+            println!(
+                "{:22} {:4} {:>3}  {:>12.0}  {:>9}  {:>8}ns  {:>8}ns  {:>6.2}%",
+                r.scenario,
+                r.variant,
+                r.threads,
+                r.ops_per_sec,
+                r.aborts,
+                r.p50_ns,
+                r.p99_ns,
+                r.abort_rate * 100.0
+            );
+        }
+    }
+
+    // Persist the document: the canonical copy at the repo root and a
+    // timestamped one under results/.
+    if let Err(e) = std::fs::write("BENCH_stm.json", format!("{rendered}\n")) {
+        eprintln!("error: cannot write BENCH_stm.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let per_run = format!("results/BENCH_stm_{stamp}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
+    {
+        eprintln!("error: cannot write {per_run}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("\nwrote BENCH_stm.json and {per_run}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn scenario(args: &[String]) -> ExitCode {

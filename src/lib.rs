@@ -59,3 +59,7 @@ pub use txfix_analyze as analyze;
 /// Static critical-section analysis over declarative scenario summaries,
 /// with recipe synthesis and static fix verification (`txfix lint`).
 pub use txfix_static as lint;
+
+/// The evaluation harness: table regeneration, case-study comparisons and
+/// the sustained-load stress driver (`txfix stress`).
+pub use txfix_bench as bench;

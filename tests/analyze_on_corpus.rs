@@ -82,6 +82,7 @@ fn reports_round_trip_through_json() {
         ("av_stats_race", Variant::TmFix),
         ("dl_local_lock_order", Variant::Buggy),
     ] {
+        use txfix::recipes::json::ToJson;
         let report = run(key, variant);
         let parsed = Report::from_json(&report.to_json()).expect("round trip");
         assert_eq!(parsed, report, "{key} report changed across JSON round trip");
