@@ -1,0 +1,785 @@
+//! Seeded fault-injection sweeps over the corpus scenarios (`txfix chaos`).
+//!
+//! Where [`stress`](crate::stress) measures what the runtime *sustains*,
+//! this harness proves what it *survives*: every cell installs a
+//! [`FaultPlan`] from a named schedule, drives a corpus-shaped workload
+//! under concurrent load with faults firing at the runtime's ugliest
+//! points (mid-writeback, lock revocation, failed x-call I/O), and then
+//! asserts the scenario's invariants — no lost updates, no torn invariant
+//! groups, no deadlock, every transaction commits within its budget.
+//!
+//! ## Determinism
+//!
+//! `txfix chaos --seed <s>` must be bit-for-bit reproducible for a fixed
+//! seed and thread count, so the report contains only facts that are
+//! functions of the configuration and the (fixed) per-worker op counts —
+//! scenario/schedule/variant names, thread and op counts, and the
+//! invariant verdicts — never timings, fault tallies or anything else the
+//! thread interleaving can move. Work is *count-based* (each worker runs
+//! exactly `ops_per_thread` operations), unlike the wall-clock stress
+//! driver, for the same reason. Per-worker implicit state (the
+//! backoff-jitter RNG) is pinned from the run seed via
+//! [`seed_backoff_rng`](txfix_stm::seed_backoff_rng).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use txfix_core::json::{Json, ToJson};
+use txfix_stm::chaos::{splitmix64, FaultPlan, InjectionPoint, Trigger};
+use txfix_stm::{obs, EscalationPolicy, TVar, Txn, TxnBuilder};
+use txfix_txlock::TxMutex;
+use txfix_xcall::{AsyncIo, SimFs, SimPipe, XFile, XPipe};
+
+/// Scenario keys the chaos harness can sweep, in report order.
+pub const SCENARIOS: &[&str] = &[
+    "av_stats_race",
+    "dl_local_lock_order",
+    "dl_cache_atomtable",
+    "apache_ii",
+    "pipe_handoff",
+    "async_once",
+];
+
+/// The two fix variants every scenario provides.
+pub const VARIANTS: &[&str] = &["dev", "tm"];
+
+/// Named fault schedules, in report order. Each maps to a [`FaultPlan`]
+/// via [`plan_for`].
+pub const SCHEDULES: &[&str] =
+    &["baseline", "txn_faults", "commit_faults", "lock_faults", "io_faults"];
+
+/// The [`FaultPlan`] a named schedule arms under `seed`.
+///
+/// # Panics
+///
+/// Panics on a schedule name not in [`SCHEDULES`].
+pub fn plan_for(schedule: &str, seed: u64) -> FaultPlan {
+    let plan = FaultPlan::new(seed);
+    match schedule {
+        // Control: chaos layer armed but no point fires, so any invariant
+        // break here is the workload's own bug.
+        "baseline" => plan,
+        "txn_faults" => plan
+            .with(InjectionPoint::TxnBegin, Trigger::PerMille(50))
+            .with(InjectionPoint::TxnRead, Trigger::PerMille(15)),
+        "commit_faults" => plan
+            .with(InjectionPoint::TxnPreCommit, Trigger::EveryNth(7))
+            .with(InjectionPoint::TxnWriteback, Trigger::PerMille(30)),
+        "lock_faults" => plan
+            .with(InjectionPoint::LockAcquire, Trigger::PerMille(30))
+            .with(InjectionPoint::LockDelay, Trigger::PerMille(80))
+            .with(InjectionPoint::LockRevoke, Trigger::PerMille(30)),
+        "io_faults" => plan
+            .with(InjectionPoint::XcallFile, Trigger::PerMille(40))
+            .with(InjectionPoint::XcallPipe, Trigger::PerMille(60))
+            .with(InjectionPoint::XcallAsync, Trigger::PerMille(40)),
+        other => panic!("unknown chaos schedule {other:?} (see chaos::SCHEDULES)"),
+    }
+}
+
+/// Configuration for one chaos invocation.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Master seed; every cell derives its plan seed from this plus the
+    /// cell's names, so cells are decorrelated but reproducible.
+    pub seed: u64,
+    /// Worker threads per cell.
+    pub threads: usize,
+    /// Operations each worker executes (count-based work, for
+    /// determinism).
+    pub ops_per_thread: u64,
+    /// Scenario keys to sweep (from [`SCENARIOS`]).
+    pub scenarios: Vec<&'static str>,
+    /// Schedule names to sweep (from [`SCHEDULES`]).
+    pub schedules: Vec<&'static str>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xC4A05,
+            threads: 4,
+            ops_per_thread: 300,
+            scenarios: SCENARIOS.to_vec(),
+            schedules: SCHEDULES.to_vec(),
+        }
+    }
+}
+
+/// The verdict of one (scenario, variant, schedule) cell.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// Scenario key.
+    pub scenario: &'static str,
+    /// `dev` or `tm`.
+    pub variant: &'static str,
+    /// Fault schedule name.
+    pub schedule: &'static str,
+    /// Configured worker threads.
+    pub threads: usize,
+    /// Total operations the cell's workers executed (deterministic).
+    pub ops: u64,
+    /// Invariant violations observed (empty = the cell passed).
+    pub violations: Vec<String>,
+}
+
+impl ChaosRun {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl ToJson for ChaosRun {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::str(self.scenario)),
+            ("variant", Json::str(self.variant)),
+            ("schedule", Json::str(self.schedule)),
+            ("threads", Json::int(self.threads as u64)),
+            ("ops", Json::int(self.ops)),
+            ("passed", Json::Bool(self.passed())),
+            ("violations", Json::strings(&self.violations)),
+        ])
+    }
+}
+
+/// Assemble the whole-invocation report document (`CHAOS_stm.json`).
+pub fn chaos_report(cfg: &ChaosConfig, runs: &[ChaosRun]) -> Json {
+    Json::obj([
+        ("schema", Json::str("txfix-chaos-v1")),
+        ("seed", Json::int(cfg.seed)),
+        ("threads", Json::int(cfg.threads as u64)),
+        ("ops_per_thread", Json::int(cfg.ops_per_thread)),
+        ("scenarios", Json::strings(&cfg.scenarios)),
+        ("schedules", Json::strings(&cfg.schedules)),
+        ("runs", Json::list(runs.iter().map(ToJson::to_json_value))),
+        ("passed", Json::Bool(runs.iter().all(ChaosRun::passed))),
+    ])
+}
+
+/// Run the full sweep: every configured scenario × schedule × variant.
+/// Cells run sequentially (the fault plan is process-global).
+pub fn run_chaos(cfg: &ChaosConfig) -> Vec<ChaosRun> {
+    obs::enable();
+    let mut runs = Vec::new();
+    for &scenario in &cfg.scenarios {
+        for &schedule in &cfg.schedules {
+            for &variant in VARIANTS {
+                runs.push(run_cell(cfg, scenario, schedule, variant));
+            }
+        }
+    }
+    runs
+}
+
+/// Run one cell.
+///
+/// # Panics
+///
+/// Panics on unknown scenario/schedule/variant names.
+pub fn run_cell(
+    cfg: &ChaosConfig,
+    scenario: &'static str,
+    schedule: &'static str,
+    variant: &'static str,
+) -> ChaosRun {
+    let tm = match variant {
+        "dev" => false,
+        "tm" => true,
+        other => panic!("unknown variant {other:?} (want dev|tm)"),
+    };
+    let cell_seed = mix(cfg.seed, &[scenario, schedule, variant]);
+    let plan = plan_for(schedule, cell_seed);
+    let _armed = txfix_stm::chaos::scoped(&plan);
+    let cell = Cell {
+        threads: cfg.threads.max(1),
+        ops: cfg.ops_per_thread.max(1),
+        seed: cell_seed,
+        violations: parking_lot::Mutex::new(Vec::new()),
+    };
+    let total_ops = match scenario {
+        "av_stats_race" => av_stats_race(&cell, tm),
+        "dl_local_lock_order" => dl_local_lock_order(&cell, tm),
+        "dl_cache_atomtable" => dl_cache_atomtable(&cell, tm),
+        "apache_ii" => apache_ii(&cell, tm),
+        "pipe_handoff" => pipe_handoff(&cell, tm),
+        "async_once" => async_once(&cell, tm),
+        other => panic!("unknown chaos scenario {other:?} (see chaos::SCENARIOS)"),
+    };
+    ChaosRun {
+        scenario,
+        variant,
+        schedule,
+        threads: cfg.threads,
+        ops: total_ops,
+        violations: cell.violations.into_inner(),
+    }
+}
+
+/// Derive a cell seed from the master seed and the cell's names.
+fn mix(seed: u64, parts: &[&str]) -> u64 {
+    let mut h = splitmix64(seed);
+    for part in parts {
+        for &b in part.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+    }
+    h
+}
+
+/// Shared per-cell state: worker/op counts and the violation sink.
+struct Cell {
+    threads: usize,
+    ops: u64,
+    seed: u64,
+    violations: parking_lot::Mutex<Vec<String>>,
+}
+
+impl Cell {
+    fn violate(&self, msg: String) {
+        self.violations.lock().push(msg);
+    }
+
+    /// Every transactional body in the harness runs under this builder:
+    /// site-labelled and with a degradation ladder, so "every txn commits
+    /// within its budget" is the ladder's guarantee, not luck.
+    ///
+    /// `serial_ok` is true only for pure-TVar bodies. Bodies that acquire
+    /// TxLocks or x-call isolation locks must not take the serial rung: an
+    /// irrevocable attempt holding the global serialization lock while
+    /// blocking on a TxMutex held by a transaction whose commit needs that
+    /// same serialization lock would deadlock (DESIGN.md §8). They degrade
+    /// to stronger backoff only — their eventual commit comes from
+    /// unbounded retries plus deadlock preemption.
+    fn builder(&self, site: &'static str, serial_ok: bool) -> TxnBuilder {
+        let policy = if serial_ok {
+            EscalationPolicy {
+                backoff_after: 6,
+                serial_after: 24,
+                deadline: Some(Duration::from_secs(2)),
+            }
+        } else {
+            EscalationPolicy { backoff_after: 6, serial_after: u64::MAX, deadline: None }
+        };
+        Txn::build().site(site).escalation(policy)
+    }
+
+    /// Spawn `workers` threads each executing `op(worker, i)` exactly
+    /// `self.ops` times, with the backoff RNG pinned per worker. Returns
+    /// total ops executed.
+    fn drive(&self, workers: usize, op: impl Fn(usize, u64) + Sync) -> u64 {
+        std::thread::scope(|s| {
+            for t in 0..workers {
+                let op = &op;
+                let seed = self.seed;
+                let ops = self.ops;
+                s.spawn(move || {
+                    txfix_stm::seed_backoff_rng(splitmix64(
+                        seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ));
+                    for i in 0..ops {
+                        op(t, i);
+                    }
+                });
+            }
+        });
+        workers as u64 * self.ops
+    }
+}
+
+/// MySQL#791 shape (Recipe 2): two counters that must move together.
+/// Every 16th op is a torn-group probe reading both in one transaction.
+fn av_stats_race(cell: &Cell, tm: bool) -> u64 {
+    let probe = |i: u64| i % 16 == 15;
+    let mut expected = 0u64;
+    for _ in 0..cell.threads {
+        expected += (0..cell.ops).filter(|&i| !probe(i)).count() as u64;
+    }
+    let total;
+    if tm {
+        let key_cache = TVar::new(0u64);
+        let hits = TVar::new(0u64);
+        let txn = cell.builder("chaos_av_stats", true);
+        total = cell.drive(cell.threads, |_, i| {
+            let result = txn.try_run(|t| {
+                if probe(i) {
+                    let a = key_cache.read(t)?;
+                    let b = hits.read(t)?;
+                    Ok(Some((a, b)))
+                } else {
+                    key_cache.modify(t, |v| v + 1)?;
+                    hits.modify(t, |v| v + 1)?;
+                    Ok(None)
+                }
+            });
+            match result {
+                Ok((Some((a, b)), _)) if a != b => {
+                    cell.violate(format!("torn stats group: key_cache={a} hits={b}"));
+                }
+                Ok(_) => {}
+                Err(e) => cell.violate(format!("stats txn failed terminally: {e:?}")),
+            }
+        });
+        check_eq(cell, "av_stats final key_cache", key_cache.load(), expected);
+        check_eq(cell, "av_stats final hits", hits.load(), expected);
+    } else {
+        let stats = parking_lot::Mutex::new((0u64, 0u64));
+        total = cell.drive(cell.threads, |_, i| {
+            let mut s = stats.lock();
+            if probe(i) {
+                if s.0 != s.1 {
+                    cell.violate(format!("torn stats group: {} != {}", s.0, s.1));
+                }
+            } else {
+                s.0 += 1;
+                s.1 += 1;
+            }
+        });
+        let s = stats.lock();
+        check_eq(cell, "av_stats final key_cache", s.0, expected);
+        check_eq(cell, "av_stats final hits", s.1, expected);
+    }
+    total
+}
+
+/// Local lock-order inversion (Recipe 1): transfers between accounts must
+/// conserve the total. Every 16th op audits the sum transactionally.
+fn dl_local_lock_order(cell: &Cell, tm: bool) -> u64 {
+    const ACCOUNTS: usize = 8;
+    const TOTAL: i64 = 8 * 1_000;
+    let pick = |t: usize, i: u64| -> (usize, usize) {
+        let src = (i as usize).wrapping_mul(7).wrapping_add(t) % ACCOUNTS;
+        let dst = (i as usize).wrapping_mul(13).wrapping_add(3) % ACCOUNTS;
+        if src == dst {
+            (src, (dst + 1) % ACCOUNTS)
+        } else {
+            (src, dst)
+        }
+    };
+    let audit = |i: u64| i % 16 == 15;
+    let total;
+    if tm {
+        let accounts: Vec<TVar<i64>> = (0..ACCOUNTS).map(|_| TVar::new(1_000)).collect();
+        let txn = cell.builder("chaos_dl_local", true);
+        total = cell.drive(cell.threads, |t, i| {
+            let result = txn.try_run(|txn| {
+                if audit(i) {
+                    let mut sum = 0;
+                    for account in &accounts {
+                        sum += account.read(txn)?;
+                    }
+                    Ok(sum)
+                } else {
+                    let (src, dst) = pick(t, i);
+                    accounts[src].modify(txn, |v| v - 1)?;
+                    accounts[dst].modify(txn, |v| v + 1)?;
+                    Ok(TOTAL)
+                }
+            });
+            match result {
+                Ok((sum, _)) if sum != TOTAL => {
+                    cell.violate(format!("transfer sum {sum} != {TOTAL} mid-run"));
+                }
+                Ok(_) => {}
+                Err(e) => cell.violate(format!("transfer txn failed terminally: {e:?}")),
+            }
+        });
+        let sum: i64 = accounts.iter().map(TVar::load).sum();
+        check_eq(cell, "dl_local final sum", sum, TOTAL);
+    } else {
+        let accounts: Vec<parking_lot::Mutex<i64>> =
+            (0..ACCOUNTS).map(|_| parking_lot::Mutex::new(1_000)).collect();
+        total = cell.drive(cell.threads, |t, i| {
+            if audit(i) {
+                // Lock in index order to audit a consistent cut.
+                let guards: Vec<_> = accounts.iter().map(|a| a.lock()).collect();
+                let sum: i64 = guards.iter().map(|g| **g).sum();
+                if sum != TOTAL {
+                    cell.violate(format!("transfer sum {sum} != {TOTAL} mid-run"));
+                }
+            } else {
+                let (src, dst) = pick(t, i);
+                let (lo, hi) = (src.min(dst), src.max(dst));
+                let mut a = accounts[lo].lock();
+                let mut b = accounts[hi].lock();
+                let (from, to) = if lo == src { (&mut *a, &mut *b) } else { (&mut *b, &mut *a) };
+                *from -= 1;
+                *to += 1;
+            }
+        });
+        let sum: i64 = accounts.iter().map(|a| *a.lock()).sum();
+        check_eq(cell, "dl_local final sum", sum, TOTAL);
+    }
+    total
+}
+
+/// Mozilla#54743 shape (Recipe 3): cache and atom-table locks acquired in
+/// opposite orders; data lives in TVars so revocation rolls it back.
+fn dl_cache_atomtable(cell: &Cell, tm: bool) -> u64 {
+    let probe = |i: u64| i % 16 == 15;
+    let mut expected = 0u64;
+    for _ in 0..cell.threads {
+        expected += (0..cell.ops).filter(|&i| !probe(i)).count() as u64;
+    }
+    let total;
+    if tm {
+        let cache = TxMutex::new("chaos.cache", ());
+        let atoms = TxMutex::new("chaos.atoms", ());
+        let cache_v = TVar::new(0u64);
+        let atoms_v = TVar::new(0u64);
+        let txn = cell.builder("chaos_dl_cache", false);
+        total = cell.drive(cell.threads, |t, i| {
+            let (first, second) = if t % 2 == 0 { (&cache, &atoms) } else { (&atoms, &cache) };
+            let result = txn.try_run(|txn| {
+                first.with_tx(txn, |()| ())?;
+                second.with_tx(txn, |()| ())?;
+                if probe(i) {
+                    let a = cache_v.read(txn)?;
+                    let b = atoms_v.read(txn)?;
+                    Ok(Some((a, b)))
+                } else {
+                    cache_v.modify(txn, |v| v + 1)?;
+                    atoms_v.modify(txn, |v| v + 1)?;
+                    Ok(None)
+                }
+            });
+            match result {
+                Ok((Some((a, b)), _)) if a != b => {
+                    cell.violate(format!("torn cache/atoms pair: {a} != {b}"));
+                }
+                Ok(_) => {}
+                Err(e) => cell.violate(format!("cache/atoms txn failed terminally: {e:?}")),
+            }
+        });
+        check_eq(cell, "dl_cache final cache_v", cache_v.load(), expected);
+        check_eq(cell, "dl_cache final atoms_v", atoms_v.load(), expected);
+    } else {
+        let cache = parking_lot::Mutex::new(0u64);
+        let atoms = parking_lot::Mutex::new(0u64);
+        total = cell.drive(cell.threads, |_, i| {
+            // The developers' fix: one global order, whatever the caller
+            // wanted.
+            let mut c = cache.lock();
+            let mut a = atoms.lock();
+            if probe(i) {
+                if *c != *a {
+                    cell.violate(format!("torn cache/atoms pair: {} != {}", *c, *a));
+                }
+            } else {
+                *c += 1;
+                *a += 1;
+            }
+        });
+        check_eq(cell, "dl_cache final cache_v", *cache.lock(), expected);
+        check_eq(cell, "dl_cache final atoms_v", *atoms.lock(), expected);
+    }
+    total
+}
+
+/// One 16-byte log record: `<` + 2-digit worker + 12-digit op + `>`.
+fn file_record(t: usize, i: u64) -> [u8; 16] {
+    let mut rec = [0u8; 16];
+    let text = format!("<{:02}{:012}>", t % 100, i);
+    rec.copy_from_slice(text.as_bytes());
+    rec
+}
+
+/// Apache#25520 shape (Recipe 2): concurrent appends of fixed-size records
+/// through the transactional file layer; injected I/O faults drive the
+/// undo hooks. Invariants: exactly-once appends, no torn records, and no
+/// pending state leaked after quiescence.
+fn apache_ii(cell: &Cell, tm: bool) -> u64 {
+    let fs = SimFs::new();
+    let xf = XFile::open_or_create(&fs, "chaos.log");
+    let total = if tm {
+        let txn = cell.builder("chaos_apache_ii", false);
+        cell.drive(cell.threads, |t, i| {
+            let rec = file_record(t, i);
+            if let Err(e) = txn.try_run(|txn| xf.x_append(txn, &rec)) {
+                cell.violate(format!("append txn failed terminally: {e:?}"));
+            }
+        })
+    } else {
+        let lock = parking_lot::Mutex::new(());
+        cell.drive(cell.threads, |t, i| {
+            let _g = lock.lock();
+            xf.file().append(&file_record(t, i));
+        })
+    };
+    let data = xf.file().read_all();
+    check_eq(cell, "apache_ii log length", data.len() as u64, total * 16);
+    let mut per_worker = vec![0u64; cell.threads];
+    for chunk in data.chunks(16) {
+        if chunk.len() != 16 || chunk[0] != b'<' || chunk[15] != b'>' {
+            cell.violate(format!("torn log record: {chunk:?}"));
+            continue;
+        }
+        let worker: usize = std::str::from_utf8(&chunk[1..3])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(usize::MAX);
+        match per_worker.get_mut(worker) {
+            Some(count) => *count += 1,
+            None => cell.violate(format!("log record from unknown worker {worker}")),
+        }
+    }
+    for (worker, &count) in per_worker.iter().enumerate() {
+        if count != cell.ops {
+            cell.violate(format!(
+                "worker {worker} has {count} records, expected {} (lost or duplicated appends)",
+                cell.ops
+            ));
+        }
+    }
+    match xf.pending_snapshot() {
+        Some((0, 0)) => {}
+        Some((owner, ops)) => {
+            cell.violate(format!("pending state leaked: owner={owner} ops={ops}"));
+        }
+        None => cell.violate("isolation lock still held after quiescence".into()),
+    }
+    total
+}
+
+/// The deterministic payload byte worker `t` produces at op `i`.
+fn pipe_byte(t: usize, i: u64) -> u8 {
+    ((t.wrapping_mul(131) as u64).wrapping_add(i.wrapping_mul(7)) % 251) as u8
+}
+
+/// Producer/consumer handoff over a bounded pipe: deferred transactional
+/// writes against compensated reads. Conservation: every byte produced is
+/// consumed exactly once, even when aborts force read compensation.
+fn pipe_handoff(cell: &Cell, tm: bool) -> u64 {
+    let producers = (cell.threads / 2).max(1);
+    let consumers = (cell.threads - producers).max(1);
+    let expected_count = producers as u64 * cell.ops;
+    let mut expected_sum = 0u64;
+    for t in 0..producers {
+        for i in 0..cell.ops {
+            expected_sum += u64::from(pipe_byte(t, i));
+        }
+    }
+    let pipe = SimPipe::new(64);
+    if tm {
+        let xp = XPipe::new(pipe.clone());
+        let consumed_count = TVar::new(0u64);
+        let consumed_sum = TVar::new(0u64);
+        let produce = cell.builder("chaos_pipe_produce", false);
+        let consume = cell.builder("chaos_pipe_consume", false);
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let (xp, produce, cell) = (&xp, &produce, &cell);
+                s.spawn(move || {
+                    txfix_stm::seed_backoff_rng(splitmix64(
+                        cell.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ));
+                    for i in 0..cell.ops {
+                        let byte = [pipe_byte(t, i)];
+                        if let Err(e) = produce.try_run(|txn| xp.x_write(txn, &byte)) {
+                            cell.violate(format!("produce txn failed terminally: {e:?}"));
+                        }
+                    }
+                });
+            }
+            for c in 0..consumers {
+                let (xp, consume, cell) = (&xp, &consume, &cell);
+                let (consumed_count, consumed_sum) = (&consumed_count, &consumed_sum);
+                s.spawn(move || {
+                    txfix_stm::seed_backoff_rng(splitmix64(
+                        cell.seed ^ ((producers + c) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ));
+                    while consumed_count.load() < expected_count {
+                        let result = consume.try_run(|txn| {
+                            match xp.x_try_read(txn, 16)? {
+                                Some(bytes) if !bytes.is_empty() => {
+                                    // Count and sum move with the read in
+                                    // one transaction: an abort compensates
+                                    // the read AND rolls the counters back.
+                                    let n = bytes.len() as u64;
+                                    let sum: u64 = bytes.iter().map(|&b| u64::from(b)).sum();
+                                    consumed_count.modify(txn, |v| v + n)?;
+                                    consumed_sum.modify(txn, |v| v + sum)?;
+                                    Ok(true)
+                                }
+                                _ => Ok(false),
+                            }
+                        });
+                        match result {
+                            Ok((true, _)) => {}
+                            Ok((false, _)) => std::thread::yield_now(),
+                            Err(e) => {
+                                cell.violate(format!("consume txn failed terminally: {e:?}"));
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        check_eq(cell, "pipe_handoff consumed bytes", consumed_count.load(), expected_count);
+        check_eq(cell, "pipe_handoff consumed checksum", consumed_sum.load(), expected_sum);
+    } else {
+        let consumed_count = AtomicU64::new(0);
+        let consumed_sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let pipe = &pipe;
+                let cell = &cell;
+                s.spawn(move || {
+                    for i in 0..cell.ops {
+                        if pipe.write(&[pipe_byte(t, i)]).is_err() {
+                            cell.violate("pipe closed under producer".into());
+                        }
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let (pipe, consumed_count, consumed_sum) = (&pipe, &consumed_count, &consumed_sum);
+                s.spawn(move || {
+                    while consumed_count.load(Ordering::SeqCst) < expected_count {
+                        match pipe.try_read(16) {
+                            Some(bytes) if !bytes.is_empty() => {
+                                let sum: u64 = bytes.iter().map(|&b| u64::from(b)).sum();
+                                consumed_count.fetch_add(bytes.len() as u64, Ordering::SeqCst);
+                                consumed_sum.fetch_add(sum, Ordering::SeqCst);
+                            }
+                            _ => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+        check_eq(cell, "pipe_handoff consumed bytes", consumed_count.into_inner(), expected_count);
+        check_eq(cell, "pipe_handoff consumed checksum", consumed_sum.into_inner(), expected_sum);
+    }
+    check_eq(cell, "pipe_handoff residual bytes", pipe.buffered() as u64, 0);
+    producers as u64 * cell.ops
+}
+
+/// Mozilla#19421 shape (§5.3.2): commit-time async submissions must run
+/// exactly once — aborted attempts (including injected submission
+/// failures) never enqueue, committed ones always do.
+fn async_once(cell: &Cell, tm: bool) -> u64 {
+    let aio = AsyncIo::new();
+    let completed = Arc::new(AtomicU64::new(0));
+    let total;
+    if tm {
+        let submitted = TVar::new(0u64);
+        let txn = cell.builder("chaos_async_once", false);
+        total = cell.drive(cell.threads, |_, _| {
+            let done = completed.clone();
+            let result = txn.try_run(|t| {
+                submitted.modify(t, |v| v + 1)?;
+                let done = done.clone();
+                aio.x_submit(
+                    t,
+                    || (),
+                    move |()| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+            });
+            if let Err(e) = result {
+                cell.violate(format!("submit txn failed terminally: {e:?}"));
+            }
+        });
+        check_eq(cell, "async_once submitted", submitted.load(), total);
+    } else {
+        let submitted = AtomicU64::new(0);
+        total = cell.drive(cell.threads, |_, _| {
+            submitted.fetch_add(1, Ordering::SeqCst);
+            let done = completed.clone();
+            aio.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        check_eq(cell, "async_once submitted", submitted.into_inner(), total);
+    }
+    if !aio.drain(Duration::from_secs(10)) {
+        cell.violate("async queue failed to drain".into());
+    }
+    check_eq(cell, "async_once completed", completed.load(Ordering::SeqCst), total);
+    aio.shutdown();
+    total
+}
+
+fn check_eq<T: PartialEq + std::fmt::Debug>(cell: &Cell, what: &str, got: T, want: T) {
+    if got != want {
+        cell.violate(format!("{what}: got {got:?}, want {want:?}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The fault plan is process-global; serialize the tests that install
+    // one so their triggers do not interleave.
+    static GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    fn small(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            threads: 2,
+            ops_per_thread: 48,
+            scenarios: SCENARIOS.to_vec(),
+            schedules: SCHEDULES.to_vec(),
+        }
+    }
+
+    #[test]
+    fn every_schedule_maps_to_a_plan() {
+        for &schedule in SCHEDULES {
+            let plan = plan_for(schedule, 7);
+            assert_eq!(plan.is_empty(), schedule == "baseline", "{schedule}");
+        }
+    }
+
+    #[test]
+    fn full_sweep_passes_all_invariants() {
+        let _g = GATE.lock();
+        let cfg = small(0xFEED);
+        let runs = run_chaos(&cfg);
+        assert_eq!(runs.len(), SCENARIOS.len() * SCHEDULES.len() * VARIANTS.len());
+        for run in &runs {
+            assert!(
+                run.passed(),
+                "{}/{}/{}: {:?}",
+                run.scenario,
+                run.schedule,
+                run.variant,
+                run.violations
+            );
+            assert!(run.ops > 0);
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_for_a_fixed_seed() {
+        let _g = GATE.lock();
+        let cfg = ChaosConfig { scenarios: vec!["av_stats_race", "pipe_handoff"], ..small(0xD00D) };
+        let a = chaos_report(&cfg, &run_chaos(&cfg)).to_json();
+        let b = chaos_report(&cfg, &run_chaos(&cfg)).to_json();
+        assert_eq!(a, b, "chaos report must be bit-for-bit reproducible");
+        let parsed = Json::parse(&a).expect("valid JSON");
+        let obj = parsed.object("report").unwrap();
+        assert_eq!(obj.get("schema").unwrap().string("schema").unwrap(), "txfix-chaos-v1");
+        assert!(obj.get("passed").unwrap().bool("passed").unwrap());
+    }
+
+    #[test]
+    fn injected_faults_actually_fire() {
+        let _g = GATE.lock();
+        let cfg = ChaosConfig {
+            scenarios: vec!["av_stats_race"],
+            schedules: vec!["commit_faults"],
+            ..small(0xBEEF)
+        };
+        let before = txfix_stm::stats();
+        let runs = run_chaos(&cfg);
+        let injected = txfix_stm::stats().delta(&before).chaos_injected;
+        assert!(runs.iter().all(ChaosRun::passed));
+        assert!(injected > 0, "commit_faults schedule should inject faults");
+    }
+}

@@ -7,15 +7,18 @@
 //! same comparisons with statistical rigor plus the three ablations; the
 //! [`stress`] module sustains open-ended load against each fix variant and
 //! reports throughput, abort rate and latency percentiles (`txfix
-//! stress`).
+//! stress`); the [`chaos`] module sweeps seeded fault-injection schedules
+//! over the corpus scenarios and asserts their invariants (`txfix chaos`).
 
 #![warn(missing_docs)]
 
 pub mod cases;
+pub mod chaos;
 pub mod stress;
 
 pub use cases::{
     apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison,
     CaseComparison, Measurement, Scale,
 };
+pub use chaos::{chaos_report, plan_for, run_chaos, ChaosConfig, ChaosRun};
 pub use stress::{run_stress, stress_report, StressConfig, StressRun, SCENARIOS};

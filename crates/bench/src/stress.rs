@@ -54,11 +54,20 @@ pub struct StressConfig {
     /// Scenario keys to run (order preserved; must come from
     /// [`SCENARIOS`]).
     pub scenarios: Vec<&'static str>,
+    /// Seed for per-worker randomized state (today: the backoff-jitter
+    /// RNG). Recorded in the report so a run can be reproduced; the same
+    /// seed pins the same per-worker jitter streams.
+    pub seed: u64,
 }
 
 impl Default for StressConfig {
     fn default() -> StressConfig {
-        StressConfig { secs: 2.0, threads: vec![1, 2, 4, 8], scenarios: SCENARIOS.to_vec() }
+        StressConfig {
+            secs: 2.0,
+            threads: vec![1, 2, 4, 8],
+            scenarios: SCENARIOS.to_vec(),
+            seed: 0,
+        }
     }
 }
 
@@ -117,6 +126,7 @@ impl ToJson for StressRun {
 pub fn stress_report(cfg: &StressConfig, runs: &[StressRun]) -> Json {
     Json::obj([
         ("schema", Json::str("txfix-stress-v1")),
+        ("seed", Json::int(cfg.seed)),
         ("secs", Json::Number(cfg.secs)),
         ("threads", Json::list(cfg.threads.iter().map(|&t| Json::int(t as u64)))),
         ("scenarios", Json::strings(&cfg.scenarios)),
@@ -131,7 +141,7 @@ pub fn run_stress(cfg: &StressConfig) -> Vec<StressRun> {
     for &scenario in &cfg.scenarios {
         for &threads in &cfg.threads {
             for &variant in VARIANTS {
-                runs.push(run_one(scenario, variant, threads, cfg.secs));
+                runs.push(run_one(scenario, variant, threads, cfg.secs, cfg.seed));
             }
         }
     }
@@ -148,6 +158,7 @@ pub fn run_one(
     variant: &'static str,
     threads: usize,
     secs: f64,
+    seed: u64,
 ) -> StressRun {
     let tm = match variant {
         "dev" => false,
@@ -155,12 +166,12 @@ pub fn run_one(
         other => panic!("unknown variant {other:?} (want dev|tm)"),
     };
     match scenario {
-        "av_stats_race" => av_stats_race(variant, tm, threads, secs),
-        "dl_local_lock_order" => dl_local_lock_order(variant, tm, threads, secs),
-        "dl_cache_atomtable" => dl_cache_atomtable(variant, tm, threads, secs),
-        "apache_ii" => apache_ii(variant, tm, threads, secs),
-        "mozilla_i" => mozilla_i(variant, tm, threads, secs),
-        "mysql_i" => mysql_i(variant, tm, threads, secs),
+        "av_stats_race" => av_stats_race(variant, tm, threads, secs, seed),
+        "dl_local_lock_order" => dl_local_lock_order(variant, tm, threads, secs, seed),
+        "dl_cache_atomtable" => dl_cache_atomtable(variant, tm, threads, secs, seed),
+        "apache_ii" => apache_ii(variant, tm, threads, secs, seed),
+        "mozilla_i" => mozilla_i(variant, tm, threads, secs, seed),
+        "mysql_i" => mysql_i(variant, tm, threads, secs, seed),
         other => panic!("unknown stress scenario {other:?} (see stress::SCENARIOS)"),
     }
 }
@@ -173,6 +184,7 @@ fn drive(
     variant: &'static str,
     threads: usize,
     secs: f64,
+    seed: u64,
     op: impl Fn(usize, u64) + Sync,
 ) -> StressRun {
     let before = obs::snapshot();
@@ -184,6 +196,11 @@ fn drive(
         for t in 0..threads {
             let (stop, total_ops, hist, op) = (&stop, &total_ops, &hist, &op);
             s.spawn(move || {
+                // Pin the worker's only implicit randomized state — the
+                // backoff-jitter RNG — to the run seed and worker index.
+                txfix_stm::seed_backoff_rng(txfix_stm::chaos::splitmix64(
+                    seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ));
                 let mut local = [0u64; HIST_BUCKETS];
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -239,12 +256,18 @@ fn drive(
 /// MySQL#791 shape: two statistics counters that must move together. The
 /// developers' fix guards them with one mutex; the TM fix wraps both
 /// updates in one atomic block (Recipe 2).
-fn av_stats_race(variant: &'static str, tm: bool, threads: usize, secs: f64) -> StressRun {
+fn av_stats_race(
+    variant: &'static str,
+    tm: bool,
+    threads: usize,
+    secs: f64,
+    seed: u64,
+) -> StressRun {
     if tm {
         let key_cache = TVar::new(0u64);
         let total = TVar::new(0u64);
         let txn = Txn::build().site("stress_av_stats");
-        drive("av_stats_race", variant, threads, secs, |_, _| {
+        drive("av_stats_race", variant, threads, secs, seed, |_, _| {
             txn.try_run(|t| {
                 key_cache.modify(t, |v| v + 1)?;
                 total.modify(t, |v| v + 1)
@@ -253,7 +276,7 @@ fn av_stats_race(variant: &'static str, tm: bool, threads: usize, secs: f64) -> 
         })
     } else {
         let stats = parking_lot::Mutex::new((0u64, 0u64));
-        drive("av_stats_race", variant, threads, secs, |_, _| {
+        drive("av_stats_race", variant, threads, secs, seed, |_, _| {
             let mut s = stats.lock();
             s.0 += 1;
             s.1 += 1;
@@ -264,7 +287,13 @@ fn av_stats_race(variant: &'static str, tm: bool, threads: usize, secs: f64) -> 
 /// Local lock-order inversion: transfers between account pairs. The
 /// developers' fix imposes a global acquisition order; the TM fix
 /// replaces both locks with one atomic block (Recipe 1).
-fn dl_local_lock_order(variant: &'static str, tm: bool, threads: usize, secs: f64) -> StressRun {
+fn dl_local_lock_order(
+    variant: &'static str,
+    tm: bool,
+    threads: usize,
+    secs: f64,
+    seed: u64,
+) -> StressRun {
     const ACCOUNTS: usize = 8;
     let pick = |t: usize, i: u64| -> (usize, usize) {
         let src = (i as usize).wrapping_mul(7).wrapping_add(t) % ACCOUNTS;
@@ -278,7 +307,7 @@ fn dl_local_lock_order(variant: &'static str, tm: bool, threads: usize, secs: f6
     if tm {
         let accounts: Vec<TVar<i64>> = (0..ACCOUNTS).map(|_| TVar::new(1_000)).collect();
         let txn = Txn::build().site("stress_dl_local");
-        drive("dl_local_lock_order", variant, threads, secs, |t, i| {
+        drive("dl_local_lock_order", variant, threads, secs, seed, |t, i| {
             let (src, dst) = pick(t, i);
             txn.try_run(|txn| {
                 accounts[src].modify(txn, |v| v - 1)?;
@@ -289,7 +318,7 @@ fn dl_local_lock_order(variant: &'static str, tm: bool, threads: usize, secs: f6
     } else {
         let accounts: Vec<parking_lot::Mutex<i64>> =
             (0..ACCOUNTS).map(|_| parking_lot::Mutex::new(1_000)).collect();
-        drive("dl_local_lock_order", variant, threads, secs, |t, i| {
+        drive("dl_local_lock_order", variant, threads, secs, seed, |t, i| {
             let (src, dst) = pick(t, i);
             // The fix: always acquire in index order.
             let (lo, hi) = (src.min(dst), src.max(dst));
@@ -307,12 +336,18 @@ fn dl_local_lock_order(variant: &'static str, tm: bool, threads: usize, secs: f6
 /// but makes them revocable (Recipe 3) so the deadlock is preempted —
 /// workers deliberately acquire in opposite orders to exercise
 /// revocation under contention.
-fn dl_cache_atomtable(variant: &'static str, tm: bool, threads: usize, secs: f64) -> StressRun {
+fn dl_cache_atomtable(
+    variant: &'static str,
+    tm: bool,
+    threads: usize,
+    secs: f64,
+    seed: u64,
+) -> StressRun {
     if tm {
         let cache = TxMutex::new("stress.cache", 0u64);
         let atoms = TxMutex::new("stress.atoms", 0u64);
         let txn = Txn::build().site("stress_dl_cache");
-        drive("dl_cache_atomtable", variant, threads, secs, |t, _| {
+        drive("dl_cache_atomtable", variant, threads, secs, seed, |t, _| {
             let (first, second) = if t % 2 == 0 { (&cache, &atoms) } else { (&atoms, &cache) };
             txn.try_run(|txn| {
                 first.with_tx(txn, |v| *v += 1)?;
@@ -323,7 +358,7 @@ fn dl_cache_atomtable(variant: &'static str, tm: bool, threads: usize, secs: f64
     } else {
         let cache = parking_lot::Mutex::new(0u64);
         let atoms = parking_lot::Mutex::new(0u64);
-        drive("dl_cache_atomtable", variant, threads, secs, |_, _| {
+        drive("dl_cache_atomtable", variant, threads, secs, seed, |_, _| {
             // The fix: one global order, whatever the caller wanted.
             let mut c = cache.lock();
             let mut a = atoms.lock();
@@ -336,7 +371,7 @@ fn dl_cache_atomtable(variant: &'static str, tm: bool, threads: usize, secs: f64
 /// Apache#25520 shape: every request appends one record to the buffered
 /// log. Developers' fix: a per-log lock. TM fix: atomic block with the
 /// file flush as a deferred x-call (Recipe 2).
-fn apache_ii(variant: &'static str, tm: bool, threads: usize, secs: f64) -> StressRun {
+fn apache_ii(variant: &'static str, tm: bool, threads: usize, secs: f64, seed: u64) -> StressRun {
     use txfix_apps::apache::buffered_log::RECORD_LEN;
     let fs = SimFs::new();
     let log: Box<dyn LogWriter> = if tm {
@@ -349,7 +384,7 @@ fn apache_ii(variant: &'static str, tm: bool, threads: usize, secs: f64) -> Stre
     } else {
         Box::new(LockedBufferedLog::new(&fs, "stress.log", 64 * RECORD_LEN))
     };
-    let run = drive("apache_ii", variant, threads, secs, |t, i| {
+    let run = drive("apache_ii", variant, threads, secs, seed, |t, i| {
         log.write_record(&make_record(t, i));
     });
     log.flush();
@@ -360,7 +395,7 @@ fn apache_ii(variant: &'static str, tm: bool, threads: usize, secs: f64) -> Stre
 /// Developers' fix: the ownership protocol. TM fix: Recipe 1 on software
 /// TM. Every 64th operation moves a value across two shared objects (the
 /// cross-scope operation that deadlocked the original).
-fn mozilla_i(variant: &'static str, tm: bool, threads: usize, secs: f64) -> StressRun {
+fn mozilla_i(variant: &'static str, tm: bool, threads: usize, secs: f64, seed: u64) -> StressRun {
     const LOCAL_OBJECTS: usize = 4;
     const SHARED: usize = 4;
     const SLOTS: usize = 8;
@@ -371,7 +406,7 @@ fn mozilla_i(variant: &'static str, tm: bool, threads: usize, secs: f64) -> Stre
         Box::new(OwnershipStore::new(OwnershipMode::DevFix, objects, SLOTS))
     };
     let shared_base = threads * LOCAL_OBJECTS;
-    drive("mozilla_i", variant, threads, secs, |t, i| {
+    drive("mozilla_i", variant, threads, secs, seed, |t, i| {
         let obj = t * LOCAL_OBJECTS + (i as usize % LOCAL_OBJECTS);
         let slot = i as usize % SLOTS;
         store.set_slot(t, obj, slot, i as i64);
@@ -388,7 +423,7 @@ fn mozilla_i(variant: &'static str, tm: bool, threads: usize, secs: f64) -> Stre
 /// MySQL#169 shape: insert traffic with periodic delete-all statements.
 /// Developers' fix: hold the table lock through binlogging. TM fix:
 /// Recipe 4's atomic/lock serialization.
-fn mysql_i(variant: &'static str, tm: bool, threads: usize, secs: f64) -> StressRun {
+fn mysql_i(variant: &'static str, tm: bool, threads: usize, secs: f64, seed: u64) -> StressRun {
     let tables = threads.max(1);
     let db = MiniDb::new(if tm { MysqlVariant::TmRecipe4 } else { MysqlVariant::DevFix }, tables);
     for t in 0..tables {
@@ -396,7 +431,7 @@ fn mysql_i(variant: &'static str, tm: bool, threads: usize, secs: f64) -> Stress
             db.insert(t, i, i as i64);
         }
     }
-    drive("mysql_i", variant, threads, secs, |t, i| {
+    drive("mysql_i", variant, threads, secs, seed, |t, i| {
         let table = t % tables;
         if i % 32 == 31 {
             db.delete_all(table);
@@ -412,8 +447,8 @@ mod tests {
 
     fn quick(scenario: &'static str) -> (StressRun, StressRun) {
         obs::enable();
-        let dev = run_one(scenario, "dev", 2, 0.05);
-        let tm = run_one(scenario, "tm", 2, 0.05);
+        let dev = run_one(scenario, "dev", 2, 0.05, 0x5EED);
+        let tm = run_one(scenario, "tm", 2, 0.05, 0x5EED);
         (dev, tm)
     }
 
@@ -440,7 +475,12 @@ mod tests {
     #[test]
     fn report_document_is_valid_json() {
         obs::enable();
-        let cfg = StressConfig { secs: 0.05, threads: vec![1], scenarios: vec!["av_stats_race"] };
+        let cfg = StressConfig {
+            secs: 0.05,
+            threads: vec![1],
+            scenarios: vec!["av_stats_race"],
+            seed: 0x5EED,
+        };
         let runs = run_stress(&cfg);
         assert_eq!(runs.len(), 2);
         let doc = stress_report(&cfg, &runs);

@@ -1,0 +1,447 @@
+//! Deterministic fault injection: the adversarial twin of [`obs`](crate::obs).
+//!
+//! The stress harness (PR 3) measures how the runtime behaves under load; it
+//! cannot make the ugly paths *happen on demand*. A read-set validation
+//! failure in the middle of write-back, a TxLock revoked while its holder is
+//! blocked, an x-call whose underlying I/O fails after the compensation hook
+//! is registered — these paths are exactly where Recipes 1–3 earn their
+//! keep, and exactly where a scheduling accident is needed to reach them.
+//! This module replaces the accident with a plan.
+//!
+//! A [`FaultPlan`] names a set of [injection points](InjectionPoint) — fixed
+//! places the runtime, `txfix-txlock` and `txfix-xcall` ask
+//! [`should_inject`] whether to fail — and gives each one a [`Trigger`]:
+//! fire on the nth hit, every nth hit, or with a seeded per-mille
+//! probability. Installing a plan arms the points process-wide; clearing it
+//! disarms them.
+//!
+//! ## Determinism
+//!
+//! Probabilistic triggers do **not** consult a stateful RNG. Each point
+//! keeps a hit counter, and the decision for hit `k` is a pure hash of
+//! `(plan seed, point, k)` — so for a fixed seed, the *set of hit ordinals
+//! that fail* at each point is fixed before the run starts. Thread
+//! interleaving decides which thread draws ordinal `k`, not whether ordinal
+//! `k` fails. This is what lets `txfix chaos --seed <s>` make bit-for-bit
+//! reproducible reports: the report only contains facts that are functions
+//! of the plan and the work, never of the interleaving.
+//!
+//! ## Cost when disabled
+//!
+//! Same contract as [`obs`](crate::obs) and `trace::sink`: with no plan
+//! installed every [`should_inject`] call is a single relaxed load of one
+//! `AtomicBool` and an immediate `false`. The `stm_overhead` criterion
+//! bench covers this path.
+//!
+//! ## What injection means at each point
+//!
+//! Injected faults are always mapped onto failures the runtime already
+//! claims to survive — a forced [`Abort`](crate::Abort) or a synthetic OS
+//! error — never memory unsafety. Irrevocable transactions are exempt by
+//! construction (the call sites skip injection once a transaction cannot
+//! roll back, mirroring how kills are ignored). See DESIGN.md §8 for the
+//! full inventory.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::obs;
+use crate::stats;
+
+/// A fixed place in the runtime where a fault can be injected.
+///
+/// The discriminant doubles as the index into the global arming tables, so
+/// the list is append-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum InjectionPoint {
+    /// Force an abort before a transaction attempt runs its body (models a
+    /// conflict detected at begin).
+    TxnBegin = 0,
+    /// Force a read-set validation failure on a transactional read.
+    TxnRead = 1,
+    /// Force a validation-failure abort on entry to commit.
+    TxnPreCommit = 2,
+    /// Force an abort *inside* commit, after validation, with orecs locked
+    /// (lazy) or data already written in place (eager).
+    TxnWriteback = 3,
+    /// Make a revocable-lock acquisition fail as if the caller had been
+    /// chosen as a deadlock victim.
+    LockAcquire = 4,
+    /// Delay a revocable-lock acquisition (widens race windows).
+    LockDelay = 5,
+    /// Spuriously revoke a just-acquired lock: the caller aborts and the
+    /// abort path must release the lock it already holds.
+    LockRevoke = 6,
+    /// Fail a transactional file operation with a synthetic I/O error.
+    XcallFile = 7,
+    /// Fail a transactional pipe/socket operation with a synthetic I/O
+    /// error (`OsError::TimedOut` at the call site).
+    XcallPipe = 8,
+    /// Fail an async-I/O submission before it is enlisted.
+    XcallAsync = 9,
+}
+
+/// Number of injection points (size of the arming tables).
+pub const POINT_COUNT: usize = 10;
+
+impl InjectionPoint {
+    /// Every point, in discriminant order.
+    pub const ALL: [InjectionPoint; POINT_COUNT] = [
+        InjectionPoint::TxnBegin,
+        InjectionPoint::TxnRead,
+        InjectionPoint::TxnPreCommit,
+        InjectionPoint::TxnWriteback,
+        InjectionPoint::LockAcquire,
+        InjectionPoint::LockDelay,
+        InjectionPoint::LockRevoke,
+        InjectionPoint::XcallFile,
+        InjectionPoint::XcallPipe,
+        InjectionPoint::XcallAsync,
+    ];
+
+    /// Stable machine-readable name (used in reports and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionPoint::TxnBegin => "txn_begin",
+            InjectionPoint::TxnRead => "txn_read",
+            InjectionPoint::TxnPreCommit => "txn_pre_commit",
+            InjectionPoint::TxnWriteback => "txn_writeback",
+            InjectionPoint::LockAcquire => "lock_acquire",
+            InjectionPoint::LockDelay => "lock_delay",
+            InjectionPoint::LockRevoke => "lock_revoke",
+            InjectionPoint::XcallFile => "xcall_file",
+            InjectionPoint::XcallPipe => "xcall_pipe",
+            InjectionPoint::XcallAsync => "xcall_async",
+        }
+    }
+
+    /// Inverse of [`name`](InjectionPoint::name).
+    pub fn parse(s: &str) -> Option<InjectionPoint> {
+        InjectionPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// When an armed point actually fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on hit `k` iff `hash(seed, point, k) % 1000 < per_mille` — a
+    /// seeded coin whose outcomes are fixed per ordinal, not per thread.
+    PerMille(u32),
+    /// Fire on exactly the nth hit (1-based), once.
+    Nth(u64),
+    /// Fire on every nth hit (n ≥ 1).
+    EveryNth(u64),
+}
+
+impl Trigger {
+    /// Whether hit ordinal `hit` (1-based) fires under seed `seed` at point
+    /// `point`. Pure: same arguments, same answer.
+    pub fn fires(self, seed: u64, point: InjectionPoint, hit: u64) -> bool {
+        match self {
+            Trigger::PerMille(p) => {
+                let h = splitmix64(seed ^ POINT_SALT[point.index()] ^ hit);
+                (h % 1000) < u64::from(p.min(1000))
+            }
+            Trigger::Nth(n) => hit == n.max(1),
+            Trigger::EveryNth(n) => hit.is_multiple_of(n.max(1)),
+        }
+    }
+
+    fn encode(self) -> (u64, u64) {
+        match self {
+            Trigger::PerMille(p) => (1, u64::from(p)),
+            Trigger::Nth(n) => (2, n),
+            Trigger::EveryNth(n) => (3, n),
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of faults: one optional [`Trigger`] per
+/// [`InjectionPoint`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: [Option<Trigger>; POINT_COUNT],
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no points armed) under `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, rules: [None; POINT_COUNT] }
+    }
+
+    /// Arm `point` with `trigger` (builder style).
+    pub fn with(mut self, point: InjectionPoint, trigger: Trigger) -> FaultPlan {
+        self.rules[point.index()] = Some(trigger);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The trigger armed at `point`, if any.
+    pub fn rule(&self, point: InjectionPoint) -> Option<Trigger> {
+        self.rules[point.index()]
+    }
+
+    /// True when no point is armed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.iter().all(|r| r.is_none())
+    }
+}
+
+// ---- the arming tables ----------------------------------------------------
+//
+// A plan is installed by flattening it into per-point atomics, so the hot
+// path never takes a lock: kind 0 = disarmed, 1/2/3 = PerMille/Nth/EveryNth
+// with the parameter in VALUES. ACTIVE is the one relaxed load every
+// disabled call pays.
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+#[allow(clippy::declare_interior_mutable_const)] // const used only as array initializer
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+static KINDS: [AtomicU64; POINT_COUNT] = [ZERO; POINT_COUNT];
+static VALUES: [AtomicU64; POINT_COUNT] = [ZERO; POINT_COUNT];
+static HITS: [AtomicU64; POINT_COUNT] = [ZERO; POINT_COUNT];
+static INJECTED: [AtomicU64; POINT_COUNT] = [ZERO; POINT_COUNT];
+
+/// Per-point salt so the same hit ordinal draws independent coins at
+/// different points under one seed.
+static POINT_SALT: [u64; POINT_COUNT] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xBF58_476D_1CE4_E5B9,
+    0x94D0_49BB_1331_11EB,
+    0xD6E8_FEB8_6659_FD93,
+    0xA076_1D64_78BD_642F,
+    0xE703_7ED1_A0B4_28DB,
+    0x8EBC_6AF0_9C88_C6E3,
+    0x5899_65CC_7537_4CC3,
+    0x1D8E_4E27_C47D_124F,
+    0xEB44_ACCA_B455_D165,
+];
+
+/// SplitMix64 finalizer: the deterministic coin behind
+/// [`Trigger::PerMille`] and the recommended way to derive per-worker seeds
+/// from a run seed.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Install `plan` process-wide, zeroing the hit and injection counters.
+/// Installing an empty plan still arms the layer (hits are counted); use
+/// [`clear`] to disarm.
+pub fn install(plan: &FaultPlan) {
+    ACTIVE.store(false, Ordering::SeqCst);
+    SEED.store(plan.seed, Ordering::SeqCst);
+    for i in 0..POINT_COUNT {
+        let (kind, value) = match plan.rules[i] {
+            Some(t) => t.encode(),
+            None => (0, 0),
+        };
+        KINDS[i].store(kind, Ordering::SeqCst);
+        VALUES[i].store(value, Ordering::SeqCst);
+        HITS[i].store(0, Ordering::SeqCst);
+        INJECTED[i].store(0, Ordering::SeqCst);
+    }
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Disarm every injection point. Hit/injection counters are kept until the
+/// next [`install`] so they can still be inspected after a run.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    for k in &KINDS {
+        k.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Whether a plan is currently installed.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Install `plan` for the life of the returned guard, clearing on drop.
+/// Test-friendly: a panic between install and clear still disarms.
+pub fn scoped(plan: &FaultPlan) -> ChaosGuard {
+    install(plan);
+    ChaosGuard { _priv: () }
+}
+
+/// Guard returned by [`scoped`]; disarms the chaos layer on drop.
+pub struct ChaosGuard {
+    _priv: (),
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Ask whether the fault armed at `point` fires now. Counts a hit against
+/// the point either way (when armed), bumps the injected counters and the
+/// current obs site's `faults_injected` when it fires. With no plan
+/// installed this is one relaxed load and `false`.
+#[inline]
+pub fn should_inject(point: InjectionPoint) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    should_inject_slow(point)
+}
+
+#[cold]
+fn should_inject_slow(point: InjectionPoint) -> bool {
+    let i = point.index();
+    let kind = KINDS[i].load(Ordering::Relaxed);
+    if kind == 0 {
+        return false;
+    }
+    let value = VALUES[i].load(Ordering::Relaxed);
+    let trigger = match kind {
+        1 => Trigger::PerMille(value as u32),
+        2 => Trigger::Nth(value),
+        3 => Trigger::EveryNth(value),
+        _ => return false,
+    };
+    let hit = HITS[i].fetch_add(1, Ordering::Relaxed) + 1;
+    if !trigger.fires(SEED.load(Ordering::Relaxed), point, hit) {
+        return false;
+    }
+    INJECTED[i].fetch_add(1, Ordering::Relaxed);
+    stats::bump_chaos_injected();
+    obs::note_fault_injected();
+    true
+}
+
+/// Hit and injection counts for one point since the last [`install`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointStats {
+    /// The point.
+    pub point: InjectionPoint,
+    /// Times the armed point was consulted.
+    pub hits: u64,
+    /// Times it fired.
+    pub injected: u64,
+}
+
+/// Counters for every point, in discriminant order.
+pub fn point_stats() -> Vec<PointStats> {
+    InjectionPoint::ALL
+        .into_iter()
+        .map(|point| PointStats {
+            point,
+            hits: HITS[point.index()].load(Ordering::Relaxed),
+            injected: INJECTED[point.index()].load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Total faults injected across all points since the last [`install`].
+pub fn injected_total() -> u64 {
+    INJECTED.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pure trigger/plan logic only: tests that *install* plans live in the
+    // dedicated integration binaries (tests/chaos.rs and friends), because
+    // the arming tables are process-global and unit tests run in parallel.
+
+    #[test]
+    fn point_names_round_trip() {
+        for p in InjectionPoint::ALL {
+            assert_eq!(InjectionPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(InjectionPoint::parse("nope"), None);
+        assert_eq!(InjectionPoint::ALL.len(), POINT_COUNT);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let t = Trigger::Nth(3);
+        let fired: Vec<u64> =
+            (1..=10).filter(|&k| t.fires(7, InjectionPoint::TxnBegin, k)).collect();
+        assert_eq!(fired, vec![3]);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let t = Trigger::EveryNth(4);
+        let fired: Vec<u64> =
+            (1..=12).filter(|&k| t.fires(7, InjectionPoint::TxnRead, k)).collect();
+        assert_eq!(fired, vec![4, 8, 12]);
+        // n = 0 is clamped to 1, not a division by zero.
+        assert!(Trigger::EveryNth(0).fires(7, InjectionPoint::TxnRead, 1));
+    }
+
+    #[test]
+    fn per_mille_is_a_pure_function_of_seed_point_and_hit() {
+        let t = Trigger::PerMille(300);
+        let draw =
+            |seed| (1u64..=200).filter(|&k| t.fires(seed, InjectionPoint::TxnPreCommit, k)).count();
+        let a: Vec<bool> =
+            (1u64..=200).map(|k| t.fires(42, InjectionPoint::TxnPreCommit, k)).collect();
+        let b: Vec<bool> =
+            (1u64..=200).map(|k| t.fires(42, InjectionPoint::TxnPreCommit, k)).collect();
+        assert_eq!(a, b, "same seed, same outcome sequence");
+        // Roughly 30% of 200 draws should fire; allow a wide band.
+        let n = draw(42);
+        assert!((20..=100).contains(&n), "got {n} fires out of 200 at 30%");
+        // Different points draw independent coins under one seed.
+        let other: Vec<bool> =
+            (1u64..=200).map(|k| t.fires(42, InjectionPoint::TxnWriteback, k)).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn per_mille_extremes() {
+        assert!(!Trigger::PerMille(0).fires(9, InjectionPoint::XcallFile, 1));
+        for k in 1..=50 {
+            assert!(Trigger::PerMille(1000).fires(9, InjectionPoint::XcallFile, k));
+            // Values above 1000 clamp to "always".
+            assert!(Trigger::PerMille(5000).fires(9, InjectionPoint::XcallFile, k));
+        }
+    }
+
+    #[test]
+    fn plan_builder_arms_points() {
+        let plan = FaultPlan::new(11)
+            .with(InjectionPoint::TxnBegin, Trigger::Nth(1))
+            .with(InjectionPoint::XcallPipe, Trigger::PerMille(50));
+        assert_eq!(plan.seed(), 11);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.rule(InjectionPoint::TxnBegin), Some(Trigger::Nth(1)));
+        assert_eq!(plan.rule(InjectionPoint::XcallPipe), Some(Trigger::PerMille(50)));
+        assert_eq!(plan.rule(InjectionPoint::TxnRead), None);
+        assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    fn splitmix64_is_stable() {
+        // Reference values pin the hash so reports stay comparable across
+        // builds; changing them is a report-format break.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+}

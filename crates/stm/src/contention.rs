@@ -37,6 +37,25 @@ impl Default for BackoffPolicy {
     }
 }
 
+impl BackoffPolicy {
+    /// A strictly stronger variant of this policy, used by the escalation
+    /// ladder's middle rung: `None` becomes the default jittered policy,
+    /// `Spin` spins 8× longer, `ExpJitter` widens both the base window and
+    /// the cap 4×.
+    pub fn escalated(self) -> BackoffPolicy {
+        match self {
+            BackoffPolicy::None => BackoffPolicy::default(),
+            BackoffPolicy::Spin { iters } => {
+                BackoffPolicy::Spin { iters: iters.saturating_mul(8).max(64) }
+            }
+            BackoffPolicy::ExpJitter { base, max } => BackoffPolicy::ExpJitter {
+                base: base.saturating_mul(4).max(Duration::from_nanos(1)),
+                max: max.saturating_mul(4).max(Duration::from_nanos(1)),
+            },
+        }
+    }
+}
+
 /// Stateful backoff driver for one transaction attempt loop.
 #[derive(Debug)]
 pub(crate) struct Backoff {
@@ -100,6 +119,19 @@ pub(crate) fn jitter_window(policy: BackoffPolicy, failures: u32) -> Option<Dura
 
 thread_local! {
     static RNG_STATE: Cell<u64> = Cell::new(seed());
+}
+
+/// Reseed the calling thread's backoff-jitter RNG.
+///
+/// By default each thread seeds its jitter stream from the clock and its
+/// thread id — fine for production, fatal for reproducibility. Harnesses
+/// that promise deterministic runs for a fixed seed (`txfix stress --seed`,
+/// `txfix chaos`) call this at worker start with a seed derived from the
+/// run seed and the worker index, making the backoff jitter the worker
+/// draws an explicit function of the run configuration. A zero seed is
+/// remapped (xorshift has an all-zero fixed point).
+pub fn seed_backoff_rng(seed: u64) {
+    RNG_STATE.with(|s| s.set(seed | 1));
 }
 
 fn seed() -> u64 {

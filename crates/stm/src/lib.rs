@@ -80,6 +80,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod clock;
 mod contention;
 mod error;
@@ -93,11 +94,13 @@ pub mod trace;
 mod tvar;
 mod txn;
 
-pub use contention::BackoffPolicy;
+pub use contention::{seed_backoff_rng, BackoffPolicy};
 pub use error::{Abort, CapacityKind, ConflictKind, StmResult, TxnError, WaitPoint};
 pub use obs::SiteId;
 pub use overhead::OverheadModel;
-pub use runtime::{atomic, atomic_relaxed, TxnBuilder, TxnReport};
+pub use runtime::{
+    atomic, atomic_relaxed, EscalationPolicy, EscalationRung, TxnBuilder, TxnReport,
+};
 pub use stats::{quiescent_stats, stats, StatsSnapshot};
 pub use tvar::{TVar, VarId};
 pub use txn::{KillHandle, TxResource, Txn, TxnKind, WritePolicy};

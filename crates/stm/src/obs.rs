@@ -322,6 +322,12 @@ site_counters! {
     lock_revocations,
     /// Deferred x-call operations enlisted inside this site's transactions.
     xcalls,
+    /// Escalation-ladder rung promotions (optimistic → stronger backoff →
+    /// serial) taken by this site's transactions.
+    escalations,
+    /// Faults injected by the [`chaos`](crate::chaos) layer while this site
+    /// was the thread's current transaction site.
+    faults_injected,
 }
 
 static SITES: [SiteSlot; MAX_SITES] = [const { SiteSlot::new() }; MAX_SITES];
@@ -411,6 +417,7 @@ note_fns! {
     note_retry_blocked => retries,
     note_wait => waits,
     note_irrevocable => irrevocable,
+    note_escalation => escalations,
 }
 
 /// Record a successful commit: bumps the commit counter and feeds the
@@ -511,6 +518,17 @@ pub fn note_xcall() {
         return;
     }
     SITES[current_site().index()].xcalls.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Hook for [`chaos`](crate::chaos): a fault fired. Attributed like the
+/// lock hooks, via the thread's current site, because injection points live
+/// in `txlock` and `xcall` as well as the STM core.
+#[inline]
+pub(crate) fn note_fault_injected() {
+    if !is_enabled() {
+        return;
+    }
+    SITES[current_site().index()].faults_injected.fetch_add(1, Ordering::Relaxed);
 }
 
 // ---- orec hotness ---------------------------------------------------------

@@ -4,6 +4,7 @@
 //! commit-before-wait and capacity overflow. The migration table from the
 //! pre-builder entry points lives in the crate docs.
 
+use crate::chaos;
 use crate::contention::Backoff;
 use crate::error::{Abort, ConflictKind, StmResult, TxnError};
 use crate::notifier;
@@ -27,6 +28,75 @@ pub struct TxnReport {
     pub waits: u64,
     /// Aborts caused by deadlock victimization or external kills.
     pub preemptions: u64,
+    /// The degradation rung the committing attempt ran on.
+    pub committed_rung: EscalationRung,
+    /// Rung promotions taken before the commit (0 when the first rung won).
+    pub escalations: u64,
+}
+
+/// One rung of the graceful-degradation ladder: how much optimism a
+/// transaction attempt still has.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EscalationRung {
+    /// Plain speculation under the configured backoff policy.
+    #[default]
+    Optimistic,
+    /// Still speculating, but under
+    /// [`BackoffPolicy::escalated`](crate::BackoffPolicy::escalated) — wider
+    /// windows drain the contention that is defeating optimism.
+    StrongerBackoff,
+    /// Give up on concurrency: the attempt becomes irrevocable at begin,
+    /// holding the global serialization lock exclusively, so it cannot
+    /// conflict and commits exactly once.
+    Serial,
+}
+
+impl EscalationRung {
+    /// Stable machine-readable name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            EscalationRung::Optimistic => "optimistic",
+            EscalationRung::StrongerBackoff => "stronger_backoff",
+            EscalationRung::Serial => "serial",
+        }
+    }
+
+    /// The next rung up; [`Serial`](EscalationRung::Serial) is absorbing.
+    pub fn next(self) -> EscalationRung {
+        match self {
+            EscalationRung::Optimistic => EscalationRung::StrongerBackoff,
+            EscalationRung::StrongerBackoff | EscalationRung::Serial => EscalationRung::Serial,
+        }
+    }
+}
+
+/// When to climb the degradation ladder ("On the Cost of Concurrency in
+/// Transactional Memory": knowing when to stop paying for optimism).
+///
+/// A transaction with a policy starts on
+/// [`Optimistic`](EscalationRung::Optimistic); after `backoff_after` failed
+/// attempts it re-runs under the escalated backoff policy, after
+/// `serial_after` failed attempts — or as soon as `deadline` has elapsed
+/// since the `atomic` call began — it takes the serial rung, where the
+/// commit is unconditional. The ladder guarantees *eventual commit within
+/// the attempt budget* for bodies that do not themselves fail terminally
+/// (`cancel`, capacity, `max_attempts`): the serial rung cannot conflict,
+/// and injected faults never target irrevocable attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Failed attempts before moving to stronger backoff.
+    pub backoff_after: u64,
+    /// Failed attempts before moving to serial mode (the attempt budget).
+    pub serial_after: u64,
+    /// Wall-clock bound; when it elapses the next attempt jumps straight to
+    /// serial regardless of the attempt counters.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        EscalationPolicy { backoff_after: 4, serial_after: 16, deadline: None }
+    }
 }
 
 /// Fluent configuration for a transaction, obtained from [`Txn::build`].
@@ -104,6 +174,36 @@ impl TxnBuilder {
     /// the transaction re-executes anyway.
     pub fn retry_timeout(mut self, timeout: Duration) -> Self {
         self.opts.retry_timeout = timeout;
+        self
+    }
+
+    /// Install a graceful-degradation ladder (see [`EscalationPolicy`]).
+    pub fn escalation(mut self, policy: EscalationPolicy) -> Self {
+        self.opts.escalation = Some(policy);
+        self
+    }
+
+    /// Shorthand for an attempt budget: after `n` failed attempts the
+    /// transaction runs serially (and irrevocably) and therefore commits.
+    /// Installs a default ladder with `serial_after = n` and stronger
+    /// backoff from halfway there; composes with
+    /// [`deadline`](TxnBuilder::deadline).
+    pub fn attempt_budget(mut self, n: u64) -> Self {
+        let mut policy = self.opts.escalation.unwrap_or_default();
+        let n = n.max(1);
+        policy.serial_after = n;
+        policy.backoff_after = (n / 2).max(1);
+        self.opts.escalation = Some(policy);
+        self
+    }
+
+    /// Wall-clock bound on optimism: once `d` has elapsed since the
+    /// `atomic` call began, the next attempt jumps straight to the serial
+    /// rung. Installs a default [`EscalationPolicy`] if none is set.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        let mut policy = self.opts.escalation.unwrap_or_default();
+        policy.deadline = Some(d);
+        self.opts.escalation = Some(policy);
         self
     }
 
@@ -200,9 +300,12 @@ pub(crate) fn atomic_report<T>(
 ) -> Result<(T, TxnReport), TxnError> {
     let mut backoff = Backoff::new(opts.backoff);
     let mut report = TxnReport::default();
+    let mut rung = EscalationRung::Optimistic;
     // One relaxed load when metrics are off; the timestamp and the
-    // current-site scope exist only on the enabled path.
+    // current-site scope exist only on the enabled path. A second timestamp
+    // exists only when a wall-clock deadline is configured.
     let started = if obs::is_enabled() { Some(Instant::now()) } else { None };
+    let deadline_from = opts.escalation.and_then(|e| e.deadline.map(|d| (Instant::now(), d)));
     let _site_scope = obs::enter_site(opts.site);
 
     loop {
@@ -213,13 +316,53 @@ pub(crate) fn atomic_report<T>(
             }
         }
 
+        if let Some(policy) = opts.escalation {
+            let failed = report.attempts - 1;
+            let deadline_hit = matches!(deadline_from, Some((t0, d)) if t0.elapsed() >= d);
+            let target = if failed >= policy.serial_after || deadline_hit {
+                EscalationRung::Serial
+            } else if failed >= policy.backoff_after {
+                EscalationRung::StrongerBackoff
+            } else {
+                EscalationRung::Optimistic
+            };
+            while rung < target {
+                rung = rung.next();
+                report.escalations += 1;
+                stats::bump_escalations();
+                obs::note_escalation(opts.site);
+                if rung == EscalationRung::StrongerBackoff {
+                    backoff = Backoff::new(opts.backoff.escalated());
+                }
+            }
+        }
+
+        // Chaos: a forced conflict before the body runs. The serial rung is
+        // exempt so the ladder's eventual-commit guarantee holds even under
+        // a plan that fails every begin.
+        if rung != EscalationRung::Serial && chaos::should_inject(chaos::InjectionPoint::TxnBegin) {
+            handle_abort(
+                Abort::Conflict(ConflictKind::ReadValidation),
+                &mut backoff,
+                &mut report,
+                opts.site,
+            )?;
+            continue;
+        }
+
         let mut txn = Txn::begin(opts, report.attempts);
+        if rung == EscalationRung::Serial {
+            // At begin the read set is empty, so the irrevocability switch
+            // cannot fail validation.
+            txn.become_irrevocable().expect("irrevocable switch at begin cannot fail validation");
+        }
         let outcome = body(&mut txn);
 
         match outcome {
             Ok(value) => match txn.commit() {
                 Ok(()) => {
                     report.committed_irrevocably = txn.was_irrevocable();
+                    report.committed_rung = rung;
                     if let Some(started) = started {
                         obs::note_commit(
                             opts.site,

@@ -72,6 +72,10 @@ counters! {
     capacity_aborts,
     /// Commit-before-wait suspensions (transactional condition variables).
     waits,
+    /// Escalation-ladder rung promotions (graceful degradation).
+    escalations,
+    /// Faults injected by the chaos layer.
+    chaos_injected,
 }
 
 static COUNTERS: Counters = Counters {
@@ -85,6 +89,8 @@ static COUNTERS: Counters = Counters {
     irrevocable_entries: AtomicU64::new(0),
     capacity_aborts: AtomicU64::new(0),
     waits: AtomicU64::new(0),
+    escalations: AtomicU64::new(0),
+    chaos_injected: AtomicU64::new(0),
 };
 
 /// Take a snapshot of the global counters.
@@ -130,6 +136,8 @@ bump_fns! {
     bump_irrevocable => irrevocable_entries,
     bump_capacity => capacity_aborts,
     bump_waits => waits,
+    bump_escalations => escalations,
+    bump_chaos_injected => chaos_injected,
 }
 
 impl StatsSnapshot {

@@ -2,6 +2,7 @@
 //! abort, irrevocability, and integration hooks for external resources
 //! (revocable locks, transactional I/O).
 
+use crate::chaos;
 use crate::clock;
 use crate::contention::BackoffPolicy;
 use crate::error::{Abort, CapacityKind, ConflictKind, StmResult, WaitPoint};
@@ -83,6 +84,10 @@ pub struct TxnOptions {
     pub retry_timeout: Duration,
     /// Metrics attribution site (see [`crate::obs`]).
     pub site: SiteId,
+    /// Graceful-degradation ladder (see
+    /// [`EscalationPolicy`](crate::EscalationPolicy)); `None` = stay
+    /// optimistic forever.
+    pub escalation: Option<crate::runtime::EscalationPolicy>,
 }
 
 impl Default for TxnOptions {
@@ -97,6 +102,7 @@ impl Default for TxnOptions {
             overhead: OverheadModel::NONE,
             retry_timeout: Duration::from_millis(50),
             site: SiteId::UNATTRIBUTED,
+            escalation: None,
         }
     }
 }
@@ -307,6 +313,12 @@ impl Txn {
     pub(crate) fn read_raw(&mut self, var: &Arc<VarInner>) -> StmResult<Boxed> {
         charge(self.overhead.read_ns);
         self.check_killed()?;
+        // Chaos: a forced validation failure on the read path. Irrevocable
+        // transactions are exempt — like kills — because they cannot roll
+        // back.
+        if self.irrevocable.is_none() && chaos::should_inject(chaos::InjectionPoint::TxnRead) {
+            return Err(Abort::Conflict(ConflictKind::ReadValidation));
+        }
         if let Some(&i) = self.write_index.get(&var.id) {
             self.trace_access(var.id, trace::AccessKind::Read);
             return Ok(match self.policy {
@@ -563,6 +575,12 @@ impl Txn {
             return Ok(());
         }
 
+        // Chaos: a forced abort on entry to commit, before any orec is
+        // taken (models losing validation to a racing committer).
+        if chaos::should_inject(chaos::InjectionPoint::TxnPreCommit) {
+            return Err(Abort::Conflict(ConflictKind::ReadValidation));
+        }
+
         if self.policy == WritePolicy::Eager {
             return self.commit_eager();
         }
@@ -607,6 +625,17 @@ impl Txn {
             }
         }
 
+        // Chaos: die at the worst possible moment — validated, orecs
+        // locked, nothing published yet. The unlock path below must leave
+        // no trace of the attempt.
+        if chaos::should_inject(chaos::InjectionPoint::TxnWriteback) {
+            for &j in &locked {
+                self.write_set[j].var.unlock_orec(self.serial);
+            }
+            drop(guard);
+            return Err(Abort::Conflict(ConflictKind::OrecBusy));
+        }
+
         for w in &self.write_set {
             w.var.publish(w.value.clone(), wv);
         }
@@ -634,6 +663,13 @@ impl Txn {
                 drop(guard);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
+        }
+        // Chaos: abort with every in-place write still applied; the
+        // caller's rollback_eager must restore old values and release the
+        // orecs.
+        if chaos::should_inject(chaos::InjectionPoint::TxnWriteback) {
+            drop(guard);
+            return Err(Abort::Conflict(ConflictKind::OrecBusy));
         }
         for u in &self.undo_log {
             u.var.version.store(wv, Ordering::Release);

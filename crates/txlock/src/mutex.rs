@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use txfix_stm::chaos;
 use txfix_stm::trace;
 use txfix_stm::{Abort, StmResult, TxResource, Txn};
 
@@ -345,11 +346,32 @@ impl<T> TxMutex<T> {
             txn.enlist(Arc::new(TxnUnregister { thread: me }));
         }
 
+        // Chaos hooks (irrevocable transactions are exempt — they cannot
+        // roll back, so a forced failure here would be unrecoverable):
+        // fail the acquisition as if victimized, or widen the race window
+        // before it.
+        if !txn.is_irrevocable() {
+            if chaos::should_inject(chaos::InjectionPoint::LockAcquire) {
+                return Err(Abort::Deadlock);
+            }
+            if chaos::should_inject(chaos::InjectionPoint::LockDelay) {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+
         match self.raw.acquire(me, Some(&txn.kill_handle())) {
             Ok(()) => {
                 self.raw.holding_txn.store(txn.serial(), Ordering::Release);
                 txfix_stm::obs::note_lock_acquired();
                 txn.enlist(Arc::new(LockRelease { raw: self.raw.clone(), owner: me }));
+                // Chaos: spurious revocation of a lock we just acquired.
+                // The abort unwinds through LockRelease::abort, exercising
+                // the same release-on-revocation path a real preemption
+                // takes.
+                if !txn.is_irrevocable() && chaos::should_inject(chaos::InjectionPoint::LockRevoke)
+                {
+                    return Err(Abort::Deadlock);
+                }
                 Ok(())
             }
             Err(AcquireError::SelfVictim) => Err(Abort::Deadlock),

@@ -24,6 +24,7 @@ use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use txfix_stm::chaos;
 use txfix_stm::{StmResult, Txn};
 
 type Job = Box<dyn FnOnce() + Send>;
@@ -108,6 +109,11 @@ impl AsyncIo {
         completion: impl FnOnce(T) + Send + 'static,
     ) -> StmResult<()> {
         txfix_stm::obs::note_xcall();
+        // Chaos: fail the submission before the deferral is registered; the
+        // retried transaction submits exactly once.
+        if !txn.is_irrevocable() && chaos::should_inject(chaos::InjectionPoint::XcallAsync) {
+            return Err(txfix_stm::Abort::Restart);
+        }
         let this = self.clone();
         txn.on_commit(move || {
             this.enqueue(Box::new(move || completion(operation())));

@@ -10,7 +10,8 @@
 use crate::simos::SimFile;
 use std::fmt;
 use std::sync::Arc;
-use txfix_stm::{StmResult, Txn};
+use txfix_stm::chaos;
+use txfix_stm::{Abort, StmResult, Txn};
 use txfix_txlock::TxMutex;
 
 /// A pending (deferred) file mutation.
@@ -133,7 +134,11 @@ impl XFile {
         txfix_stm::obs::note_xcall();
         self.enter(txn)?;
         let bytes = bytes.to_vec();
-        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::Append(bytes)))
+        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::Append(bytes)))?;
+        // Chaos: the op is already buffered, so this abort makes the undo
+        // hook clear real state (and release the isolation lock).
+        self.inject_io_fault(txn)?;
+        Ok(())
     }
 
     /// Defer an absolute-offset write until the transaction commits.
@@ -145,7 +150,9 @@ impl XFile {
         txfix_stm::obs::note_xcall();
         self.enter(txn)?;
         let bytes = bytes.to_vec();
-        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::WriteAt(offset, bytes)))
+        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::WriteAt(offset, bytes)))?;
+        self.inject_io_fault(txn)?;
+        Ok(())
     }
 
     /// Read the file as this transaction sees it: committed content with
@@ -157,6 +164,7 @@ impl XFile {
     pub fn x_read_all(&self, txn: &mut Txn) -> StmResult<Vec<u8>> {
         txfix_stm::obs::note_xcall();
         self.enter(txn)?;
+        self.inject_io_fault(txn)?;
         let committed = self.inner.file.read_all();
         self.inner.lock.with_tx(txn, move |st| {
             let mut view = committed;
@@ -182,6 +190,26 @@ impl XFile {
     /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
     pub fn x_len(&self, txn: &mut Txn) -> StmResult<usize> {
         self.x_read_all(txn).map(|v| v.len())
+    }
+
+    /// Chaos hook shared by the file x-calls: a synthetic I/O failure that
+    /// aborts the transaction, driving the undo hook and the isolation-lock
+    /// release. Irrevocable transactions are exempt (they cannot abort).
+    fn inject_io_fault(&self, txn: &Txn) -> StmResult<()> {
+        if !txn.is_irrevocable() && chaos::should_inject(chaos::InjectionPoint::XcallFile) {
+            return Err(Abort::Restart);
+        }
+        Ok(())
+    }
+
+    /// Non-transactional diagnostic peek at the pending buffer: `(owner
+    /// serial, buffered op count)`, or `None` while a transaction holds the
+    /// isolation lock. After every transaction on the file has finished, a
+    /// correct undo path leaves `(0, 0)` — the leak-regression tests assert
+    /// exactly that.
+    pub fn pending_snapshot(&self) -> Option<(u64, usize)> {
+        let guard = self.inner.lock.try_lock()?;
+        Some((guard.owner, guard.ops.len()))
     }
 }
 

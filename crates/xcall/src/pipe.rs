@@ -9,6 +9,7 @@ use crate::simos::{OsError, SimPipe, SimSocket};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
+use txfix_stm::chaos;
 use txfix_stm::{StmResult, Txn, TxnKind};
 
 /// A transactional handle to a [`SimPipe`].
@@ -46,6 +47,11 @@ impl XPipe {
     /// for uniformity with the other x-calls.
     pub fn x_write(&self, txn: &mut Txn, bytes: &[u8]) -> StmResult<()> {
         txfix_stm::obs::note_xcall();
+        // Chaos: a synthetic failure *before* the write is deferred aborts
+        // the attempt, so the retried transaction defers it exactly once.
+        if !txn.is_irrevocable() && chaos::should_inject(chaos::InjectionPoint::XcallPipe) {
+            return Err(txfix_stm::Abort::Restart);
+        }
         let pipe = self.pipe.clone();
         let bytes = bytes.to_vec();
         txn.on_commit(move || {
@@ -70,6 +76,12 @@ impl XPipe {
         timeout: Duration,
     ) -> StmResult<Result<Vec<u8>, OsError>> {
         txfix_stm::obs::note_xcall();
+        // Chaos: an OS-level timeout, exactly as the pipe itself would
+        // surface one — the transaction keeps running and the caller deals
+        // with the error.
+        if chaos::should_inject(chaos::InjectionPoint::XcallPipe) {
+            return Ok(Err(OsError::TimedOut));
+        }
         match self.pipe.read(max, timeout) {
             Ok(bytes) => {
                 if !bytes.is_empty() {
@@ -86,6 +98,10 @@ impl XPipe {
     /// Non-blocking compensated read.
     pub fn x_try_read(&self, txn: &mut Txn, max: usize) -> StmResult<Option<Vec<u8>>> {
         txfix_stm::obs::note_xcall();
+        // Chaos: spurious "would block".
+        if chaos::should_inject(chaos::InjectionPoint::XcallPipe) {
+            return Ok(None);
+        }
         match self.pipe.try_read(max) {
             Some(bytes) => {
                 let pipe = self.pipe.clone();

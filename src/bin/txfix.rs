@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("lint") => lint_cmd(&args[1..]),
         Some("stress") => stress_cmd(&args[1..]),
+        Some("chaos") => chaos_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -69,10 +70,16 @@ fn usage() {
          \x20                              statically analyze critical-section summaries\n\
          \x20                              (default: all three variants) and verify the\n\
          \x20                              synthesized fix recipes; exits nonzero on findings\n\
-         \x20 stress [<key>|--all] [--secs N] [--threads 1,2,4,8] [--json]\n\
+         \x20 stress [<key>|--all] [--secs N] [--threads 1,2,4,8] [--seed S] [--json]\n\
          \x20                              sustain open-ended load against the dev and TM\n\
          \x20                              fix variants, report throughput / abort rate /\n\
          \x20                              latency percentiles, and write BENCH_stm.json\n\
+         \x20 chaos [<key>|--all] [--seed S] [--threads N] [--ops N] [--json]\n\
+         \x20                              sweep seeded fault-injection schedules over the\n\
+         \x20                              corpus scenarios (dev and tm) under concurrent\n\
+         \x20                              load, assert invariants after every run, and\n\
+         \x20                              write CHAOS_stm.json; exits nonzero on any\n\
+         \x20                              violation; bit-for-bit reproducible per seed\n\
          \x20 help                         this message"
     );
 }
@@ -376,6 +383,10 @@ fn stress_cmd(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
+                Some(s) => cfg.seed = s,
+                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
+            },
             "--json" => json = true,
             other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
             other => return usage_error(&format!("unknown option `{other}`")),
@@ -441,6 +452,101 @@ fn stress_cmd(args: &[String]) -> ExitCode {
         println!("\nwrote BENCH_stm.json and {per_run}");
     }
     ExitCode::SUCCESS
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn chaos_cmd(args: &[String]) -> ExitCode {
+    use txfix::bench::chaos;
+
+    let mut cfg = chaos::ChaosConfig::default();
+    let mut key: Option<String> = None;
+    let mut all = false;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--all" => all = true,
+            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
+                Some(s) => cfg.seed = s,
+                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
+            },
+            "--threads" => match rest.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(t) if t > 0 => cfg.threads = t,
+                _ => return usage_error("--threads takes a positive integer"),
+            },
+            "--ops" => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => cfg.ops_per_thread = n,
+                _ => return usage_error("--ops takes a positive integer"),
+            },
+            "--json" => json = true,
+            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    if !all {
+        let Some(k) = key else {
+            return usage_error("chaos needs a scenario key or --all, e.g. `txfix chaos --all`");
+        };
+        let Some(&k) = chaos::SCENARIOS.iter().find(|&&s| s == k) else {
+            return usage_error(&format!(
+                "no chaos scenario `{k}` (available: {})",
+                chaos::SCENARIOS.join(", ")
+            ));
+        };
+        cfg.scenarios = vec![k];
+    }
+
+    let runs = chaos::run_chaos(&cfg);
+    let doc = chaos::chaos_report(&cfg, &runs);
+    let rendered = doc.to_json();
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "{:22} {:14} {:4} {:>3}  {:>7}  verdict",
+            "scenario", "schedule", "var", "thr", "ops"
+        );
+        for r in &runs {
+            let verdict = if r.passed() { "ok".to_string() } else { r.violations.join("; ") };
+            println!(
+                "{:22} {:14} {:4} {:>3}  {:>7}  {}",
+                r.scenario, r.schedule, r.variant, r.threads, r.ops, verdict
+            );
+        }
+    }
+
+    if let Err(e) = std::fs::write("CHAOS_stm.json", format!("{rendered}\n")) {
+        eprintln!("error: cannot write CHAOS_stm.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let per_run = format!("results/CHAOS_stm_{stamp}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
+    {
+        eprintln!("error: cannot write {per_run}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("\nwrote CHAOS_stm.json and {per_run}");
+    }
+    if runs.iter().all(chaos::ChaosRun::passed) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: chaos sweep observed invariant violations");
+        ExitCode::FAILURE
+    }
 }
 
 fn scenario(args: &[String]) -> ExitCode {

@@ -101,6 +101,45 @@ fn lint_json_parses_back_into_reports() {
 }
 
 #[test]
+fn chaos_sweep_is_deterministic_and_writes_the_report() {
+    // Run in a scratch directory so the report artifacts land there, not
+    // in the repo root.
+    let dir = std::env::temp_dir().join(format!("txfix-chaos-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_txfix"))
+            .args([
+                "chaos",
+                "av_stats_race",
+                "--seed",
+                "11",
+                "--threads",
+                "2",
+                "--ops",
+                "60",
+                "--json",
+            ])
+            .current_dir(&dir)
+            .output()
+            .expect("run txfix chaos");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "fixed seed must reproduce bit-for-bit");
+    let doc = txfix::recipes::json::Json::parse(first.trim()).expect("valid JSON");
+    let obj = doc.object("chaos report").expect("object");
+    assert_eq!(obj["schema"].string("schema").unwrap(), "txfix-chaos-v1");
+    assert!(obj["passed"].bool("passed").unwrap());
+    let runs = obj["runs"].array("runs").expect("runs array");
+    assert_eq!(runs.len(), 2 * 5, "one scenario x 5 schedules x dev/tm");
+    let on_disk = std::fs::read_to_string(dir.join("CHAOS_stm.json")).expect("report written");
+    assert_eq!(on_disk.trim(), first.trim(), "stdout and CHAOS_stm.json agree");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_input_fails_with_usage() {
     let (_, ok) = txfix(&["show"]);
     assert!(!ok);
