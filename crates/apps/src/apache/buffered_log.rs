@@ -15,8 +15,9 @@
 //!   the function, same per-log concurrency as the fine-grained locks.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use txfix_stm::trace::TracedCell;
 use txfix_stm::{OverheadModel, TVar, Txn, TxnBuilder};
 use txfix_txlock::TxMutex;
 use txfix_xcall::{SimFile, SimFs, XFile};
@@ -36,7 +37,13 @@ pub trait LogWriter: Send + Sync + fmt::Debug {
 /// The shipped, racy writer.
 pub struct BuggyBufferedLog {
     buf: Vec<AtomicU8>,
-    output_count: AtomicUsize,
+    /// `buf->outcnt` — a plain, unsynchronized cursor. Traced so the
+    /// dynamic analyzers and the deterministic scheduler both observe the
+    /// racy accesses.
+    output_count: TracedCell,
+    /// Version stamp of the buffer contents, bumped once per record write —
+    /// the traced face of the equally unsynchronized `buf->outbuf` bytes.
+    buf_stamp: TracedCell,
     file: Arc<SimFile>,
     /// Spin iterations inserted in the racy window so tests expose the
     /// interleaving reliably (0 in benchmarks).
@@ -47,7 +54,7 @@ impl fmt::Debug for BuggyBufferedLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BuggyBufferedLog")
             .field("capacity", &self.buf.len())
-            .field("output_count", &self.output_count.load(Ordering::Relaxed))
+            .field("output_count", &self.output_count.peek())
             .finish()
     }
 }
@@ -57,7 +64,8 @@ impl BuggyBufferedLog {
     pub fn new(fs: &SimFs, path: &str, capacity: usize, racy_window_spins: u32) -> Self {
         BuggyBufferedLog {
             buf: (0..capacity).map(|_| AtomicU8::new(0)).collect(),
-            output_count: AtomicUsize::new(0),
+            output_count: TracedCell::new("apache2.log_cursor", 0),
+            buf_stamp: TracedCell::new("apache2.log_buf", 0),
             file: fs.open_or_create(path),
             racy_window_spins,
         }
@@ -67,14 +75,14 @@ impl BuggyBufferedLog {
         let snapshot: Vec<u8> =
             self.buf[..len.min(self.buf.len())].iter().map(|b| b.load(Ordering::Relaxed)).collect();
         self.file.append(&snapshot);
-        self.output_count.store(0, Ordering::Relaxed);
+        self.output_count.store(0);
     }
 }
 
 impl LogWriter for BuggyBufferedLog {
     fn write_record(&self, record: &[u8]) {
         // if (len + buf->outcnt > LOG_BUFSIZE) flush(buf);
-        let mut cnt = self.output_count.load(Ordering::Relaxed);
+        let mut cnt = self.output_count.load() as usize;
         if cnt + record.len() > self.buf.len() {
             self.flush_range(cnt);
             cnt = 0;
@@ -83,18 +91,25 @@ impl LogWriter for BuggyBufferedLog {
         for _ in 0..self.racy_window_spins {
             std::hint::spin_loop();
         }
+        if self.racy_window_spins > 0 {
+            // On a single-core host spinning alone rarely gets preempted
+            // mid-window; hand the timeslice over so the interleaving the
+            // window models actually occurs.
+            std::thread::yield_now();
+        }
         // memcpy(&buf->outbuf[buf->outcnt], str, len);
         for (i, &b) in record.iter().enumerate() {
             if cnt + i < self.buf.len() {
                 self.buf[cnt + i].store(b, Ordering::Relaxed);
             }
         }
+        self.buf_stamp.store(self.buf_stamp.peek() + 1);
         // buf->outcnt += len;  — as a plain, non-atomic-increment store.
-        self.output_count.store((cnt + record.len()).min(self.buf.len()), Ordering::Relaxed);
+        self.output_count.store(((cnt + record.len()).min(self.buf.len())) as u64);
     }
 
     fn flush(&self) {
-        let cnt = self.output_count.load(Ordering::Relaxed);
+        let cnt = self.output_count.load() as usize;
         self.flush_range(cnt);
     }
 

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use txfix_core::wrap_unprotected_atomic;
+use txfix_stm::trace::TracedCell;
 use txfix_tmsync::{SerialDomain, SerialMutex};
 
 /// One table row.
@@ -58,6 +59,12 @@ pub struct MiniDb {
     lock_open: SerialMutex<()>,
     tables: Vec<SerialMutex<Vec<Row>>>,
     binlog: Mutex<Vec<BinlogEntry>>,
+    /// Version stamp of the binlog, bumped once per appended record. The
+    /// correct paths bump it atomically inside their critical sections; the
+    /// buggy delete bumps it with a plain read-then-write outside any lock,
+    /// which is exactly the unserialized window the analyzers (and the
+    /// deterministic scheduler) need to observe.
+    binlog_stamp: TracedCell,
     /// Spin-width of the buggy unlock-to-log window (tests widen it).
     racy_window_spins: u32,
     /// Simulated per-row storage-engine work.
@@ -90,6 +97,7 @@ impl MiniDb {
             tables: (0..tables).map(|_| SerialMutex::new(domain.clone(), Vec::new())).collect(),
             domain,
             binlog: Mutex::new(Vec::new()),
+            binlog_stamp: TracedCell::new("mysql1.binlog", 0),
             racy_window_spins: 0,
             row_cost_spins: 200,
         }
@@ -132,6 +140,7 @@ impl MiniDb {
         spin(self.row_cost_spins);
         rows.push((id, val));
         self.binlog.lock().push(BinlogEntry::Insert { table: t, id, val });
+        self.binlog_stamp.fetch_add(1);
     }
 
     /// `DELETE FROM tables[t]` — the buggy/fixed path, per variant.
@@ -148,8 +157,10 @@ impl MiniDb {
                     spin(self.row_cost_spins);
                     rows.clear();
                 } // table lock released here — too early!
+                let logged = self.binlog_stamp.load();
                 spin(self.racy_window_spins);
                 self.binlog.lock().push(BinlogEntry::DeleteAll { table: t });
+                self.binlog_stamp.store(logged + 1);
             }
             MysqlVariant::DevFix => {
                 // The un-optimized path: table lock held through the log
@@ -163,6 +174,7 @@ impl MiniDb {
                 spin(self.row_cost_spins);
                 rows.clear();
                 self.binlog.lock().push(BinlogEntry::DeleteAll { table: t });
+                self.binlog_stamp.fetch_add(1);
             }
             MysqlVariant::TmRecipe4 => {
                 // Recipe 4: local to this (rare) operation, no knowledge of
@@ -178,6 +190,7 @@ impl MiniDb {
                     rows.clear();
                     drop(rows);
                     self.binlog.lock().push(BinlogEntry::DeleteAll { table: t });
+                    self.binlog_stamp.fetch_add(1);
                     Ok(())
                 });
             }
@@ -200,8 +213,10 @@ impl MiniDb {
                     spin(self.row_cost_spins);
                     rows.clear();
                 }
+                let logged = self.binlog_stamp.load();
                 window(); // the INSERT (and its log record) lands here
                 self.binlog.lock().push(BinlogEntry::DeleteAll { table: t });
+                self.binlog_stamp.store(logged + 1);
             }
             MysqlVariant::DevFix | MysqlVariant::TmRecipe4 => {
                 window();

@@ -13,6 +13,7 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use txfix_stm::trace;
 use txfix_txlock::TxMutex;
 
 /// Buggy protocol or the developers' fix.
@@ -34,6 +35,11 @@ struct Title {
     wanted: AtomicU64,
     m: Mutex<()>,
     cv: Condvar,
+    /// Trace identity: the title is a lock, and recording its
+    /// acquire/release lets the trace analyzers see the claim-while-holding
+    /// cycle that the lock-only live validator cannot (titles are not
+    /// `TxMutex`es).
+    trace_id: u64,
 }
 
 impl Title {
@@ -43,6 +49,7 @@ impl Title {
             wanted: AtomicU64::new(0),
             m: Mutex::new(()),
             cv: Condvar::new(),
+            trace_id: trace::next_object_id(),
         }
     }
 
@@ -58,6 +65,7 @@ impl Title {
 
     fn release(&self, me: u64) {
         if self.owner.compare_exchange(me, 0, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            trace::emit(trace::EventKind::LockReleased { lock: self.trace_id });
             let _g = self.m.lock();
             self.cv.notify_all();
         }
@@ -124,7 +132,7 @@ impl OwnershipStore {
     pub fn new(mode: OwnershipMode, objects: usize, slots: usize) -> OwnershipStore {
         OwnershipStore {
             mode,
-            set_slot_lock: TxMutex::new("setSlotLock", ()),
+            set_slot_lock: TxMutex::new("moz1.scope", ()),
             objects: (0..objects)
                 .map(|_| ObjEntry { title: Title::new(), slots: UnsafeCell::new(vec![0; slots]) })
                 .collect(),
@@ -155,13 +163,32 @@ impl OwnershipStore {
     fn own(&self, thread: usize, obj: usize) -> bool {
         let me = Self::me(thread);
         let t = &self.objects[obj].title;
-        if t.try_fast(me) {
-            return true;
+        if t.owner.load(Ordering::Acquire) == me {
+            return true; // already the owner: no new acquisition to record
         }
-        self.wanted_total.fetch_add(1, Ordering::AcqRel);
-        let got = t.claim(me, self.claim_timeout);
-        self.wanted_total.fetch_sub(1, Ordering::AcqRel);
+        // Dev-fix claims are revocable in the Recipe-3 sense (the protocol
+        // relinquishes every owned title before blocking), so their edges
+        // never complete a reportable lock-order cycle.
+        if trace::is_enabled() {
+            trace::emit(trace::EventKind::LockAttempt {
+                lock: t.trace_id,
+                name: "moz1.title".to_string(),
+                preemptible: self.mode == OwnershipMode::DevFix,
+            });
+        }
+        let got = t.try_fast(me) || {
+            self.wanted_total.fetch_add(1, Ordering::AcqRel);
+            let got = t.claim(me, self.claim_timeout);
+            self.wanted_total.fetch_sub(1, Ordering::AcqRel);
+            got
+        };
         if got {
+            if trace::is_enabled() {
+                trace::emit(trace::EventKind::LockAcquired {
+                    lock: t.trace_id,
+                    name: "moz1.title".to_string(),
+                });
+            }
             return true;
         }
         self.deadlock_timeouts.fetch_add(1, Ordering::Relaxed);

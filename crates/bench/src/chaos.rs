@@ -21,6 +21,7 @@
 //! backoff-jitter RNG) is pinned from the run seed via
 //! [`seed_backoff_rng`](txfix_stm::seed_backoff_rng).
 
+use crate::pool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -196,7 +197,7 @@ pub fn run_cell(
         threads: cfg.threads.max(1),
         ops: cfg.ops_per_thread.max(1),
         seed: cell_seed,
-        violations: parking_lot::Mutex::new(Vec::new()),
+        sink: pool::ViolationSink::new(),
     };
     let total_ops = match scenario {
         "av_stats_race" => av_stats_race(&cell, tm),
@@ -213,7 +214,7 @@ pub fn run_cell(
         schedule,
         threads: cfg.threads,
         ops: total_ops,
-        violations: cell.violations.into_inner(),
+        violations: cell.sink.into_violations(),
     }
 }
 
@@ -233,12 +234,12 @@ struct Cell {
     threads: usize,
     ops: u64,
     seed: u64,
-    violations: parking_lot::Mutex<Vec<String>>,
+    sink: pool::ViolationSink,
 }
 
 impl Cell {
     fn violate(&self, msg: String) {
-        self.violations.lock().push(msg);
+        self.sink.violate(msg);
     }
 
     /// Every transactional body in the harness runs under this builder:
@@ -269,22 +270,7 @@ impl Cell {
     /// `self.ops` times, with the backoff RNG pinned per worker. Returns
     /// total ops executed.
     fn drive(&self, workers: usize, op: impl Fn(usize, u64) + Sync) -> u64 {
-        std::thread::scope(|s| {
-            for t in 0..workers {
-                let op = &op;
-                let seed = self.seed;
-                let ops = self.ops;
-                s.spawn(move || {
-                    txfix_stm::seed_backoff_rng(splitmix64(
-                        seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    ));
-                    for i in 0..ops {
-                        op(t, i);
-                    }
-                });
-            }
-        });
-        workers as u64 * self.ops
+        pool::run_fixed(workers, self.ops, self.seed, op)
     }
 }
 
@@ -705,9 +691,7 @@ fn async_once(cell: &Cell, tm: bool) -> u64 {
 }
 
 fn check_eq<T: PartialEq + std::fmt::Debug>(cell: &Cell, what: &str, got: T, want: T) {
-    if got != want {
-        cell.violate(format!("{what}: got {got:?}, want {want:?}"));
-    }
+    cell.sink.check_eq(what, got, want);
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 
 pub mod cases;
 pub mod chaos;
+pub mod pool;
 pub mod stress;
 
 pub use cases::{

@@ -19,14 +19,13 @@
 //! Scenario keys mirror the corpus scenarios they stress; each has a
 //! `dev` (developers' fix) and `tm` (TM fix) variant.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use crate::pool;
 use txfix_apps::apache::buffered_log::make_record;
 use txfix_apps::apache::{LockedBufferedLog, LogWriter, TmBufferedLog};
 use txfix_apps::mysql::{MiniDb, MysqlVariant};
 use txfix_apps::spidermonkey::{ObjectStore, OwnershipMode, OwnershipStore, StmStore};
 use txfix_core::json::{Json, ToJson};
-use txfix_stm::obs::{self, HistogramSnapshot, HIST_BUCKETS};
+use txfix_stm::obs;
 use txfix_stm::{OverheadModel, TVar, Txn};
 use txfix_txlock::TxMutex;
 use txfix_xcall::SimFs;
@@ -176,9 +175,8 @@ pub fn run_one(
     }
 }
 
-/// The shared driver: spawn workers looping `op(thread, iteration)` until
-/// the deadline, with per-op latency recorded into log₂ buckets, then
-/// take a quiescent observability delta.
+/// The shared driver: run a deadline-bounded worker pool
+/// ([`pool::run_timed`]), then take a quiescent observability delta.
 fn drive(
     scenario: &'static str,
     variant: &'static str,
@@ -188,39 +186,7 @@ fn drive(
     op: impl Fn(usize, u64) + Sync,
 ) -> StressRun {
     let before = obs::snapshot();
-    let stop = AtomicBool::new(false);
-    let total_ops = AtomicU64::new(0);
-    let hist = parking_lot::Mutex::new([0u64; HIST_BUCKETS]);
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let (stop, total_ops, hist, op) = (&stop, &total_ops, &hist, &op);
-            s.spawn(move || {
-                // Pin the worker's only implicit randomized state — the
-                // backoff-jitter RNG — to the run seed and worker index.
-                txfix_stm::seed_backoff_rng(txfix_stm::chaos::splitmix64(
-                    seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ));
-                let mut local = [0u64; HIST_BUCKETS];
-                let mut i = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    let t0 = Instant::now();
-                    op(t, i);
-                    let ns = t0.elapsed().as_nanos() as u64;
-                    local[obs::bucket_index(ns)] += 1;
-                    i += 1;
-                }
-                total_ops.fetch_add(i, Ordering::Relaxed);
-                let mut h = hist.lock();
-                for (merged, l) in h.iter_mut().zip(local) {
-                    *merged += l;
-                }
-            });
-        }
-        std::thread::sleep(Duration::from_secs_f64(secs));
-        stop.store(true, Ordering::Relaxed);
-    });
-    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let timed = pool::run_timed(threads, secs, seed, op);
     // Workers are joined: the delta is over a quiescent boundary and exact.
     let delta = obs::snapshot().delta(&before);
     let (mut commits, mut aborts, mut revocations, mut xcalls) = (0u64, 0u64, 0u64, 0u64);
@@ -230,17 +196,16 @@ fn drive(
         revocations += site.lock_revocations;
         xcalls += site.xcalls;
     }
-    let latency = HistogramSnapshot { counts: *hist.lock() };
-    let ops = total_ops.into_inner();
+    let ops = timed.ops;
     StressRun {
         scenario,
         variant,
         threads,
-        elapsed_secs: elapsed,
+        elapsed_secs: timed.elapsed_secs,
         ops,
-        ops_per_sec: ops as f64 / elapsed,
-        p50_ns: latency.percentile(0.50),
-        p99_ns: latency.percentile(0.99),
+        ops_per_sec: ops as f64 / timed.elapsed_secs,
+        p50_ns: timed.latency.percentile(0.50),
+        p99_ns: timed.latency.percentile(0.99),
         commits,
         aborts,
         abort_rate: if commits + aborts == 0 {

@@ -23,7 +23,10 @@ pub mod scenarios;
 pub mod summaries;
 
 pub use dataset::{all_bugs, bug_by_id, bug_by_scenario, keys};
-pub use scenarios::{all_scenarios, scenario_by_key, BugScenario, Outcome, Variant};
+pub use scenarios::{
+    all_scenarios, scenario_by_key, scheduled_by_key, scheduled_scenarios, BugScenario, Outcome,
+    ScheduledRun, ScheduledScenario, Variant,
+};
 pub use summaries::summary_for;
 
 #[cfg(test)]

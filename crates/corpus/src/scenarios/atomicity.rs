@@ -659,10 +659,12 @@ impl BugScenario for LogSequence {
             Variant::Buggy => {
                 let file = fs.open_or_create("seq.log");
                 let seq = TracedCell::new("a29850.seq", 1);
+                let log_stamp = TracedCell::new("a29850.log", 0);
                 two_threads(|_t, barrier| {
                     let n = seq.load();
                     barrier.wait();
                     file.append(format!("seq={n};").as_bytes());
+                    log_stamp.store(log_stamp.peek() + 1);
                     seq.store(n + 1);
                 });
                 let data = String::from_utf8(file.read_all()).expect("utf8 log");
@@ -825,7 +827,26 @@ impl BugScenario for MySqlI {
         let db = MiniDb::new(v, 1);
         db.insert(0, 1, 10);
         db.insert(0, 2, 20);
-        db.delete_all_hooked(0, || db.insert(0, 99, 99));
+        // The INSERT runs on its own thread, gated into the hook's window,
+        // so the interleaving is concurrent (the trace analyzers see the
+        // unordered accesses) yet fully deterministic.
+        let gate = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let (db, gate) = (&db, &gate);
+            s.spawn(move || {
+                while gate.load(Ordering::Acquire) == 0 {
+                    std::hint::spin_loop();
+                }
+                db.insert(0, 99, 99);
+                gate.store(2, Ordering::Release);
+            });
+            db.delete_all_hooked(0, || {
+                gate.store(1, Ordering::Release);
+                while gate.load(Ordering::Acquire) != 2 {
+                    std::hint::spin_loop();
+                }
+            });
+        });
         if !consistent_with_binlog(&db) {
             return Outcome::BugObserved("binlog replay diverges from the server's tables".into());
         }

@@ -14,6 +14,9 @@
 
 mod atomicity;
 mod deadlock;
+pub mod scheduled;
+
+pub use scheduled::{scheduled_by_key, scheduled_scenarios, ScheduledRun, ScheduledScenario};
 
 use std::fmt;
 

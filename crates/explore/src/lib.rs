@@ -1,0 +1,262 @@
+//! Systematic schedule exploration for the txfix corpus.
+//!
+//! Stress and chaos testing sample schedules; this crate *enumerates*
+//! them. Scenarios from the scheduled corpus
+//! ([`txfix_corpus::scheduled_scenarios`]) run under the cooperative
+//! deterministic scheduler in [`txfix_stm::sched`], which virtualizes
+//! every synchronization point (transactional reads/writes/commits, lock
+//! acquire/release, condvar wait/notify, traced shared accesses, chaos
+//! injection points) and hands the interleaving decision to a pluggable
+//! *picker*. Two strategies drive it:
+//!
+//! - [`dfs`]: bounded exhaustive depth-first search with sleep-set
+//!   partial-order reduction — proves absence of bugs in the explored
+//!   (reduced) space, exhausts small scenarios outright;
+//! - [`pct`]: seeded random-priority scheduling with a preemption bound —
+//!   probabilistically digs out shallow races in a few hundred runs.
+//!
+//! Every failure is replayable bit-for-bit from its decision trace
+//! ([`runner::replay_picker`]), and is greedily minimized
+//! ([`minimize`]) before being reported, so the printed schedule contains
+//! only the context switches that matter.
+
+pub mod dfs;
+pub mod minimize;
+pub mod pct;
+pub mod report;
+pub mod runner;
+
+use report::{EntryReport, ExploreReport, FailureReport};
+use runner::{RunResult, ScheduleOutcome, DEFAULT_MAX_STEPS};
+use txfix_corpus::{scheduled_scenarios, ScheduledScenario, Variant};
+use txfix_stm::sched::{self, format_trace};
+
+/// Which exploration strategy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bounded exhaustive DFS with sleep-set partial-order reduction.
+    Dfs,
+    /// Seeded PCT-style random-priority scheduling.
+    Pct,
+}
+
+impl Strategy {
+    /// The name used in reports and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Dfs => "dfs",
+            Strategy::Pct => "pct",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "dfs" => Some(Strategy::Dfs),
+            "pct" => Some(Strategy::Pct),
+            _ => None,
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Strategy to drive schedules with.
+    pub strategy: Strategy,
+    /// Maximum schedules per (scenario, variant).
+    pub budget: u64,
+    /// Base seed (PCT only; recorded either way).
+    pub seed: u64,
+    /// Per-schedule step bound.
+    pub max_steps: u64,
+    /// PCT preemption bound (`d`).
+    pub pct_depth: u32,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            strategy: Strategy::Dfs,
+            budget: 2_000,
+            seed: 0,
+            max_steps: DEFAULT_MAX_STEPS,
+            pct_depth: 3,
+        }
+    }
+}
+
+/// Short variant name for reports and the CLI (`buggy` / `dev` / `tm`).
+pub fn variant_short(v: Variant) -> &'static str {
+    match v {
+        Variant::Buggy => "buggy",
+        Variant::DevFix => "dev",
+        Variant::TmFix => "tm",
+    }
+}
+
+/// Parse a CLI variant name.
+pub fn variant_parse(s: &str) -> Option<Variant> {
+    match s {
+        "buggy" => Some(Variant::Buggy),
+        "dev" => Some(Variant::DevFix),
+        "tm" => Some(Variant::TmFix),
+        _ => None,
+    }
+}
+
+/// Raw result of exploring one (scenario, variant).
+struct Exploration {
+    schedules: u64,
+    pruned: u64,
+    step_limited: u64,
+    exhausted: bool,
+    failure: Option<ScheduleOutcome>,
+}
+
+fn drive(
+    build: &dyn Fn(Variant) -> txfix_corpus::ScheduledRun,
+    variant: Variant,
+    cfg: &ExploreConfig,
+) -> Exploration {
+    match cfg.strategy {
+        Strategy::Dfs => {
+            let out = dfs::explore_dfs(build, variant, cfg.budget, cfg.max_steps);
+            Exploration {
+                schedules: out.schedules,
+                pruned: out.pruned,
+                step_limited: out.step_limited,
+                exhausted: out.exhausted,
+                failure: out.failure,
+            }
+        }
+        Strategy::Pct => {
+            let params = pct::PctParams { seed: cfg.seed, depth: cfg.pct_depth, steps_hint: 64 };
+            let mut ex = Exploration {
+                schedules: 0,
+                pruned: 0,
+                step_limited: 0,
+                exhausted: false,
+                failure: None,
+            };
+            for index in 0..cfg.budget {
+                let outcome = runner::run_schedule(
+                    build(variant),
+                    cfg.max_steps,
+                    pct::pct_picker(params, index),
+                );
+                ex.schedules += 1;
+                match outcome.result {
+                    RunResult::StepLimit => ex.step_limited += 1,
+                    RunResult::Bug(_) => {
+                        ex.failure = Some(outcome);
+                        break;
+                    }
+                    RunResult::Pass | RunResult::Pruned => {}
+                }
+            }
+            ex
+        }
+    }
+}
+
+/// Explore one (scenario, variant) and report against its expectation:
+/// buggy variants must break within budget, fixed variants must survive
+/// every explored schedule.
+pub fn explore_variant(
+    scenario: &dyn ScheduledScenario,
+    variant: Variant,
+    cfg: &ExploreConfig,
+) -> EntryReport {
+    let build = |v: Variant| scenario.build(v);
+    // The scheduler is process-global: hold its gate for the whole
+    // exploration (including minimization re-executions).
+    sched::run_exclusively(|| {
+        let ex = drive(&build, variant, cfg);
+        let failure = ex.failure.map(|raw| {
+            let found_after = ex.schedules;
+            // Greedily strip incidental context switches before reporting.
+            let slots: Vec<usize> = raw.log.events.iter().map(|&(s, _)| s).collect();
+            let minimized =
+                minimize::minimize_failure(&build, variant, cfg.max_steps, slots).unwrap_or(raw);
+            let message = match &minimized.result {
+                RunResult::Bug(m) => m.clone(),
+                _ => unreachable!("minimizer only returns failing runs"),
+            };
+            FailureReport {
+                message,
+                trace: format_trace(&minimized.log.trace()),
+                depth: minimized.log.decisions.len() as u64,
+                preemptions: minimized.log.preemptions(),
+                found_after,
+            }
+        });
+        let ok = match variant {
+            Variant::Buggy => failure.is_some(),
+            Variant::DevFix | Variant::TmFix => failure.is_none(),
+        };
+        EntryReport {
+            key: scenario.key().to_string(),
+            variant: variant_short(variant).to_string(),
+            schedules: ex.schedules,
+            pruned: ex.pruned,
+            step_limited: ex.step_limited,
+            exhausted: ex.exhausted,
+            failure,
+            ok,
+        }
+    })
+}
+
+/// Replay a recorded decision trace against a scenario variant and return
+/// the outcome — the determinism check behind "replayable bit-for-bit".
+pub fn replay(
+    scenario: &dyn ScheduledScenario,
+    variant: Variant,
+    max_steps: u64,
+    trace: &[usize],
+) -> ScheduleOutcome {
+    sched::run_exclusively(|| {
+        runner::run_schedule(
+            scenario.build(variant),
+            max_steps,
+            runner::replay_picker(trace.to_vec()),
+        )
+    })
+}
+
+/// Sweep scenarios (all, or the ones named in `keys`) across the
+/// requested variants.
+pub fn explore_corpus(
+    keys: Option<&[String]>,
+    variants: &[Variant],
+    cfg: &ExploreConfig,
+) -> Result<ExploreReport, String> {
+    let scenarios = scheduled_scenarios();
+    let selected: Vec<_> = match keys {
+        None => scenarios,
+        Some(ks) => {
+            for k in ks {
+                if !scenarios.iter().any(|s| s.key() == k) {
+                    return Err(format!(
+                        "no scheduled scenario '{k}' (have: {})",
+                        scenarios.iter().map(|s| s.key()).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+            scenarios.into_iter().filter(|s| ks.iter().any(|k| k == s.key())).collect()
+        }
+    };
+    let mut entries = Vec::new();
+    for scenario in &selected {
+        for &variant in variants {
+            entries.push(explore_variant(scenario.as_ref(), variant, cfg));
+        }
+    }
+    Ok(ExploreReport {
+        strategy: cfg.strategy.name().to_string(),
+        budget: cfg.budget,
+        seed: cfg.seed,
+        entries,
+    })
+}

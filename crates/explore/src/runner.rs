@@ -1,0 +1,98 @@
+//! Execute one scheduled run of a corpus scenario under a picker.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use txfix_corpus::{Outcome, ScheduledRun};
+use txfix_stm::sched::{self, Picker, RunLog, SchedStop, StopReason};
+
+/// What one explored schedule amounted to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunResult {
+    /// Every thread finished and the invariant held.
+    Pass,
+    /// The bug manifested: a broken invariant, a deadlock (every live
+    /// thread blocked), or a panic in scenario code.
+    Bug(String),
+    /// The picker abandoned the schedule as redundant (sleep sets).
+    Pruned,
+    /// The per-schedule step bound was exceeded — inconclusive.
+    StepLimit,
+}
+
+/// One executed schedule: the scheduler's record plus the verdict.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// The decision/event record (replayable via [`RunLog::trace`]).
+    pub log: RunLog,
+    /// The verdict.
+    pub result: RunResult,
+}
+
+/// Default per-schedule step bound; corpus scenarios take well under a
+/// hundred steps, so hitting this means a livelock.
+pub const DEFAULT_MAX_STEPS: u64 = 20_000;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one schedule of `run` under `picker`.
+///
+/// Must be called with the scheduler's exclusivity gate held (strategies
+/// wrap whole explorations in [`sched::run_exclusively`]); runs are
+/// process-global.
+pub fn run_schedule(run: ScheduledRun, max_steps: u64, picker: Picker) -> ScheduleOutcome {
+    let ScheduledRun { threads, check } = run;
+    sched::begin_run(threads.len(), max_steps, picker);
+    std::thread::scope(|s| {
+        for (slot, body) in threads.into_iter().enumerate() {
+            s.spawn(move || {
+                sched::register(slot);
+                match catch_unwind(AssertUnwindSafe(body)) {
+                    Ok(()) => sched::finish(),
+                    Err(payload) => {
+                        // `SchedStop` is the scheduler tearing the run
+                        // down (deadlock/prune/abort), not a failure of
+                        // the scenario itself.
+                        if payload.downcast_ref::<SchedStop>().is_none() {
+                            sched::abort_run(panic_message(payload.as_ref()));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let log = sched::end_run();
+    let result = match &log.stop {
+        Some(StopReason::Deadlock(blocked)) => {
+            RunResult::Bug(format!("deadlock: {}", blocked.join("; ")))
+        }
+        Some(StopReason::Panic(msg)) => RunResult::Bug(format!("panic: {msg}")),
+        Some(StopReason::Pruned) => RunResult::Pruned,
+        Some(StopReason::StepLimit) => RunResult::StepLimit,
+        None => match check() {
+            Outcome::Correct => RunResult::Pass,
+            Outcome::BugObserved(msg) => RunResult::Bug(msg),
+        },
+    };
+    ScheduleOutcome { log, result }
+}
+
+/// A picker that replays a recorded decision trace (candidate indices)
+/// bit-for-bit. Past the end of the trace — or if the run diverges and an
+/// index is out of range — it falls back to the lowest-slot candidate,
+/// which keeps replay total (a diverged replay then simply runs some
+/// schedule instead of crashing the harness).
+pub fn replay_picker(trace: Vec<usize>) -> Picker {
+    let mut next = 0usize;
+    Box::new(move |cands| {
+        let i = trace.get(next).copied().unwrap_or(0);
+        next += 1;
+        sched::Pick::Choose(if i < cands.len() { i } else { 0 })
+    })
+}

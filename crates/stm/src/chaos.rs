@@ -315,6 +315,10 @@ fn should_inject_slow(point: InjectionPoint) -> bool {
     if kind == 0 {
         return false;
     }
+    // An armed injection point is a schedulable step: under the
+    // deterministic scheduler, *where* a fault lands relative to other
+    // threads' operations is itself a schedule dimension.
+    crate::sched::yield_point(crate::sched::SyncOp::ChaosPoint(i as u32));
     let value = VALUES[i].load(Ordering::Relaxed);
     let trigger = match kind {
         1 => Trigger::PerMille(value as u32),

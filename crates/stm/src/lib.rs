@@ -88,6 +88,7 @@ mod notifier;
 pub mod obs;
 mod overhead;
 mod runtime;
+pub mod sched;
 mod serial;
 mod stats;
 pub mod trace;

@@ -31,6 +31,8 @@ impl Notifier {
         *e += 1;
         drop(e);
         self.cv.notify_all();
+        // Scheduled runs park retries on the scheduler, not on `cv`.
+        crate::sched::signal(crate::sched::RES_NOTIFIER);
     }
 
     /// Block until the epoch advances past `seen`, or `timeout` elapses.

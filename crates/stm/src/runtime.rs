@@ -11,6 +11,7 @@ use crate::notifier;
 use crate::obs;
 use crate::obs::SiteId;
 use crate::overhead::OverheadModel;
+use crate::sched;
 use crate::stats;
 use crate::txn::{Txn, TxnKind, TxnOptions, WritePolicy};
 use std::time::{Duration, Instant};
@@ -408,6 +409,17 @@ pub(crate) fn atomic_report<T>(
                     // Retrying with an empty read set would block forever;
                     // treat as plain backoff so the caller's loop progresses.
                     backoff_wait(&mut backoff, opts.site);
+                } else if sched::is_controlled() {
+                    // Scheduled run: park on the scheduler instead of the
+                    // OS notifier. If no explored commit ever changes the
+                    // read set, the scheduler reports the stuck retry as a
+                    // deadlock instead of spinning on timeouts.
+                    while !snapshot.changed() {
+                        sched::block_on(
+                            sched::RES_NOTIFIER,
+                            sched::SyncOp::Park(sched::RES_NOTIFIER),
+                        );
+                    }
                 } else {
                     while !snapshot.changed() {
                         if !notifier::global().wait_past(seen, opts.retry_timeout) {
@@ -474,6 +486,12 @@ fn handle_abort(
 /// Back off between attempts, attributing the time to `site` when metrics
 /// are on (disabled cost: one relaxed load).
 fn backoff_wait(backoff: &mut Backoff, site: SiteId) {
+    if sched::is_controlled() {
+        // Wall-clock backoff is meaningless under a deterministic
+        // scheduler (and would stall the whole run); the next attempt's
+        // begin yield is the contention-ordering decision instead.
+        return;
+    }
     if obs::is_enabled() {
         let started = Instant::now();
         backoff.wait();

@@ -243,6 +243,13 @@ impl TracedCell {
     }
 
     fn access(&self, kind: AccessKind, atomic: bool) {
+        // A traced access is also a schedulable step: the deterministic
+        // scheduler interleaves threads exactly at these operations.
+        crate::sched::yield_point(if kind.writes() {
+            crate::sched::SyncOp::SharedWrite(self.id)
+        } else {
+            crate::sched::SyncOp::SharedRead(self.id)
+        });
         if !is_enabled() {
             return;
         }

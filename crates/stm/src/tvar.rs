@@ -246,6 +246,9 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Consistent (never observes a torn or in-flight commit) but does not
     /// participate in any transaction's conflict detection.
     pub fn load_arc(&self) -> Arc<T> {
+        crate::sched::yield_point(crate::sched::SyncOp::SharedRead(
+            self.inner.id | crate::sched::VAR_TAG,
+        ));
         self.trace_direct(trace::AccessKind::Read);
         let (boxed, _) = self.inner.read_spinning();
         downcast::<T>(boxed)
@@ -254,6 +257,9 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Non-transactional atomic store. Equivalent to a tiny transaction
     /// that writes just this variable.
     pub fn store(&self, value: T) {
+        crate::sched::yield_point(crate::sched::SyncOp::SharedWrite(
+            self.inner.id | crate::sched::VAR_TAG,
+        ));
         self.trace_direct(trace::AccessKind::Write);
         self.inner.store_direct(Arc::new(value));
     }

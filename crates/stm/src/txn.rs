@@ -10,6 +10,7 @@ use crate::notifier;
 use crate::obs;
 use crate::obs::SiteId;
 use crate::overhead::{charge, OverheadModel};
+use crate::sched;
 use crate::serial;
 use crate::stats;
 use crate::trace;
@@ -222,6 +223,7 @@ impl fmt::Debug for Txn {
 
 impl Txn {
     pub(crate) fn begin(opts: &TxnOptions, attempt: u64) -> Txn {
+        sched::yield_point(sched::SyncOp::TxnBegin);
         charge(opts.overhead.begin_ns);
         let serial = NEXT_TXN_SERIAL.fetch_add(1, Ordering::Relaxed);
         trace::emit(trace::EventKind::TxnBegin { serial });
@@ -311,6 +313,12 @@ impl Txn {
     // ---- reads and writes -------------------------------------------------
 
     pub(crate) fn read_raw(&mut self, var: &Arc<VarInner>) -> StmResult<Boxed> {
+        // Irrevocable bodies never yield: they hold the global serial lock,
+        // so parking them could strand an OS-blocked peer (and serial mode
+        // is semantically one atomic step anyway).
+        if self.irrevocable.is_none() {
+            sched::yield_point(sched::SyncOp::TxnRead(var.id));
+        }
         charge(self.overhead.read_ns);
         self.check_killed()?;
         // Chaos: a forced validation failure on the read path. Irrevocable
@@ -354,6 +362,9 @@ impl Txn {
     }
 
     pub(crate) fn write_raw(&mut self, var: &Arc<VarInner>, value: Boxed) -> StmResult<()> {
+        if self.irrevocable.is_none() {
+            sched::yield_point(sched::SyncOp::TxnWrite(var.id));
+        }
         charge(self.overhead.write_ns);
         self.check_killed()?;
         if let Some(&i) = self.write_index.get(&var.id) {
@@ -558,6 +569,12 @@ impl Txn {
     /// must invoke [`abort`](Txn::abort).
     pub(crate) fn commit(&mut self) -> StmResult<()> {
         assert!(!self.finished, "transaction used after completion");
+        // One yield before the whole validate-lock-publish sequence: a TL2
+        // commit is linearizable, so it is a single step at scheduler
+        // granularity and never parks holding orecs or the serial lock.
+        if self.irrevocable.is_none() {
+            sched::yield_point(sched::SyncOp::TxnCommit);
+        }
         charge(
             self.overhead.commit_ns
                 + self.overhead.commit_per_entry_ns

@@ -12,7 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
-use txfix_stm::trace;
+use txfix_stm::{sched, trace};
 use txfix_stm::{StmResult, Txn, WaitPoint};
 
 /// Upper bound on one blocking interval; waits re-check afterwards, which
@@ -94,11 +94,13 @@ impl TxCondvar {
 
     /// Wake all waiters immediately (non-transactional callers).
     pub fn notify_all(&self) {
+        sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
         trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut g = self.generation.lock();
         *g += 1;
         drop(g);
         self.cv.notify_all();
+        sched::signal(self.trace_id);
     }
 
     /// Defer a [`notify_all`](TxCondvar::notify_all) until `txn` commits,
@@ -114,11 +116,13 @@ impl TxCondvar {
     /// "one" is purely a throughput hint; it can never cause a missed
     /// update (the generation still advances for everyone).
     pub fn notify_one(&self) {
+        sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
         trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut g = self.generation.lock();
         *g += 1;
         drop(g);
         self.cv.notify_one();
+        sched::signal(self.trace_id);
     }
 
     /// Defer a [`notify_one`](TxCondvar::notify_one) until `txn` commits.
@@ -134,6 +138,20 @@ impl WaitPoint for TxCondvar {
     }
 
     fn wait(&self, ticket: u64) {
+        if sched::is_controlled() {
+            // Park on the scheduler instead of the OS condvar. Only one
+            // controlled thread runs at a time, so no notify can slip in
+            // between the generation check and the park; a notify that
+            // happens while nobody is parked is *observably lost* here if
+            // it raced ahead of `prepare` — exactly the lost-wakeup
+            // behaviour the explorer must be able to reach.
+            loop {
+                if *self.generation.lock() > ticket {
+                    return;
+                }
+                sched::block_on(self.trace_id, sched::SyncOp::CvWait(self.trace_id));
+            }
+        }
         let mut g = self.generation.lock();
         if *g > ticket {
             return;

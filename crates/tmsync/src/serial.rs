@@ -13,7 +13,7 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use txfix_stm::trace;
+use txfix_stm::{sched, trace};
 use txfix_stm::{StmResult, Txn, TxnBuilder, TxnError};
 
 /// A serialization domain: the shared reader/writer lock coupling one set
@@ -25,6 +25,7 @@ pub struct SerialDomain {
     /// acquisitions skip the shared-mode lock instead of self-deadlocking —
     /// the serialized region already excludes every lock critical section.
     exclusive_holder: AtomicU64,
+    trace_id: u64,
 }
 
 impl fmt::Debug for SerialDomain {
@@ -38,7 +39,11 @@ impl fmt::Debug for SerialDomain {
 impl SerialDomain {
     /// Create a domain.
     pub fn new() -> Arc<SerialDomain> {
-        Arc::new(SerialDomain { rw: RwLock::new(()), exclusive_holder: AtomicU64::new(0) })
+        Arc::new(SerialDomain {
+            rw: RwLock::new(()),
+            exclusive_holder: AtomicU64::new(0),
+            trace_id: trace::next_object_id(),
+        })
     }
 
     fn held_exclusively_by_me(&self) -> bool {
@@ -72,6 +77,13 @@ impl<T> SerialMutex<T> {
     /// [`serial_atomic`] of the same domain the shared acquisition is
     /// skipped — the region already holds the domain exclusively).
     pub fn lock(&self) -> SerialMutexGuard<'_, T> {
+        // Under the deterministic scheduler the whole critical section is
+        // one scheduler step: announce it, then suppress yields until the
+        // guard drops. A controlled thread therefore never parks while
+        // holding the domain's shared lock, so the OS acquisitions below
+        // can never block on another controlled thread.
+        sched::yield_point(sched::SyncOp::SerialSection(self.trace_id));
+        let atomic = sched::atomic_section();
         if trace::is_enabled() {
             trace::emit(trace::EventKind::LockAttempt {
                 lock: self.trace_id,
@@ -88,7 +100,7 @@ impl<T> SerialMutex<T> {
                 name: self.trace_name(),
             });
         }
-        SerialMutexGuard { _shared: shared, guard, trace_id: self.trace_id }
+        SerialMutexGuard { _shared: shared, guard, trace_id: self.trace_id, _atomic: atomic }
     }
 
     fn trace_name(&self) -> String {
@@ -101,6 +113,7 @@ pub struct SerialMutexGuard<'a, T> {
     _shared: Option<RwLockReadGuard<'a, ()>>,
     guard: MutexGuard<'a, T>,
     trace_id: u64,
+    _atomic: sched::AtomicSection,
 }
 
 impl<T> Drop for SerialMutexGuard<'_, T> {
@@ -158,6 +171,12 @@ pub fn serial_atomic_with<T>(
         }
     }
 
+    // One scheduler step for the whole region (see `SerialMutex::lock`):
+    // the region's own yields (txn begin/read/write/commit) are suppressed,
+    // matching its semantics — serialized against every critical section,
+    // nothing can interleave with it anyway.
+    sched::yield_point(sched::SyncOp::SerialSection(domain.trace_id));
+    let _atomic = sched::atomic_section();
     let _exclusive = domain.rw.write();
     domain.exclusive_holder.store(txfix_txlock::current_thread().as_u64(), Ordering::Release);
     let _reset = ResetHolder(&domain.exclusive_holder);

@@ -9,7 +9,7 @@ use crate::mutex::{TxMutex, TxMutexGuard};
 use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::time::Duration;
-use txfix_stm::trace;
+use txfix_stm::{sched, trace};
 
 /// Outcome of a timed wait.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +74,27 @@ impl LockCondvar {
         // lost.
         let mut gen = self.generation.lock();
         let seen = *gen;
+
+        if sched::is_controlled() {
+            // Park on the scheduler instead of the OS condvar, and never
+            // time out: a waiter that no schedule ever signals is exactly
+            // the deadlock/lost-wakeup evidence the explorer reports. The
+            // generation lock must be released before the guard drops —
+            // dropping the guard is a yield point, and parking while
+            // holding `generation` would stall the notifier. The re-check
+            // after the drop keeps the protocol lossless: a notify that
+            // lands in between bumps the generation we compare against.
+            drop(gen);
+            drop(guard); // releases the mutex (a scheduler yield point)
+            loop {
+                if *self.generation.lock() != seen {
+                    break;
+                }
+                sched::block_on(self.trace_id, sched::SyncOp::CvWait(self.trace_id));
+            }
+            let reacquired = mutex.lock()?;
+            return Ok((reacquired, WaitOutcome::Signaled));
+        }
         drop(guard); // releases the mutex
 
         let outcome = if self.cv.wait_for(&mut gen, timeout).timed_out() && *gen == seen {
@@ -89,20 +110,24 @@ impl LockCondvar {
 
     /// Wake all current waiters.
     pub fn notify_all(&self) {
+        sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
         trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut gen = self.generation.lock();
         *gen += 1;
         drop(gen);
         self.cv.notify_all();
+        sched::signal(self.trace_id);
     }
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
+        sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
         trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
         let mut gen = self.generation.lock();
         *gen += 1;
         drop(gen);
         self.cv.notify_one();
+        sched::signal(self.trace_id);
     }
 }
 

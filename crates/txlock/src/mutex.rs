@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use txfix_stm::chaos;
+use txfix_stm::sched;
 use txfix_stm::trace;
 use txfix_stm::{Abort, StmResult, TxResource, Txn};
 
@@ -86,6 +87,7 @@ impl RawTxLock {
     }
 
     pub(crate) fn try_acquire(&self, me: ThreadToken) -> bool {
+        sched::yield_point(sched::SyncOp::LockAcquire(self.id.0));
         let mut st = self.state.lock();
         if st.is_none() {
             *st = Some(me);
@@ -112,6 +114,7 @@ impl RawTxLock {
         // inside a transaction) are preemptible: a cycle through them is
         // resolved by aborting the transaction, not reported as a hazard.
         let preemptible = kill.is_some();
+        sched::yield_point(sched::SyncOp::LockAcquire(self.id.0));
         crate::lockdep::note_attempt(self.id, &self.name, preemptible);
         self.trace_attempt(preemptible);
         let mut registered_wait = false;
@@ -138,12 +141,24 @@ impl RawTxLock {
 
             registered_wait = true;
             match graph::block_and_check(me, self.id) {
-                CycleResolution::NoCycle | CycleResolution::OtherVictim(_) => {}
+                CycleResolution::NoCycle => {}
+                CycleResolution::OtherVictim(_) => {
+                    // The victim may be parked on the deterministic
+                    // scheduler; wake every parked thread so it observes
+                    // its kill flag and aborts (no-op outside a run).
+                    sched::wake_all();
+                }
                 CycleResolution::SelfVictim => return Err(AcquireError::SelfVictim),
                 CycleResolution::Unresolvable(cycle) => return Err(AcquireError::Deadlock(cycle)),
             }
 
-            {
+            if sched::is_controlled() {
+                // Scheduled run: park on the scheduler until the holder's
+                // release (or a revocation) signals this lock, then re-try
+                // the acquisition — handoff order stays a schedule choice.
+                let op = sched::SyncOp::LockAcquire(self.id.0);
+                sched::block_on(op.resource().expect("lock ops have a resource"), op);
+            } else {
                 let mut st = self.state.lock();
                 if st.is_some() {
                     self.cv.wait_for(&mut st, WAIT_SLICE);
@@ -160,6 +175,8 @@ impl RawTxLock {
     }
 
     pub(crate) fn release(&self, me: ThreadToken) {
+        let op = sched::SyncOp::LockRelease(self.id.0);
+        sched::yield_point(op);
         let mut st = self.state.lock();
         assert_eq!(*st, Some(me), "TxMutex \"{}\" released by non-owner", self.name);
         *st = None;
@@ -171,6 +188,8 @@ impl RawTxLock {
         drop(st);
         crate::lockdep::note_released(self.id);
         self.cv.notify_all();
+        // Scheduled waiters park on the scheduler, not on `cv`.
+        sched::signal(op.resource().expect("lock ops have a resource"));
     }
 
     fn trace_attempt(&self, preemptible: bool) {

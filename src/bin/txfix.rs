@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         Some("lint") => lint_cmd(&args[1..]),
         Some("stress") => stress_cmd(&args[1..]),
         Some("chaos") => chaos_cmd(&args[1..]),
+        Some("explore") => explore_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -80,6 +81,14 @@ fn usage() {
          \x20                              load, assert invariants after every run, and\n\
          \x20                              write CHAOS_stm.json; exits nonzero on any\n\
          \x20                              violation; bit-for-bit reproducible per seed\n\
+         \x20 explore [<key>|--all] [--variant buggy|dev|tm] [--strategy dfs|pct]\n\
+         \x20         [--budget N] [--seed S] [--json]\n\
+         \x20                              model-check scenario schedules under the\n\
+         \x20                              deterministic scheduler: every buggy variant\n\
+         \x20                              must break within budget (failing schedule\n\
+         \x20                              minimized and printed), every fixed variant\n\
+         \x20                              must survive all explored schedules; writes\n\
+         \x20                              EXPLORE_stm.json; exits nonzero on violations\n\
          \x20 help                         this message"
     );
 }
@@ -545,6 +554,120 @@ fn chaos_cmd(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("error: chaos sweep observed invariant violations");
+        ExitCode::FAILURE
+    }
+}
+
+fn explore_cmd(args: &[String]) -> ExitCode {
+    use txfix::corpus::scheduled_scenarios;
+    use txfix::explore;
+    use txfix::recipes::json::ToJson as _;
+
+    let mut cfg = explore::ExploreConfig::default();
+    let mut key: Option<String> = None;
+    let mut all = false;
+    let mut json = false;
+    let mut variants: Vec<Variant> = Variant::ALL.to_vec();
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--all" => all = true,
+            "--variant" => match rest.next().and_then(|s| explore::variant_parse(s)) {
+                Some(v) => variants = vec![v],
+                None => return usage_error("--variant takes buggy|dev|tm"),
+            },
+            "--strategy" => match rest.next().and_then(|s| explore::Strategy::parse(s)) {
+                Some(s) => cfg.strategy = s,
+                None => return usage_error("--strategy takes dfs|pct"),
+            },
+            "--budget" => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => cfg.budget = n,
+                _ => return usage_error("--budget takes a positive integer"),
+            },
+            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
+                Some(s) => cfg.seed = s,
+                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
+            },
+            "--json" => json = true,
+            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    if !all && key.is_none() {
+        let available =
+            scheduled_scenarios().iter().map(|s| s.key().to_string()).collect::<Vec<_>>();
+        return usage_error(&format!(
+            "explore needs a scenario key or --all (available: {})",
+            available.join(", ")
+        ));
+    }
+    let keys: Option<Vec<String>> = key.map(|k| vec![k]);
+
+    let report = match explore::explore_corpus(keys.as_deref(), &variants, &cfg) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    let rendered = report.to_json();
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "{:18} {:5} {:>9} {:>7} {:>8}  verdict",
+            "scenario", "var", "schedules", "pruned", "exhaust"
+        );
+        for e in &report.entries {
+            let verdict = match (&e.failure, e.ok) {
+                (Some(f), true) => format!(
+                    "bug @ schedule {} (depth {}, {} preemptions): {}",
+                    f.found_after, f.depth, f.preemptions, f.message
+                ),
+                (Some(f), false) => {
+                    format!("FIXED VARIANT BROKE: {} [trace {}]", f.message, f.trace)
+                }
+                (None, true) => "clean".to_string(),
+                (None, false) => "NO BUG FOUND within budget".to_string(),
+            };
+            println!(
+                "{:18} {:5} {:>9} {:>7} {:>8}  {}",
+                e.key,
+                e.variant,
+                e.schedules,
+                e.pruned,
+                if e.exhausted { "yes" } else { "no" },
+                verdict
+            );
+            if let (Some(f), true) = (&e.failure, e.ok) {
+                println!(
+                    "{:55}replay: --strategy {} --seed {} trace {}",
+                    "", report.strategy, report.seed, f.trace
+                );
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::write("EXPLORE_stm.json", format!("{rendered}\n")) {
+        eprintln!("error: cannot write EXPLORE_stm.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let per_run = format!("results/EXPLORE_stm_{stamp}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
+    {
+        eprintln!("error: cannot write {per_run}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("\nwrote EXPLORE_stm.json and {per_run}");
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: exploration expectations not met");
         ExitCode::FAILURE
     }
 }

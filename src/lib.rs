@@ -63,3 +63,7 @@ pub use txfix_static as lint;
 /// The evaluation harness: table regeneration, case-study comparisons and
 /// the sustained-load stress driver (`txfix stress`).
 pub use txfix_bench as bench;
+
+/// Systematic schedule exploration: the deterministic scheduler's DFS and
+/// PCT strategies over the scheduled corpus (`txfix explore`).
+pub use txfix_explore as explore;

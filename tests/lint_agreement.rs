@@ -22,27 +22,15 @@ use txfix::recipes::{analyze, HazardClass};
 /// (a stale entry fails the test), and every uncovered static finding
 /// must be listed here.
 const STATIC_ONLY: &[&str] = &[
-    // The §5.4.1 miniature reproduces its deadlock inside the app model,
-    // whose locks the trace recorder does not instrument.
-    "mozilla_i: lock-order cycle through moz1.scope -> moz1.title",
     // A lock-AND-WAIT cycle: no lock-order inversion ever forms, so the
-    // lock-graph-based dynamic detector is structurally blind to it.
+    // lock-graph-based dynamic detector is structurally blind to it (the
+    // schedule explorer catches it as a deadlock stop instead — the
+    // recorder's finding kinds simply have no wait-cycle class).
     "apache_i: wait on apache1.idle_cv holds \"apache1.timeout_mutex\" that a notifier needs",
-    // Condition-variable traffic (notify/wait ordering) is not traced.
+    // Condition-variable traffic (notify/wait ordering) is not traced, so
+    // the lost wakeup has no dynamic finding kind either; `txfix explore`
+    // demonstrates it as a stuck schedule.
     "av_cv_partial: m91106.cv notified before m91106.items is updated (lost wakeup)",
-    // The Apache-II miniature logs through plain memory and simulated
-    // file I/O, none of it visible to the recorder.
-    "apache_ii: possible data race on apache2.log_buf",
-    "apache_ii: possible data race on apache2.log_cursor",
-    "apache_ii: atomicity not continuous across apache2.log_cursor",
-    "apache_ii: atomicity not continuous across apache2.log_buf, apache2.log_cursor",
-    // The emitted log line goes to a deferred-I/O buffer the recorder
-    // does not see; dynamically only the sequence counter is visible.
-    "av_log_sequence: possible data race on a29850.log",
-    // The §5.4.4 miniature's table and binlog live inside the app model,
-    // outside the traced-cell instrumentation.
-    "mysql_i: possible data race on mysql1.binlog",
-    "mysql_i: atomicity not continuous across mysql1.binlog, mysql1.table",
 ];
 
 /// Run the full lint loop for one scenario variant.
