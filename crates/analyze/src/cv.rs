@@ -1,0 +1,266 @@
+//! Wait/notify discipline checks over the recorded trace.
+//!
+//! The lock-graph passes are structurally blind to two condition-variable
+//! bugs the static analyzer models:
+//!
+//! - **Wait cycles**: a thread waits on a condvar while still holding a
+//!   lock that every potential notifier must acquire first — no
+//!   lock-order inversion ever forms, yet the notifier blocks behind the
+//!   waiter forever.
+//! - **Lost wakeups**: a thread notifies *before* publishing the state
+//!   the wait predicate reads, so a waiter can test a stale predicate
+//!   and sleep through the only wakeup.
+//!
+//! Both rules work on the name-carrying [`CvWait`]/[`CvNotify`] events;
+//! unnamed condvars (internal plumbing, the transactional condvar's
+//! commit-before-wait protocol) are skipped, since a hazard needs the
+//! shared vocabulary to be matched against static findings.
+//!
+//! [`CvWait`]: EventKind::CvWait
+//! [`CvNotify`]: EventKind::CvNotify
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use txfix_core::Hazard;
+use txfix_stm::trace::{EventKind, TraceEvent};
+
+/// Run both wait/notify rules and return the hazards, deduplicated and
+/// sorted by their subjects so the output is independent of thread
+/// interleaving.
+pub fn cv_hazards(events: &[TraceEvent]) -> Vec<Hazard> {
+    let mut out: Vec<Hazard> = wait_cycles(events);
+    out.extend(lost_wakeups(events));
+    out.sort_by_key(|h| h.subjects());
+    out.dedup();
+    out
+}
+
+/// A thread waits on a condvar while holding locks beyond the monitor.
+///
+/// The waiter's lockset is tracked through `LockAcquired`/`LockReleased`;
+/// the monitor is the first lock the thread releases after the wait
+/// event (the wait protocol emits `CvWait` *before* dropping the guard,
+/// so that release is always the monitor). Every other non-preemptibly
+/// held lock `L` is a hazard if some other thread both notifies the
+/// condvar and attempts `L` non-preemptibly — the shape of the
+/// Apache-I listener/worker deadlock. Preemptible (revocable) holds are
+/// exempt: revocation breaks the cycle, which is exactly how Recipe 3
+/// fixes this bug class.
+fn wait_cycles(events: &[TraceEvent]) -> Vec<Hazard> {
+    // Per thread: the condvars it notifies and the locks it attempts
+    // non-preemptibly.
+    let mut notifies: HashMap<u64, HashSet<u64>> = HashMap::new();
+    let mut attempts: HashMap<u64, HashSet<u64>> = HashMap::new();
+    let mut lock_names: HashMap<u64, String> = HashMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::CvNotify { cv, name } if !name.is_empty() => {
+                notifies.entry(e.thread).or_default().insert(*cv);
+            }
+            EventKind::LockAttempt { lock, name, preemptible: false } => {
+                attempts.entry(e.thread).or_default().insert(*lock);
+                lock_names.insert(*lock, name.clone());
+            }
+            EventKind::LockAcquired { lock, name } => {
+                lock_names.insert(*lock, name.clone());
+            }
+            _ => {}
+        }
+    }
+
+    // Per thread: currently held non-preemptible locks (in acquisition
+    // order) and the open wait, if any, with its held-lock snapshot.
+    let mut held: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut preemptible_attempt: HashMap<u64, HashSet<u64>> = HashMap::new();
+    let mut open_wait: HashMap<u64, (u64, String, Vec<u64>)> = HashMap::new();
+    let mut hazards: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in events {
+        match &e.kind {
+            EventKind::LockAttempt { lock, preemptible: true, .. } => {
+                preemptible_attempt.entry(e.thread).or_default().insert(*lock);
+            }
+            EventKind::LockAttempt { lock, preemptible: false, .. } => {
+                preemptible_attempt.entry(e.thread).or_default().remove(lock);
+            }
+            EventKind::LockAcquired { lock, .. } => {
+                let revocable =
+                    preemptible_attempt.get(&e.thread).is_some_and(|locks| locks.contains(lock));
+                if !revocable {
+                    held.entry(e.thread).or_default().push(*lock);
+                }
+            }
+            EventKind::LockReleased { lock } => {
+                if let Some((cv, cv_name, snapshot)) = open_wait.remove(&e.thread) {
+                    for l in snapshot.iter().filter(|l| *l != lock) {
+                        let blocked_notifier = notifies.iter().any(|(t, cvs)| {
+                            *t != e.thread
+                                && cvs.contains(&cv)
+                                && attempts.get(t).is_some_and(|a| a.contains(l))
+                        });
+                        if blocked_notifier {
+                            if let Some(name) = lock_names.get(l) {
+                                hazards.insert((cv_name.clone(), name.clone()));
+                            }
+                        }
+                    }
+                }
+                if let Some(stack) = held.get_mut(&e.thread) {
+                    if let Some(pos) = stack.iter().rposition(|l| l == lock) {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            EventKind::CvWait { cv, name } if !name.is_empty() => {
+                let snapshot = held.get(&e.thread).cloned().unwrap_or_default();
+                open_wait.insert(e.thread, (*cv, name.clone(), snapshot));
+            }
+            _ => {}
+        }
+    }
+    hazards.into_iter().map(|(cv, lock)| Hazard::WaitCycle { cv, lock }).collect()
+}
+
+/// A thread notifies before publishing the state the waiter tests.
+///
+/// A notify with **no lock activity at all** beforehand (since the
+/// thread's previous notify of the same condvar) cannot have published
+/// anything under the monitor yet; if the thread then goes on to acquire
+/// a lock — the belated publish — a waiter scheduled in between saw a
+/// stale predicate and slept through the signal. The hazard's location
+/// is that first subsequently-acquired lock: the monitor guarding the
+/// state that should have been updated first.
+fn lost_wakeups(events: &[TraceEvent]) -> Vec<Hazard> {
+    // Per thread: whether any lock activity happened since the previous
+    // notify of each condvar (keyed per (thread, cv)).
+    let mut lock_active: HashMap<u64, bool> = HashMap::new();
+    // Pending premature notifies awaiting the thread's next acquisition.
+    let mut pending: HashMap<u64, String> = HashMap::new();
+    let mut hazards: BTreeMap<(String, String), ()> = BTreeMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::LockAcquired { name, .. } => {
+                if let Some(cv_name) = pending.remove(&e.thread) {
+                    hazards.insert((cv_name, name.clone()), ());
+                }
+                lock_active.insert(e.thread, true);
+            }
+            EventKind::LockAttempt { .. } | EventKind::LockReleased { .. } => {
+                lock_active.insert(e.thread, true);
+            }
+            EventKind::CvNotify { name, .. } if !name.is_empty() => {
+                if !lock_active.get(&e.thread).copied().unwrap_or(false) {
+                    pending.insert(e.thread, name.clone());
+                }
+                lock_active.insert(e.thread, false);
+            }
+            _ => {}
+        }
+    }
+    hazards.into_keys().map(|(cv, loc)| Hazard::LostWakeup { cv, loc }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { thread, kind }
+    }
+    fn attempt(t: u64, lock: u64, name: &str, preemptible: bool) -> TraceEvent {
+        ev(t, EventKind::LockAttempt { lock, name: name.into(), preemptible })
+    }
+    fn acquired(t: u64, lock: u64, name: &str) -> TraceEvent {
+        ev(t, EventKind::LockAcquired { lock, name: name.into() })
+    }
+    fn released(t: u64, lock: u64) -> TraceEvent {
+        ev(t, EventKind::LockReleased { lock })
+    }
+    fn wait(t: u64, cv: u64, name: &str) -> TraceEvent {
+        ev(t, EventKind::CvWait { cv, name: name.into() })
+    }
+    fn notify(t: u64, cv: u64, name: &str) -> TraceEvent {
+        ev(t, EventKind::CvNotify { cv, name: name.into() })
+    }
+
+    #[test]
+    fn waiting_with_an_extra_lock_a_notifier_needs_is_a_wait_cycle() {
+        // Thread 1: lock outer, lock monitor, wait (monitor dropped).
+        // Thread 2: notifies, and elsewhere attempts the outer lock.
+        let events = [
+            acquired(1, 10, "outer"),
+            acquired(1, 11, "monitor"),
+            wait(1, 20, "cv"),
+            released(1, 11), // the wait protocol's guard drop
+            attempt(2, 10, "outer", false),
+            notify(2, 20, "cv"),
+        ];
+        assert_eq!(
+            cv_hazards(&events),
+            vec![Hazard::WaitCycle { cv: "cv".into(), lock: "outer".into() }]
+        );
+    }
+
+    #[test]
+    fn monitor_only_waits_and_revocable_holds_are_clean() {
+        // Holding only the monitor across the wait: no cycle.
+        let monitor_only = [
+            acquired(1, 11, "monitor"),
+            wait(1, 20, "cv"),
+            released(1, 11),
+            attempt(2, 11, "monitor", false),
+            notify(2, 20, "cv"),
+        ];
+        assert!(cv_hazards(&monitor_only).is_empty());
+
+        // The outer lock held revocably (preemptible attempt): Recipe 3's
+        // escape hatch, not a cycle.
+        let revocable = [
+            attempt(1, 10, "outer", true),
+            acquired(1, 10, "outer"),
+            acquired(1, 11, "monitor"),
+            wait(1, 20, "cv"),
+            released(1, 11),
+            attempt(2, 10, "outer", false),
+            notify(2, 20, "cv"),
+        ];
+        assert!(cv_hazards(&revocable).is_empty());
+    }
+
+    #[test]
+    fn notify_before_any_publish_is_a_lost_wakeup() {
+        let events = [
+            notify(2, 20, "cv"),
+            attempt(2, 11, "monitor", false),
+            acquired(2, 11, "monitor"),
+            released(2, 11),
+        ];
+        assert_eq!(
+            cv_hazards(&events),
+            vec![Hazard::LostWakeup { cv: "cv".into(), loc: "monitor".into() }]
+        );
+    }
+
+    #[test]
+    fn publish_then_notify_is_clean() {
+        let events = [
+            acquired(2, 11, "monitor"),
+            released(2, 11),
+            notify(2, 20, "cv"),
+            acquired(2, 11, "monitor"),
+            released(2, 11),
+        ];
+        assert!(cv_hazards(&events).is_empty());
+    }
+
+    #[test]
+    fn unnamed_condvars_are_skipped() {
+        let events = [
+            acquired(1, 10, "outer"),
+            acquired(1, 11, "monitor"),
+            wait(1, 20, ""),
+            released(1, 11),
+            attempt(2, 10, "outer", false),
+            notify(2, 20, ""),
+        ];
+        assert!(cv_hazards(&events).is_empty());
+    }
+}

@@ -13,7 +13,10 @@
 //!    ordered;
 //! 3. [`order`]: a **lock-order validator** — the `txfix_txlock::lockdep`
 //!    discipline replayed from the trace, with preemptible (revocable)
-//!    cycles suppressed.
+//!    cycles suppressed;
+//! 4. [`cv`]: **wait/notify discipline** over named condition variables —
+//!    waits that hold locks a notifier needs (lock/wait cycles) and
+//!    notifies that precede the predicate's publication (lost wakeups).
 //!
 //! Each finding is then pushed through `txfix_core::analysis::analyze` on
 //! the scenario's bug record, so the report pairs every detected bug with
@@ -23,13 +26,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cv;
 pub mod hb;
 pub mod order;
 pub mod report;
 pub mod ser;
 pub mod vc;
 
-pub use report::{Finding, FindingKind, Report};
+pub use report::{Finding, Report};
+pub use txfix_core::Hazard;
 
 use parking_lot::Mutex;
 use txfix_core::{Analysis, Recipe};
@@ -59,7 +64,7 @@ pub fn analyze_trace(
                  of them plain; {rationale}",
                 race.threads.0, race.threads.1, race.name
             ),
-            kind: FindingKind::DataRace { object: race.name },
+            kind: Hazard::Race { loc: race.name },
             recipe,
         });
     }
@@ -72,7 +77,7 @@ pub fn analyze_trace(
                 v.threads,
                 v.objects.join(", ")
             ),
-            kind: FindingKind::AtomicityViolation { objects: v.objects },
+            kind: Hazard::Atomicity { locs: v.objects },
             recipe,
         });
     }
@@ -95,9 +100,25 @@ pub fn analyze_trace(
                 "\"{first}\" and \"{second}\" are acquired in both orders with no revocable \
                  escape; {rationale}"
             ),
-            kind: FindingKind::LockOrderInversion { first, second },
+            kind: Hazard::LockCycle { locks: vec![first, second] },
             recipe,
         });
+    }
+
+    // Wait/notify discipline over named condvars.
+    for hazard in cv::cv_hazards(events) {
+        let explanation = match &hazard {
+            Hazard::WaitCycle { cv, lock } => format!(
+                "a thread waits on {cv} still holding \"{lock}\", which a notifying thread \
+                 must acquire first; {rationale}"
+            ),
+            Hazard::LostWakeup { cv, loc } => format!(
+                "{cv} is signalled before the state under \"{loc}\" is published, so a waiter \
+                 can test a stale predicate and miss the wakeup; {rationale}"
+            ),
+            _ => unreachable!("cv pass reports only wait-cycle and lost-wakeup hazards"),
+        };
+        findings.push(Finding { explanation, kind: hazard, recipe });
     }
 
     findings
@@ -212,10 +233,8 @@ mod tests {
         ];
         let live = vec![lockdep::Inversion { first: "a".to_string(), second: "b".to_string() }];
         let findings = analyze_trace(&events, &live, "dl_local_lock_order");
-        let inversions: Vec<_> = findings
-            .iter()
-            .filter(|f| matches!(f.kind, FindingKind::LockOrderInversion { .. }))
-            .collect();
+        let inversions: Vec<_> =
+            findings.iter().filter(|f| matches!(f.kind, Hazard::LockCycle { .. })).collect();
         assert_eq!(inversions.len(), 1, "same pair from both validators: {findings:?}");
         assert_eq!(inversions[0].recipe, Some(Recipe::ReplaceLocks));
     }

@@ -6,54 +6,19 @@
 //! [`Report::from_json`] parses it back. Round-tripping is covered by
 //! tests.
 
-use std::fmt;
 use txfix_core::json::{get, Json, ToJson};
-use txfix_core::Recipe;
+use txfix_core::{hazard_from_json, Hazard, Recipe};
 use txfix_corpus::Outcome;
 
-/// What kind of bug a finding reports.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum FindingKind {
-    /// Two unordered conflicting accesses, at least one non-atomic.
-    DataRace {
-        /// Diagnostic name of the racing object.
-        object: String,
-    },
-    /// A cycle in the region conflict graph: the interleaving is not
-    /// conflict-serializable.
-    AtomicityViolation {
-        /// Names of the objects whose conflicts form the cycle.
-        objects: Vec<String>,
-    },
-    /// Two locks acquired in both orders (potential deadlock).
-    LockOrderInversion {
-        /// Name of one lock of the inverted pair (sorted).
-        first: String,
-        /// Name of the other lock.
-        second: String,
-    },
-}
-
-impl fmt::Display for FindingKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FindingKind::DataRace { object } => write!(f, "data race on {object}"),
-            FindingKind::AtomicityViolation { objects } => {
-                write!(f, "atomicity violation across {}", objects.join(", "))
-            }
-            FindingKind::LockOrderInversion { first, second } => {
-                write!(f, "lock-order inversion between \"{first}\" and \"{second}\"")
-            }
-        }
-    }
-}
-
 /// One detected bug, with the recipe the paper's decision procedure
-/// suggests for it.
+/// suggests for it. The kind is the workspace-wide
+/// [`txfix_core::Hazard`] vocabulary — the same representation the
+/// static analyzer reports in, so agreement matching and fix inference
+/// consume one type.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     /// What was detected.
-    pub kind: FindingKind,
+    pub kind: Hazard,
     /// The suggested TM fix recipe (from `txfix_core::analysis::analyze`
     /// on the scenario's bug record), when the bug is TM-fixable.
     pub recipe: Option<Recipe>,
@@ -134,22 +99,8 @@ impl ToJson for Report {
 
 impl ToJson for Finding {
     fn to_json_value(&self) -> Json {
-        let bug = match &self.kind {
-            FindingKind::DataRace { object } => {
-                Json::obj([("kind", Json::str("data_race")), ("object", Json::str(object.clone()))])
-            }
-            FindingKind::AtomicityViolation { objects } => Json::obj([
-                ("kind", Json::str("atomicity_violation")),
-                ("objects", Json::strings(objects)),
-            ]),
-            FindingKind::LockOrderInversion { first, second } => Json::obj([
-                ("kind", Json::str("lock_order_inversion")),
-                ("first", Json::str(first.clone())),
-                ("second", Json::str(second.clone())),
-            ]),
-        };
         Json::obj([
-            ("bug", bug),
+            ("bug", self.kind.to_json_value()),
             ("recipe", self.recipe.map_or(Json::Null, |r| Json::str(r.slug()))),
             ("explanation", Json::str(self.explanation.clone())),
         ])
@@ -158,22 +109,7 @@ impl ToJson for Finding {
 
 fn finding_from_json(v: &Json) -> Result<Finding, String> {
     let obj = v.object("finding")?;
-    let bug = get(obj, "bug")?.object("finding.bug")?;
-    let kind = match get(bug, "kind")?.string("bug.kind")?.as_str() {
-        "data_race" => FindingKind::DataRace { object: get(bug, "object")?.string("object")? },
-        "atomicity_violation" => FindingKind::AtomicityViolation {
-            objects: get(bug, "objects")?
-                .array("objects")?
-                .iter()
-                .map(|o| o.string("objects[]"))
-                .collect::<Result<Vec<_>, _>>()?,
-        },
-        "lock_order_inversion" => FindingKind::LockOrderInversion {
-            first: get(bug, "first")?.string("first")?,
-            second: get(bug, "second")?.string("second")?,
-        },
-        other => return Err(format!("unknown finding kind {other:?}")),
-    };
+    let kind = hazard_from_json(get(obj, "bug")?)?;
     let recipe = match get(obj, "recipe")? {
         Json::Null => None,
         v => Some(Recipe::from_slug(&v.string("recipe")?)?),
@@ -193,22 +129,24 @@ mod tests {
             events: 42,
             findings: vec![
                 Finding {
-                    kind: FindingKind::DataRace { object: "m133773.counter".into() },
+                    kind: Hazard::Race { loc: "m133773.counter".into() },
                     recipe: Some(Recipe::WrapAll),
                     explanation: "unordered conflicting accesses".into(),
                 },
                 Finding {
-                    kind: FindingKind::AtomicityViolation { objects: vec!["a".into(), "b".into()] },
+                    kind: Hazard::Atomicity { locs: vec!["a".into(), "b".into()] },
                     recipe: Some(Recipe::WrapUnprotected),
                     explanation: "non-serializable interleaving".into(),
                 },
                 Finding {
-                    kind: FindingKind::LockOrderInversion {
-                        first: "cache".into(),
-                        second: "atoms".into(),
-                    },
+                    kind: Hazard::LockCycle { locks: vec!["atoms".into(), "cache".into()] },
                     recipe: None,
                     explanation: "both orders observed".into(),
+                },
+                Finding {
+                    kind: Hazard::WaitCycle { cv: "cv".into(), lock: "outer".into() },
+                    recipe: None,
+                    explanation: "waiter holds what the notifier needs".into(),
                 },
             ],
         }
@@ -244,7 +182,7 @@ mod tests {
             Recipe::WrapUnprotected,
         ] {
             let f = Finding {
-                kind: FindingKind::DataRace { object: "x".into() },
+                kind: Hazard::Race { loc: "x".into() },
                 recipe: Some(recipe),
                 explanation: String::new(),
             };

@@ -105,10 +105,10 @@ fn busy_wait(d: Duration) {
 /// processed or (buggy variant) deadlock is detected.
 pub fn run_apache1(cfg: &Apache1Config) -> Apache1Outcome {
     let shared = Arc::new(Shared {
-        timeout: TxMutex::new("apache.timeout_mutex", 0),
+        timeout: TxMutex::new("apache1.timeout_mutex", 0),
         queue: parking_lot::Mutex::new((0..cfg.connections).map(|id| Conn { id }).collect()),
-        idle: TxMutex::new("apache.idle_workers", cfg.workers),
-        idle_cv: LockCondvar::new(),
+        idle: TxMutex::new("apache1.idle_workers", cfg.workers),
+        idle_cv: LockCondvar::named("apache1.idle_cv"),
         idle_tv: TVar::new(cfg.workers),
     });
     let (tx, rx) = channel::unbounded::<Conn>();

@@ -1,0 +1,158 @@
+//! Automatic atomic-region inference and verified TM fix synthesis.
+//!
+//! The rest of the workspace builds the pieces of the paper's workflow:
+//! detection (`txfix-analyze`, `txfix-static`), the fix recipes and
+//! their substrate (`txfix-core`, `txfix-stm`, `txfix-txlock`,
+//! `txfix-tmsync`), and verification by schedule exhaustion
+//! (`txfix-explore`). This crate closes the loop — from a buggy
+//! scenario summary to a *verified* TM patch with no human in between:
+//!
+//! 1. **Infer** ([`infer`]): seed one atomic region per static finding,
+//!    grow and merge the regions Joshi–Lal / RaceFixer-style until the
+//!    checkers are silent, and lower the plan through the Recipe 1–4
+//!    span machinery in `txfix-static` (see [`Region`]).
+//! 2. **Verify statically**: the patched summary must have zero
+//!    residual and zero introduced findings — the same bar `txfix lint`
+//!    holds hand-written fixes to.
+//! 3. **Verify dynamically** ([`interp`]): execute both the buggy input
+//!    and the synthesized patch under the deterministic scheduler's DFS
+//!    (VeriFix's criterion): the bug should reproduce on the input, and
+//!    no explored schedule of the patch may fail.
+//! 4. **Compare** ([`widening`]): diff the inferred regions' data
+//!    footprint against the hand-written TM variant's, reporting every
+//!    path where inference produced a wider (or different) region.
+//!
+//! `txfix autofix [<key>] [--all]` runs the loop over the corpus and
+//! emits the deterministic `txfix-autofix-v1` report
+//! (`AUTOFIX_stm.json`, byte-compared across runs in CI).
+
+pub mod infer;
+pub mod interp;
+pub mod report;
+
+use std::collections::BTreeSet;
+
+use report::{AutofixEntry, AutofixReport, VerifyStats, Widening};
+use txfix_corpus::{keys, summary_for, Variant};
+use txfix_explore::runner::RunResult;
+use txfix_explore::{explore_build, ExploreConfig};
+use txfix_static::{check, footprint, Region, ScenarioSummary};
+
+pub use infer::{apply_all, infer, Inference};
+pub use interp::build_run;
+
+/// Diff the atomic-region data footprints of the inferred patch and the
+/// hand-written TM variant, per path name. An empty result means the
+/// inferred regions cover exactly the hand-written locations; entries
+/// record both sides so a widening (inferred ⊃ hand) is distinguishable
+/// from a divergence.
+pub fn widening(inferred: &ScenarioSummary, hand: &ScenarioSummary) -> Vec<Widening> {
+    let fi = footprint(inferred);
+    let fh = footprint(hand);
+    let names: BTreeSet<&String> = fi.keys().chain(fh.keys()).collect();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let a = fi.get(name).cloned().unwrap_or_default();
+            let b = fh.get(name).cloned().unwrap_or_default();
+            (a != b).then(|| Widening {
+                path: name.clone(),
+                inferred: a.into_iter().collect(),
+                hand: b.into_iter().collect(),
+            })
+        })
+        .collect()
+}
+
+/// Explore every schedule of `summary` (through [`build_run`]) and
+/// summarize the outcome.
+fn verify_dynamic(summary: &ScenarioSummary, cfg: &ExploreConfig) -> VerifyStats {
+    let build = |_: Variant| build_run(summary);
+    let ex = explore_build(&build, Variant::Buggy, cfg);
+    VerifyStats {
+        schedules: ex.schedules,
+        pruned: ex.pruned,
+        step_limited: ex.step_limited,
+        exhausted: ex.exhausted,
+        failure: ex.failure.map(|o| match o.result {
+            RunResult::Bug(m) => m,
+            other => format!("unexpected schedule outcome: {other:?}"),
+        }),
+    }
+}
+
+/// Run the full infer → verify → compare loop for one corpus scenario.
+///
+/// # Errors
+///
+/// If `key` has no registered buggy/TM summaries. Inference failures do
+/// not error: they produce an entry with `error` set (and `ok() ==
+/// false`), so a sweep reports them instead of stopping.
+pub fn autofix_scenario(key: &str, cfg: &ExploreConfig) -> Result<AutofixEntry, String> {
+    let buggy = summary_for(key, Variant::Buggy)
+        .ok_or_else(|| format!("no summary registered for scenario '{key}'"))?;
+    let hand = summary_for(key, Variant::TmFix)
+        .ok_or_else(|| format!("no TM-fix summary registered for scenario '{key}'"))?;
+    let inference = match infer(&buggy) {
+        Ok(inf) => inf,
+        Err(e) => {
+            return Ok(AutofixEntry {
+                key: key.to_string(),
+                regions: Vec::new(),
+                recipes: Vec::new(),
+                rounds: 0,
+                error: Some(e),
+                static_clean: false,
+                buggy: VerifyStats::default(),
+                patched: VerifyStats::default(),
+                widenings: Vec::new(),
+            })
+        }
+    };
+    let recipes = inference.regions.iter().map(|r: &Region| r.recipe().to_string()).collect();
+    let static_clean = check(&inference.patched).is_empty();
+    Ok(AutofixEntry {
+        key: key.to_string(),
+        recipes,
+        rounds: inference.rounds,
+        error: None,
+        static_clean,
+        buggy: verify_dynamic(&buggy, cfg),
+        patched: verify_dynamic(&inference.patched, cfg),
+        widenings: widening(&inference.patched, &hand),
+        regions: inference.regions,
+    })
+}
+
+/// Autofix the whole corpus (or the scenarios named in `keys`).
+///
+/// # Errors
+///
+/// If a requested key is not a corpus scenario.
+pub fn autofix_corpus(
+    selected: Option<&[String]>,
+    cfg: &ExploreConfig,
+) -> Result<AutofixReport, String> {
+    let all: Vec<&str> = keys::ALL.to_vec();
+    let chosen: Vec<&str> = match selected {
+        None => all,
+        Some(ks) => {
+            for k in ks {
+                if !all.contains(&k.as_str()) {
+                    return Err(format!("no corpus scenario '{k}' (have: {})", all.join(", ")));
+                }
+            }
+            all.into_iter().filter(|k| ks.iter().any(|s| s == k)).collect()
+        }
+    };
+    let mut entries = Vec::new();
+    for key in chosen {
+        entries.push(autofix_scenario(key, cfg)?);
+    }
+    Ok(AutofixReport {
+        strategy: cfg.strategy.name().to_string(),
+        budget: cfg.budget,
+        seed: cfg.seed,
+        entries,
+    })
+}

@@ -1,0 +1,159 @@
+//! The `txfix-autofix-v1` report format.
+//!
+//! Like `txfix-explore-v1`, the report deliberately excludes wall-clock
+//! time and anything else non-deterministic: CI runs `txfix autofix
+//! --all` twice and byte-compares the JSON, so every field must be a
+//! pure function of `(corpus, strategy, seed, budget)`.
+
+use txfix_core::json::{Json, ToJson};
+use txfix_static::Region;
+
+/// Format identifier.
+pub const FORMAT: &str = "txfix-autofix-v1";
+
+/// One exploration of a summary (buggy input or synthesized patch)
+/// through the schedule explorer.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyStats {
+    /// Schedules run to a verdict.
+    pub schedules: u64,
+    /// Schedules abandoned by partial-order reduction.
+    pub pruned: u64,
+    /// Schedules that hit the step bound (inconclusive).
+    pub step_limited: u64,
+    /// True if DFS exhausted the reduced space within budget.
+    pub exhausted: bool,
+    /// The first failing schedule's bug message, if any.
+    pub failure: Option<String>,
+}
+
+/// A per-path footprint difference between the inferred patch and the
+/// hand-written TM variant.
+#[derive(Clone, Debug)]
+pub struct Widening {
+    /// Path name (stable across variants).
+    pub path: String,
+    /// Locations inside atomic regions in the inferred patch.
+    pub inferred: Vec<String>,
+    /// Locations inside atomic regions in the hand-written TM variant.
+    pub hand: Vec<String>,
+}
+
+/// One scenario's inference + verification result.
+#[derive(Clone, Debug)]
+pub struct AutofixEntry {
+    /// Corpus key.
+    pub key: String,
+    /// The inferred fix plan, in application order.
+    pub regions: Vec<Region>,
+    /// The paper recipe each region amounts to (parallel to `regions`).
+    pub recipes: Vec<String>,
+    /// Grow rounds the inference used.
+    pub rounds: u32,
+    /// Inference failure, if any (no verification was attempted).
+    pub error: Option<String>,
+    /// Whether the patched summary is statically clean.
+    pub static_clean: bool,
+    /// Exploration of the buggy summary (the bug should reproduce).
+    pub buggy: VerifyStats,
+    /// Exploration of the patched summary (nothing should fail).
+    pub patched: VerifyStats,
+    /// Footprint differences against the hand-written TM variant; empty
+    /// when the inferred regions match the hand-written ones exactly.
+    pub widenings: Vec<Widening>,
+}
+
+impl AutofixEntry {
+    /// Whether the fix is verified: inference succeeded, the patch is
+    /// statically clean, and no explored schedule of the patch fails.
+    /// (A buggy input whose counterexample needs more schedules than
+    /// the budget is reported via `buggy.failure = None` but does not
+    /// fail the entry: the verification obligation is on the patch.)
+    pub fn ok(&self) -> bool {
+        self.error.is_none() && self.static_clean && self.patched.failure.is_none()
+    }
+}
+
+/// The whole corpus sweep.
+#[derive(Clone, Debug)]
+pub struct AutofixReport {
+    /// Exploration strategy (`dfs` / `pct`).
+    pub strategy: String,
+    /// Per-summary schedule budget.
+    pub budget: u64,
+    /// Base seed (PCT; recorded either way).
+    pub seed: u64,
+    /// Every autofixed scenario.
+    pub entries: Vec<AutofixEntry>,
+}
+
+impl AutofixReport {
+    /// True if every entry verified.
+    pub fn ok(&self) -> bool {
+        self.entries.iter().all(|e| e.ok())
+    }
+}
+
+impl ToJson for VerifyStats {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("schedules", Json::int(self.schedules)),
+            ("pruned", Json::int(self.pruned)),
+            ("step_limited", Json::int(self.step_limited)),
+            ("exhausted", Json::Bool(self.exhausted)),
+            (
+                "failure",
+                match &self.failure {
+                    Some(m) => Json::str(m),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl ToJson for Widening {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("path", Json::str(&self.path)),
+            ("inferred", Json::strings(&self.inferred)),
+            ("hand", Json::strings(&self.hand)),
+        ])
+    }
+}
+
+impl ToJson for AutofixEntry {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("key", Json::str(&self.key)),
+            ("regions", Json::list(self.regions.iter().map(|r| r.to_json_value()))),
+            ("recipes", Json::strings(&self.recipes)),
+            ("rounds", Json::int(u64::from(self.rounds))),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            ),
+            ("static_clean", Json::Bool(self.static_clean)),
+            ("buggy", self.buggy.to_json_value()),
+            ("patched", self.patched.to_json_value()),
+            ("widenings", Json::list(self.widenings.iter().map(|w| w.to_json_value()))),
+            ("ok", Json::Bool(self.ok())),
+        ])
+    }
+}
+
+impl ToJson for AutofixReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(FORMAT)),
+            ("strategy", Json::str(&self.strategy)),
+            ("budget", Json::int(self.budget)),
+            ("seed", Json::int(self.seed)),
+            ("ok", Json::Bool(self.ok())),
+            ("entries", Json::list(self.entries.iter().map(|e| e.to_json_value()))),
+        ])
+    }
+}

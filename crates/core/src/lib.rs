@@ -18,6 +18,8 @@
 //!   fix a bug and with which recipe.
 //! - [`difficulty`]: the §5.2 effort model rating TM fixes
 //!   easy/medium/hard and picking the preferable fix.
+//! - [`finding`]: the unified [`Hazard`] vocabulary every analyzer
+//!   (static, dynamic, region inference) reports in.
 //! - [`report`]: rebuild the paper's Tables 1–3 from any dataset
 //!   ([`table1`], [`table2`], [`table3`], [`CorpusSummary`]).
 //! - [`json`]: the hand-rolled JSON reader/writer shared by the
@@ -31,6 +33,7 @@
 pub mod analysis;
 pub mod bug;
 pub mod difficulty;
+pub mod finding;
 pub mod json;
 pub mod recipe;
 pub mod report;
@@ -41,6 +44,7 @@ pub use analysis::{
 };
 pub use bug::{App, BugChars, BugKind, BugRecord, DevFix, Difficulty, Downcalls, MissingSync};
 pub use difficulty::{preference, tm_difficulty, Preference};
+pub use finding::{hazard_from_json, Hazard};
 pub use recipe::{
     preemptible, preemptible_report, replace_locks_atomic, wrap_all_atomic,
     wrap_unprotected_atomic, PreemptOptions,

@@ -295,7 +295,7 @@ impl BugScenario for CvPartial {
         match variant {
             Variant::Buggy => {
                 let monitor = Arc::new(TxMutex::new("m91106.monitor", 0u64));
-                let cv = Arc::new(LockCondvar::new());
+                let cv = Arc::new(LockCondvar::named("m91106.cv"));
                 let rescued = AtomicU64::new(0);
                 std::thread::scope(|s| {
                     let (m, c) = (monitor.clone(), cv.clone());

@@ -105,13 +105,34 @@ pub fn variant_parse(s: &str) -> Option<Variant> {
     }
 }
 
-/// Raw result of exploring one (scenario, variant).
-struct Exploration {
-    schedules: u64,
-    pruned: u64,
-    step_limited: u64,
-    exhausted: bool,
-    failure: Option<ScheduleOutcome>,
+/// Raw result of exploring one schedule space.
+pub struct Exploration {
+    /// Schedules actually executed.
+    pub schedules: u64,
+    /// Schedules pruned by sleep sets (DFS only).
+    pub pruned: u64,
+    /// Schedules cut off by the step bound.
+    pub step_limited: u64,
+    /// Whether the (reduced) space was fully enumerated within budget
+    /// (DFS only; PCT never exhausts).
+    pub exhausted: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<ScheduleOutcome>,
+}
+
+/// Explore an ad-hoc [`ScheduledRun`](txfix_corpus::ScheduledRun)
+/// builder — the programmatic entry point for callers that synthesize
+/// their own runs (fix inference verifies patched scenarios this way)
+/// rather than going through the scheduled corpus registry.
+///
+/// Takes the process-global scheduler gate for the whole exploration;
+/// do not call from inside [`sched::run_exclusively`].
+pub fn explore_build(
+    build: &dyn Fn(Variant) -> txfix_corpus::ScheduledRun,
+    variant: Variant,
+    cfg: &ExploreConfig,
+) -> Exploration {
+    sched::run_exclusively(|| drive(build, variant, cfg))
 }
 
 fn drive(

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ir;
+pub mod region;
 pub mod report;
 pub mod synth;
 
@@ -34,6 +35,7 @@ mod lockset;
 mod waits;
 
 pub use ir::{Op, Path, PathSummary, ScenarioSummary, Summary};
+pub use region::{footprint, group_closure, wrap_region_seed, Region};
 pub use report::{Finding, Hazard, LintFinding, LintReport};
 pub use synth::{apply, synthesize, Verification};
 

@@ -114,7 +114,7 @@ pub fn synthesize(
 
 /// Recipe 1: every acquire/release of a cycle lock becomes atomic-region
 /// entry/exit, in every path.
-fn replace_locks(summary: &ScenarioSummary, locks: &[String]) -> ScenarioSummary {
+pub(crate) fn replace_locks(summary: &ScenarioSummary, locks: &[String]) -> ScenarioSummary {
     let set: BTreeSet<&str> = locks.iter().map(String::as_str).collect();
     map_paths(summary, |path| {
         path.ops
@@ -134,7 +134,10 @@ fn replace_locks(summary: &ScenarioSummary, locks: &[String]) -> ScenarioSummary
 /// acquires a cycle lock while holding another) becomes a preemptible
 /// transaction — whole path wrapped, its cycle-lock acquisitions
 /// revocable.
-fn preempt_cycle(summary: &ScenarioSummary, locks: &[String]) -> Option<ScenarioSummary> {
+pub(crate) fn preempt_cycle(
+    summary: &ScenarioSummary,
+    locks: &[String],
+) -> Option<ScenarioSummary> {
     let set: BTreeSet<&str> = locks.iter().map(String::as_str).collect();
     let participant = summary.paths.iter().position(|path| {
         let mut held: Vec<&str> = Vec::new();
@@ -171,7 +174,7 @@ fn preempt_cycle(summary: &ScenarioSummary, locks: &[String]) -> Option<Scenario
 /// preemptible transaction — the wait turns into transactional retry
 /// (modeled as re-running the wrapped region), and every lock the
 /// transaction still takes becomes revocable.
-fn preempt_wait(summary: &ScenarioSummary, cv: &str) -> ScenarioSummary {
+pub(crate) fn preempt_wait(summary: &ScenarioSummary, cv: &str) -> ScenarioSummary {
     map_paths(summary, |path| {
         let waits_here = path.ops.iter().any(|op| matches!(op, Op::Wait { cv: c, .. } if c == cv));
         if !waits_here {
@@ -191,7 +194,7 @@ fn preempt_wait(summary: &ScenarioSummary, cv: &str) -> ScenarioSummary {
 /// Close `locs` over the summary's invariant groups: a wrap that covers
 /// one member of a group must cover them all, or the group's atomicity
 /// hazard survives the fix.
-fn expand_groups(summary: &ScenarioSummary, locs: &[String]) -> Vec<String> {
+pub(crate) fn expand_groups(summary: &ScenarioSummary, locs: &[String]) -> Vec<String> {
     let mut set: BTreeSet<String> = locs.iter().cloned().collect();
     loop {
         let before = set.len();
@@ -220,6 +223,21 @@ fn wrap_all(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSummary {
 /// is wrapped.
 fn wrap_unprotected(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSummary {
     let locs = expand_groups(summary, locs);
+    let (unprotected, serialized) = wrap_seed(summary, &locs);
+    wrap_spans(summary, &locs, &unprotected, &serialized)
+}
+
+/// The Recipe 4 seed computation: which paths need wrapping (the fully
+/// unprotected ones, or — for a wrong-lock bug — the weakest-protected
+/// one, ties to the later path, the usual "other" client of the data),
+/// and which locks the region must serialize against (every lock the
+/// locations are protected by elsewhere; when nothing anywhere protects
+/// them, the scenario's locks — possibly none, degenerating to Recipe
+/// 2's plain region, which is correct).
+pub(crate) fn wrap_seed(
+    summary: &ScenarioSummary,
+    locs: &[String],
+) -> (BTreeSet<usize>, Vec<String>) {
     let subjects: BTreeSet<&str> = locs.iter().map(String::as_str).collect();
     let accs = accesses(summary);
     let subject_accs: Vec<_> = accs.iter().filter(|a| subjects.contains(a.loc.as_str())).collect();
@@ -227,9 +245,6 @@ fn wrap_unprotected(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSumma
     let mut unprotected: BTreeSet<usize> =
         subject_accs.iter().filter(|a| a.locks_held.is_empty()).map(|a| a.path).collect();
     if unprotected.is_empty() {
-        // Wrong-lock rather than no-lock: wrap the path with the weakest
-        // protection (ties go to the later path, the usual "other"
-        // client of the data).
         let weakest = subject_accs
             .iter()
             .map(|a| (a.locks_held.len(), usize::MAX - a.path))
@@ -241,13 +256,9 @@ fn wrap_unprotected(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSumma
     let mut serialized: BTreeSet<String> =
         subject_accs.iter().flat_map(|a| a.locks_held.iter().cloned()).collect();
     if serialized.is_empty() {
-        // Nothing anywhere protects these locations; serialize against
-        // whatever locks the scenario has (possibly none — the wrap then
-        // degenerates to Recipe 2's plain region, which is correct).
         serialized = summary.lock_names();
     }
-    let serialized: Vec<String> = serialized.into_iter().collect();
-    wrap_spans(summary, &locs, &unprotected, &serialized)
+    (unprotected, serialized.into_iter().collect())
 }
 
 /// Recipe 2/4 on a lost wakeup: drop the wait/notify pair on `cv` and
@@ -256,7 +267,11 @@ fn wrap_unprotected(summary: &ScenarioSummary, locs: &[String]) -> ScenarioSumma
 /// variable. With `serialize`, the regions are serialized against
 /// remaining users of the monitor locks (Recipe 4); otherwise they are
 /// plain (Recipe 2).
-fn retire_monitor(summary: &ScenarioSummary, cv: &str, serialize: bool) -> ScenarioSummary {
+pub(crate) fn retire_monitor(
+    summary: &ScenarioSummary,
+    cv: &str,
+    serialize: bool,
+) -> ScenarioSummary {
     let monitors: BTreeSet<String> = summary
         .paths
         .iter()
@@ -304,7 +319,7 @@ fn map_paths(
 /// they cut no lock pair and no existing atomic region; critical
 /// sections of locks in `serialized` that end up fully inside the span
 /// are dropped — the region's serialization replaces them.
-fn wrap_spans(
+pub(crate) fn wrap_spans(
     summary: &ScenarioSummary,
     locs: &[String],
     paths: &BTreeSet<usize>,

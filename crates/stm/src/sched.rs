@@ -273,11 +273,14 @@ struct Inner {
     max_steps: u64,
     stop: Option<StopReason>,
     /// Per-run canonical resource ids, keyed by the raw (process-global)
-    /// id, assigned in first-announcement order. Raw ids come from global
-    /// counters, so a scenario rebuilt for re-execution gets fresh ones;
-    /// canonicalizing at the announcement point makes the operation
-    /// stream a pure function of the schedule, which is what stateless
-    /// DFS re-execution and bit-for-bit replay both require.
+    /// id. Raw ids come from global counters, so a scenario rebuilt for
+    /// re-execution gets fresh ones; canonical ids are assigned inside
+    /// [`schedule`] in slot order, which makes the operation stream a
+    /// pure function of the schedule — what stateless DFS re-execution
+    /// and bit-for-bit replay both require. (Assigning at the
+    /// announcement point instead would order ids by worker startup, an
+    /// OS artifact: before the start gate opens, threads announce their
+    /// first ops in whatever order the OS ran them.)
     canon: std::collections::HashMap<u64, u64>,
 }
 
@@ -470,7 +473,6 @@ pub fn yield_point(op: SyncOp) {
         drop(g);
         stop_unwind();
     }
-    let op = inner.canon_op(op);
     inner.phase[me] = Phase::Ready(op);
     schedule(inner);
     wait_for_turn(g, me);
@@ -493,7 +495,6 @@ pub fn block_on(res: u64, op: SyncOp) {
         drop(g);
         stop_unwind();
     }
-    let op = inner.canon_op(op);
     inner.phase[me] = Phase::Blocked(res, op);
     schedule(inner);
     wait_for_turn(g, me);
@@ -581,25 +582,23 @@ fn schedule(inner: &mut Inner) {
     if inner.phase.iter().any(|p| matches!(p, Phase::NotStarted)) {
         return; // start gate: wait for every worker's first yield
     }
-    let candidates: Vec<(usize, SyncOp)> = inner
-        .phase
-        .iter()
-        .enumerate()
-        .filter_map(|(i, p)| match p {
-            Phase::Ready(op) => Some((i, *op)),
-            _ => None,
-        })
-        .collect();
+    // Phases hold *raw* resource ids; canonicalize here, in slot order,
+    // so id assignment is a pure function of the schedule (announcement
+    // order races with worker startup — see `Inner::canon`).
+    let mut candidates: Vec<(usize, SyncOp)> = Vec::new();
+    for i in 0..inner.phase.len() {
+        if let Phase::Ready(op) = inner.phase[i] {
+            candidates.push((i, inner.canon_op(op)));
+        }
+    }
     if candidates.is_empty() {
-        let blocked: Vec<String> = inner
-            .phase
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| match p {
-                Phase::Blocked(_, op) => Some(format!("thread {i} blocked at {op}")),
-                _ => None,
-            })
-            .collect();
+        let mut blocked: Vec<String> = Vec::new();
+        for i in 0..inner.phase.len() {
+            if let Phase::Blocked(_, op) = inner.phase[i] {
+                let op = inner.canon_op(op);
+                blocked.push(format!("thread {i} blocked at {op}"));
+            }
+        }
         if !blocked.is_empty() {
             // Live threads exist but none can run: deadlock / lost wakeup.
             inner.stop = Some(StopReason::Deadlock(blocked));

@@ -118,11 +118,16 @@ pub enum EventKind {
     CvWait {
         /// Condvar identity.
         cv: u64,
+        /// Condvar name (empty for unnamed condvars, which the
+        /// wait/notify analysis passes skip).
+        name: String,
     },
     /// A thread signalled a condition variable.
     CvNotify {
         /// Condvar identity.
         cv: u64,
+        /// Condvar name (empty for unnamed condvars).
+        name: String,
     },
 }
 
@@ -338,7 +343,7 @@ mod tests {
         let cell = TracedCell::new("off", 0);
         cell.store(7);
         assert_eq!(cell.load(), 7);
-        emit(EventKind::CvNotify { cv: 1 });
+        emit(EventKind::CvNotify { cv: 1, name: String::new() });
         assert_eq!(event_count(), 0, "disabled sink must stay empty");
     }
 

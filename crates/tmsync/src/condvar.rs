@@ -88,14 +88,14 @@ impl TxCondvar {
     /// Always returns `Err` (the commit-and-wait control-flow signal); the
     /// runtime consumes it.
     pub fn wait<T>(self: &Arc<Self>, txn: &mut Txn) -> StmResult<T> {
-        trace::emit(trace::EventKind::CvWait { cv: self.trace_id });
+        trace::emit(trace::EventKind::CvWait { cv: self.trace_id, name: String::new() });
         txn.wait_on(self.clone() as Arc<dyn WaitPoint>)
     }
 
     /// Wake all waiters immediately (non-transactional callers).
     pub fn notify_all(&self) {
         sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
-        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id, name: String::new() });
         let mut g = self.generation.lock();
         *g += 1;
         drop(g);
@@ -117,7 +117,7 @@ impl TxCondvar {
     /// update (the generation still advances for everyone).
     pub fn notify_one(&self) {
         sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
-        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id, name: String::new() });
         let mut g = self.generation.lock();
         *g += 1;
         drop(g);

@@ -28,6 +28,7 @@ pub struct LockCondvar {
     generation: Mutex<u64>,
     cv: Condvar,
     trace_id: u64,
+    name: &'static str,
 }
 
 impl Default for LockCondvar {
@@ -38,17 +39,30 @@ impl Default for LockCondvar {
 
 impl fmt::Debug for LockCondvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LockCondvar").field("generation", &*self.generation.lock()).finish()
+        f.debug_struct("LockCondvar")
+            .field("name", &self.name)
+            .field("generation", &*self.generation.lock())
+            .finish()
     }
 }
 
 impl LockCondvar {
-    /// Create a condition variable.
+    /// Create an unnamed condition variable. Its wait/notify events are
+    /// still traced but carry an empty name, so the name-based analysis
+    /// passes skip them.
     pub fn new() -> LockCondvar {
+        LockCondvar::named("")
+    }
+
+    /// Create a named condition variable; the name rides on every traced
+    /// wait/notify event, letting the dynamic wait/notify passes report
+    /// hazards in the same vocabulary as the static summaries.
+    pub fn named(name: &'static str) -> LockCondvar {
         LockCondvar {
             generation: Mutex::new(0),
             cv: Condvar::new(),
             trace_id: trace::next_object_id(),
+            name,
         }
     }
 
@@ -67,7 +81,7 @@ impl LockCondvar {
         let mutex: &'a TxMutex<T> = guard.mutex();
         let owner = guard.owner();
         debug_assert_eq!(crate::thread_id::current(), owner);
-        trace::emit(trace::EventKind::CvWait { cv: self.trace_id });
+        trace::emit(trace::EventKind::CvWait { cv: self.trace_id, name: self.name.to_string() });
 
         // Standard condvar protocol: sample the generation while still
         // holding the mutex, so a signal between unlock and sleep is not
@@ -111,7 +125,7 @@ impl LockCondvar {
     /// Wake all current waiters.
     pub fn notify_all(&self) {
         sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
-        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id, name: self.name.to_string() });
         let mut gen = self.generation.lock();
         *gen += 1;
         drop(gen);
@@ -122,7 +136,7 @@ impl LockCondvar {
     /// Wake one waiter.
     pub fn notify_one(&self) {
         sched::yield_point(sched::SyncOp::CvNotify(self.trace_id));
-        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id });
+        trace::emit(trace::EventKind::CvNotify { cv: self.trace_id, name: self.name.to_string() });
         let mut gen = self.generation.lock();
         *gen += 1;
         drop(gen);

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         Some("stress") => stress_cmd(&args[1..]),
         Some("chaos") => chaos_cmd(&args[1..]),
         Some("explore") => explore_cmd(&args[1..]),
+        Some("autofix") => autofix_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -89,6 +90,13 @@ fn usage() {
          \x20                              minimized and printed), every fixed variant\n\
          \x20                              must survive all explored schedules; writes\n\
          \x20                              EXPLORE_stm.json; exits nonzero on violations\n\
+         \x20 autofix [<key>|--all] [--strategy dfs|pct] [--budget N] [--seed S] [--json]\n\
+         \x20                              infer atomic-region fixes from static findings,\n\
+         \x20                              synthesize the TM patch, and verify it both\n\
+         \x20                              statically and by schedule exploration; reports\n\
+         \x20                              widenings vs the hand-written TM variant; writes\n\
+         \x20                              AUTOFIX_stm.json; exits nonzero on any\n\
+         \x20                              unverified fix\n\
          \x20 help                         this message"
     );
 }
@@ -668,6 +676,114 @@ fn explore_cmd(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("error: exploration expectations not met");
+        ExitCode::FAILURE
+    }
+}
+
+fn autofix_cmd(args: &[String]) -> ExitCode {
+    use txfix::autofix;
+    use txfix::corpus::keys;
+    use txfix::explore;
+    use txfix::recipes::json::ToJson as _;
+
+    let mut cfg = explore::ExploreConfig::default();
+    let mut key: Option<String> = None;
+    let mut all = false;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--all" => all = true,
+            "--strategy" => match rest.next().and_then(|s| explore::Strategy::parse(s)) {
+                Some(s) => cfg.strategy = s,
+                None => return usage_error("--strategy takes dfs|pct"),
+            },
+            "--budget" => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => cfg.budget = n,
+                _ => return usage_error("--budget takes a positive integer"),
+            },
+            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
+                Some(s) => cfg.seed = s,
+                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
+            },
+            "--json" => json = true,
+            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    if !all && key.is_none() {
+        return usage_error(&format!(
+            "autofix needs a scenario key or --all (available: {})",
+            keys::ALL.join(", ")
+        ));
+    }
+    let selected: Option<Vec<String>> = key.map(|k| vec![k]);
+
+    let report = match autofix::autofix_corpus(selected.as_deref(), &cfg) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    let rendered = report.to_json();
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!("{:22} {:>6} {:>7} {:>8}  verdict", "scenario", "rounds", "static", "patched");
+        for e in &report.entries {
+            if let Some(err) = &e.error {
+                println!("{:22} {:>6} {:>7} {:>8}  INFERENCE FAILED: {err}", e.key, "-", "-", "-");
+                continue;
+            }
+            let verdict = match (&e.patched.failure, &e.buggy.failure) {
+                (Some(f), _) => format!("PATCH BROKE: {f}"),
+                (None, Some(b)) => format!("verified (bug reproduced: {b})"),
+                (None, None) => "verified (no counterexample within budget)".to_string(),
+            };
+            println!(
+                "{:22} {:>6} {:>7} {:>8}  {}",
+                e.key,
+                e.rounds,
+                if e.static_clean { "clean" } else { "DIRTY" },
+                format!("{}s", e.patched.schedules),
+                verdict
+            );
+            for (region, recipe) in e.regions.iter().zip(&e.recipes) {
+                println!("{:24}fix: {region}  [{recipe}]", "");
+            }
+            for w in &e.widenings {
+                println!(
+                    "{:24}widened {}: inferred {{{}}} vs hand {{{}}}",
+                    "",
+                    w.path,
+                    w.inferred.join(", "),
+                    w.hand.join(", ")
+                );
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::write("AUTOFIX_stm.json", format!("{rendered}\n")) {
+        eprintln!("error: cannot write AUTOFIX_stm.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let per_run = format!("results/AUTOFIX_stm_{stamp}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
+    {
+        eprintln!("error: cannot write {per_run}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("\nwrote AUTOFIX_stm.json and {per_run}");
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: some fixes failed verification");
         ExitCode::FAILURE
     }
 }

@@ -67,3 +67,9 @@ pub use txfix_bench as bench;
 /// Systematic schedule exploration: the deterministic scheduler's DFS and
 /// PCT strategies over the scheduled corpus (`txfix explore`).
 pub use txfix_explore as explore;
+
+/// Automatic fix inference: seed atomic regions from static findings,
+/// grow/merge them until the checkers are silent, then verify the
+/// synthesized patch statically and by schedule exploration
+/// (`txfix autofix`).
+pub use txfix_autofix as autofix;

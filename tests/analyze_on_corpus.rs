@@ -9,11 +9,13 @@ use txfix::analyze::{analyze_scenario, Report};
 use txfix::corpus::{bug_by_scenario, Variant};
 use txfix::recipes::{analyze, Analysis, Recipe};
 
-/// Scenarios whose racy state is visible to the recorder (TracedCell or
-/// traced locks). The others reproduce their bugs inside app miniatures
-/// or monitors the tracer does not instrument (yet), so the analyzer is
-/// silent on them — that is absence of instrumentation, not a clean bill.
+/// Scenarios whose racy state is visible to the recorder (TracedCell,
+/// traced locks, or named condvars). The others reproduce their bugs
+/// inside app miniatures the tracer does not instrument (yet), so the
+/// analyzer is silent on them — that is absence of instrumentation, not
+/// a clean bill.
 const DETECTABLE: &[&str] = &[
+    "apache_i",
     "dl_cache_atomtable",
     "dl_three_lock_cycle",
     "dl_intentional_race",
@@ -22,6 +24,7 @@ const DETECTABLE: &[&str] = &[
     "av_wrong_lock",
     "av_refcount_race",
     "av_lazy_init",
+    "av_cv_partial",
     "av_scoreboard",
     "av_pair_invariant",
     "av_log_sequence",
@@ -91,24 +94,40 @@ fn reports_round_trip_through_json() {
 
 #[test]
 fn finding_kinds_match_the_bug_class() {
-    use txfix::analyze::FindingKind;
-    // Deadlock scenarios report lock-order inversions; atomicity scenarios
-    // report races and serializability violations.
+    use txfix::analyze::Hazard;
+    // Deadlock scenarios report lock cycles; atomicity scenarios report
+    // races and serializability violations; the condvar scenarios report
+    // wait cycles and lost wakeups in the same unified vocabulary.
     let dl = run("dl_cache_atomtable", Variant::Buggy);
     assert!(
-        dl.findings.iter().any(|f| matches!(f.kind, FindingKind::LockOrderInversion { .. })),
+        dl.findings.iter().any(|f| matches!(f.kind, Hazard::LockCycle { .. })),
         "{:?}",
         dl.findings
     );
     let av = run("av_refcount_race", Variant::Buggy);
+    assert!(av.findings.iter().any(|f| matches!(f.kind, Hazard::Race { .. })), "{:?}", av.findings);
     assert!(
-        av.findings.iter().any(|f| matches!(f.kind, FindingKind::DataRace { .. })),
+        av.findings.iter().any(|f| matches!(f.kind, Hazard::Atomicity { .. })),
         "{:?}",
         av.findings
     );
+    let wait = run("apache_i", Variant::Buggy);
     assert!(
-        av.findings.iter().any(|f| matches!(f.kind, FindingKind::AtomicityViolation { .. })),
+        wait.findings.iter().any(|f| matches!(
+            &f.kind,
+            Hazard::WaitCycle { cv, lock }
+                if cv == "apache1.idle_cv" && lock == "apache1.timeout_mutex"
+        )),
         "{:?}",
-        av.findings
+        wait.findings
+    );
+    let lost = run("av_cv_partial", Variant::Buggy);
+    assert!(
+        lost.findings.iter().any(|f| matches!(
+            &f.kind,
+            Hazard::LostWakeup { cv, .. } if cv == "m91106.cv"
+        )),
+        "{:?}",
+        lost.findings
     );
 }

@@ -10,28 +10,23 @@
 //! - Static findings with no dynamic counterpart are individually
 //!   allowlisted with the reason for the divergence — the static side is
 //!   *supposed* to see more (it models state the recorder does not
-//!   instrument), but each such case must be intentional.
+//!   instrument), but each such case must be intentional. Since the
+//!   dynamic wait/notify pass landed, the allowlist is empty: every
+//!   hazard class the summaries model now has a dynamic counterpart, and
+//!   both sides speak `txfix_core::Hazard`, so coverage is plain
+//!   [`Hazard::overlaps`] — no ad-hoc shape mapping.
 
-use txfix::analyze::{analyze_scenario, FindingKind};
+use txfix::analyze::analyze_scenario;
 use txfix::corpus::{bug_by_scenario, keys, summary_for, Variant};
-use txfix::lint::{lint_summary, Hazard, LintReport};
-use txfix::recipes::{analyze, HazardClass};
+use txfix::lint::{lint_summary, LintReport};
+use txfix::recipes::analyze;
 
 /// Static findings expected to have no dynamic counterpart, as
 /// `"key: hazard"` display strings. Every entry must actually occur
 /// (a stale entry fails the test), and every uncovered static finding
-/// must be listed here.
-const STATIC_ONLY: &[&str] = &[
-    // A lock-AND-WAIT cycle: no lock-order inversion ever forms, so the
-    // lock-graph-based dynamic detector is structurally blind to it (the
-    // schedule explorer catches it as a deadlock stop instead — the
-    // recorder's finding kinds simply have no wait-cycle class).
-    "apache_i: wait on apache1.idle_cv holds \"apache1.timeout_mutex\" that a notifier needs",
-    // Condition-variable traffic (notify/wait ordering) is not traced, so
-    // the lost wakeup has no dynamic finding kind either; `txfix explore`
-    // demonstrates it as a stuck schedule.
-    "av_cv_partial: m91106.cv notified before m91106.items is updated (lost wakeup)",
-];
+/// must be listed here. Currently empty: the recorder's cv pass covers
+/// the wait-cycle and lost-wakeup hazards that used to be static-only.
+const STATIC_ONLY: &[&str] = &[];
 
 /// Run the full lint loop for one scenario variant.
 fn lint(key: &str, variant: Variant) -> LintReport {
@@ -40,31 +35,14 @@ fn lint(key: &str, variant: Variant) -> LintReport {
     lint_summary(&summary, analysis.as_ref()).expect("summary validates")
 }
 
-/// The (class, subjects) view of a dynamic finding, for matching against
-/// static hazards.
-fn dynamic_shape(kind: &FindingKind) -> (HazardClass, Vec<String>) {
-    match kind {
-        FindingKind::DataRace { object } => (HazardClass::SharedData, vec![object.clone()]),
-        FindingKind::AtomicityViolation { objects } => (HazardClass::SharedData, objects.clone()),
-        FindingKind::LockOrderInversion { first, second } => {
-            (HazardClass::LockCycle, vec![first.clone(), second.clone()])
-        }
-    }
-}
-
-fn covers(hazard: &Hazard, class: HazardClass, subjects: &[String]) -> bool {
-    hazard.class() == class && hazard.subjects().iter().any(|s| subjects.contains(s))
-}
-
 #[test]
 fn static_findings_cover_every_dynamic_finding_on_buggy_variants() {
     for key in keys::ALL {
         let dynamic = analyze_scenario(key, Variant::Buggy).expect("known key");
         let report = lint(key, Variant::Buggy);
         for d in &dynamic.findings {
-            let (class, subjects) = dynamic_shape(&d.kind);
             assert!(
-                report.findings.iter().any(|f| covers(&f.hazard, class, &subjects)),
+                report.findings.iter().any(|f| f.hazard.overlaps(&d.kind)),
                 "{key}: dynamic finding {:?} has no static counterpart in {:?}",
                 d.kind,
                 report.findings.iter().map(|f| f.hazard.to_string()).collect::<Vec<_>>(),
@@ -121,9 +99,8 @@ fn static_only_findings_are_exactly_the_allowlisted_divergences() {
     let mut unused: Vec<&str> = STATIC_ONLY.to_vec();
     for key in keys::ALL {
         let dynamic = analyze_scenario(key, Variant::Buggy).expect("known key");
-        let shapes: Vec<_> = dynamic.findings.iter().map(|d| dynamic_shape(&d.kind)).collect();
         for f in lint(key, Variant::Buggy).findings {
-            if shapes.iter().any(|(class, subjects)| covers(&f.hazard, *class, subjects)) {
+            if dynamic.findings.iter().any(|d| f.hazard.overlaps(&d.kind)) {
                 continue;
             }
             let entry = format!("{key}: {}", f.hazard);
