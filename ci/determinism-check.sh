@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# determinism-check.sh <prefix> -- <command...>
+#
+# Run <command...> twice, capturing stdout to <prefix>_a.json and
+# <prefix>_b.json, and fail unless both runs succeed and agree
+# byte-for-byte. Every seeded sweep in this repo (chaos, explore,
+# autofix, canary) promises bit-for-bit reproducibility; this is the one
+# place that promise is enforced, so CI smokes all share it instead of
+# each hand-rolling the double run.
+set -eu
+
+if [ "$#" -lt 3 ] || [ "$2" != "--" ]; then
+    echo "usage: $0 <prefix> -- <command...>" >&2
+    exit 2
+fi
+
+prefix=$1
+shift 2
+
+"$@" > "${prefix}_a.json"
+"$@" > "${prefix}_b.json"
+
+if ! cmp "${prefix}_a.json" "${prefix}_b.json"; then
+    echo "determinism-check: two runs of '$*' diverged" >&2
+    echo "  (diff ${prefix}_a.json ${prefix}_b.json to inspect)" >&2
+    exit 1
+fi

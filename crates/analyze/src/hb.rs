@@ -122,7 +122,8 @@ pub fn detect_races(events: &[TraceEvent]) -> Vec<Race> {
             EventKind::LockAttempt { .. }
             | EventKind::TxnBegin { .. }
             | EventKind::CvWait { .. }
-            | EventKind::CvNotify { .. } => {}
+            | EventKind::CvNotify { .. }
+            | EventKind::RetryNotify => {}
         }
     }
     races

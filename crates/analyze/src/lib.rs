@@ -28,6 +28,7 @@
 
 pub mod cv;
 pub mod hb;
+pub mod integrity;
 pub mod order;
 pub mod report;
 pub mod ser;
@@ -105,6 +106,24 @@ pub fn analyze_trace(
         });
     }
 
+    // Commit-protocol integrity: a retry-notifier bump from inside a
+    // still-open transaction (one deduplicated finding — the ordering is
+    // wrong however many commits exhibit it).
+    if integrity::premature_notify(events) {
+        findings.push(Finding {
+            explanation: format!(
+                "a committing transaction bumps the retry notifier before its write-back \
+                 publishes; a retrying waiter can revalidate against the unpublished state \
+                 and sleep through its only wakeup; {rationale}"
+            ),
+            kind: Hazard::LostWakeup {
+                cv: "retry-notifier".to_string(),
+                loc: "stm write-back".to_string(),
+            },
+            recipe,
+        });
+    }
+
     // Wait/notify discipline over named condvars.
     for hazard in cv::cv_hazards(events) {
         let explanation = match &hazard {
@@ -166,9 +185,24 @@ pub fn analyze_scenario(key: &str, variant: Variant) -> Option<Report> {
 
     let events = trace::take();
     let live = lockdep::inversions();
+    let live_edges = lockdep::edges();
     lockdep::reset();
 
-    let findings = analyze_trace(&events, &live, key);
+    let mut findings = analyze_trace(&events, &live, key);
+    // Validator-integrity cross-check: the trace and the live lockdep
+    // graph witnessed the same acquisitions; an edge only the trace has
+    // means the validator's deadlock graph is silently incomplete.
+    for (first, second) in integrity::lockdep_gaps(&events, &live_edges) {
+        findings.push(Finding {
+            explanation: format!(
+                "the live lock-order validator has no record of the \"{first}\" -> \
+                 \"{second}\" acquisition edge the trace witnessed; its deadlock graph is \
+                 incomplete and any cycle through the missing edge goes unreported"
+            ),
+            kind: Hazard::LockCycle { locks: vec![first, second] },
+            recipe: None,
+        });
+    }
     Some(Report {
         scenario: key.to_string(),
         variant: match variant {

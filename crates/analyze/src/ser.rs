@@ -139,7 +139,8 @@ pub fn violations(events: &[TraceEvent]) -> Vec<Violation> {
             EventKind::LockAttempt { .. }
             | EventKind::TxnBegin { .. }
             | EventKind::CvWait { .. }
-            | EventKind::CvNotify { .. } => {}
+            | EventKind::CvNotify { .. }
+            | EventKind::RetryNotify => {}
         }
     }
 

@@ -80,6 +80,16 @@ pub fn run_schedule(run: ScheduledRun, max_steps: u64, picker: Picker) -> Schedu
             Outcome::BugObserved(msg) => RunResult::Bug(msg),
         },
     };
+    // Turnstile integrity: the executed events must match the announced
+    // decisions one-for-one. A divergence means an operation ran out of
+    // turnstile order — the record no longer describes the execution, so
+    // replay and minimization would both lie. It outranks every verdict
+    // except an already-detected bug.
+    let result = match (log.turnstile_breach(), result) {
+        (Some(_), bug @ RunResult::Bug(_)) => bug,
+        (Some(msg), _) => RunResult::Bug(msg),
+        (None, result) => result,
+    };
     ScheduleOutcome { log, result }
 }
 

@@ -80,6 +80,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "canary-core")]
+pub mod canary;
 pub mod chaos;
 mod clock;
 mod contention;

@@ -27,6 +27,11 @@ impl Notifier {
 
     /// Announce that a commit published new values.
     pub(crate) fn notify(&self) {
+        // The bump is a recordable sync event: `txfix analyze` checks
+        // that it happens *after* the committing transaction's write-back
+        // (a notify from inside a still-open transaction is a lost-wakeup
+        // hazard — the waiter can revalidate against unpublished state).
+        crate::trace::emit(crate::trace::EventKind::RetryNotify);
         let mut e = self.epoch.lock();
         *e += 1;
         drop(e);

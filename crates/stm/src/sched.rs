@@ -237,6 +237,25 @@ impl RunLog {
     pub fn preemptions(&self) -> u64 {
         self.events.windows(2).filter(|w| w[0].0 != w[1].0).count() as u64
     }
+
+    /// Turnstile integrity: every executed operation must be the candidate
+    /// the matching decision record announced. A healthy scheduler can
+    /// never diverge — the two are written under one lock — so any
+    /// divergence means an operation ran out of turnstile order and the
+    /// recorded schedule no longer describes the execution. Returns the
+    /// first divergence as a fixed-format diagnostic.
+    pub fn turnstile_breach(&self) -> Option<String> {
+        for (i, (d, executed)) in self.decisions.iter().zip(self.events.iter()).enumerate() {
+            let announced = d.candidates[d.chosen];
+            if announced != *executed {
+                return Some(format!(
+                    "turnstile breach at step {i}: announced thread {} ({}), executed thread {} ({})",
+                    announced.0, announced.1, executed.0, executed.1
+                ));
+            }
+        }
+        None
+    }
 }
 
 /// Render a decision trace in the compact `a.b.c` form printed on failure
@@ -623,7 +642,20 @@ fn schedule(inner: &mut Inner) {
             return;
         }
     };
-    let (slot, op) = candidates[chosen];
+    #[cfg(not(feature = "canary-sched"))]
+    let run_index = chosen;
+    // Canary: execute a different ready candidate than the one the
+    // decision record announces — one op runs out of turnstile order.
+    // The record keeps the picker's choice, so the executed event stream
+    // silently diverges from the announced schedule.
+    #[cfg(feature = "canary-sched")]
+    let run_index =
+        if candidates.len() > 1 && crate::canary::fire(crate::canary::Canary::SchedOutOfTurn) {
+            (chosen + 1) % candidates.len()
+        } else {
+            chosen
+        };
+    let (slot, op) = candidates[run_index];
     inner.decisions.push(Decision { candidates, chosen });
     inner.events.push((slot, op));
     inner.phase[slot] = Phase::Running;

@@ -122,6 +122,12 @@ pub enum EventKind {
         /// wait/notify analysis passes skip).
         name: String,
     },
+    /// The STM's global retry notifier was bumped (a committed writer
+    /// announced new values to blocking `retry`). Emitted *after* the
+    /// committing transaction's `TxnCommit` on the healthy path; a
+    /// `RetryNotify` from a thread whose transaction is still open means
+    /// the notification preceded the write-back (lost-wakeup hazard).
+    RetryNotify,
     /// A thread signalled a condition variable.
     CvNotify {
         /// Condvar identity.
@@ -164,6 +170,15 @@ pub fn thread_id() -> u64 {
 /// condition variable).
 pub fn next_object_id() -> u64 {
     OBJECT_TAG | NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Whether `id` came from [`next_object_id`] — i.e. belongs to a traced
+/// object *outside* the STM's and `txfix-txlock`'s id spaces (a serial
+/// mutex, a condvar, a `TracedCell`). Lock events with external ids are
+/// visible to the trace but not to `txfix_txlock::lockdep`, so analyses
+/// that cross-check the two must filter on this.
+pub fn is_external_object(id: u64) -> bool {
+    id & OBJECT_TAG != 0
 }
 
 /// Start recording. Instrumented code everywhere in the process begins

@@ -205,6 +205,12 @@ pub struct Txn {
     write_capacity: Option<usize>,
     overhead: OverheadModel,
     finished: bool,
+    /// Canary: this commit already bumped the retry notifier *before*
+    /// write-back (the planted reordering), so the normal post-publish
+    /// notification must be suppressed to keep the mutation a true
+    /// reorder rather than a duplicate.
+    #[cfg(feature = "canary-stm")]
+    canary_notified_early: bool,
 }
 
 impl fmt::Debug for Txn {
@@ -248,6 +254,8 @@ impl Txn {
             write_capacity: opts.write_capacity,
             overhead: opts.overhead,
             finished: false,
+            #[cfg(feature = "canary-stm")]
+            canary_notified_early: false,
         }
     }
 
@@ -631,7 +639,20 @@ impl Txn {
 
         let wv = clock::tick();
 
+        // Canary: commit with a stale version stamp — publish each value
+        // at the orec's *pre-commit* version instead of `wv`, so a
+        // concurrent reader's validation still matches and the conflict
+        // goes unseen.
+        #[cfg(feature = "canary-stm")]
+        let stale_stamp = crate::canary::fire(crate::canary::Canary::StmStaleStamp);
+
         for e in &self.read_set {
+            // Canary: skip read-set validation for this orec — a stale
+            // read no longer aborts the commit.
+            #[cfg(feature = "canary-stm")]
+            if crate::canary::fire(crate::canary::Canary::StmSkipValidation) {
+                continue;
+            }
             if !e.var.validate(e.version, self.serial) {
                 obs::note_orec_conflict(e.var.id);
                 for &j in &locked {
@@ -653,7 +674,29 @@ impl Txn {
             return Err(Abort::Conflict(ConflictKind::OrecBusy));
         }
 
+        // Canary: bump the retry notifier *before* the write-back loop
+        // (and suppress the normal post-publish bump): a retrying waiter
+        // can wake, revalidate against the still-unpublished state, and
+        // sleep through the only wakeup for the real update.
+        #[cfg(feature = "canary-stm")]
+        if crate::canary::fire(crate::canary::Canary::StmNotifyReorder) {
+            notifier::global().notify();
+            self.canary_notified_early = true;
+        }
+
         for w in &self.write_set {
+            // Canary: skip this TVar's write-back entirely — the
+            // transaction still reports success (silent lost update).
+            #[cfg(feature = "canary-stm")]
+            if crate::canary::fire(crate::canary::Canary::StmSkipWriteback) {
+                continue;
+            }
+            #[cfg(feature = "canary-stm")]
+            if stale_stamp {
+                let old = w.var.version.load(Ordering::Acquire);
+                w.var.publish(w.value.clone(), old);
+                continue;
+            }
             w.var.publish(w.value.clone(), wv);
         }
         for &j in &locked {
@@ -739,6 +782,8 @@ impl Txn {
             r.commit(self.serial);
         }
         self.abort_hooks.clear();
+        #[cfg(feature = "canary-stm")]
+        let wrote = wrote && !std::mem::replace(&mut self.canary_notified_early, false);
         if wrote {
             notifier::global().notify();
         }

@@ -144,6 +144,26 @@ pub fn edge_count() -> usize {
     ORDER.lock().as_ref().map(|s| s.edges.values().map(HashMap::len).sum()).unwrap_or(0)
 }
 
+/// The recorded order edges as sorted, deduplicated `(held, acquiring)`
+/// name pairs. This is the validator's ground truth in auditable form:
+/// `txfix analyze` cross-checks it against the edges independently
+/// derivable from the recorded trace, so a validator that silently drops
+/// an edge (a lockdep bug, or a planted canary) is caught by disagreement
+/// rather than trusted blindly.
+pub fn edges() -> Vec<(String, String)> {
+    let g = ORDER.lock();
+    let Some(s) = g.as_ref() else { return Vec::new() };
+    let name = |id: &LockId| s.names.get(id).cloned().unwrap_or_else(|| "?".into());
+    let mut pairs: Vec<(String, String)> = s
+        .edges
+        .iter()
+        .flat_map(|(from, tos)| tos.keys().map(move |to| (name(from), name(to))))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    pairs
+}
+
 /// Record the order edges of an acquisition *attempt*: the thread holds
 /// its current lock set and is about to block on (or test) `id`. Recording
 /// at attempt time — before the acquisition can succeed — means a
@@ -152,6 +172,13 @@ pub fn edge_count() -> usize {
 /// exactly the edge that completes the cycle.
 pub(crate) fn note_attempt(id: LockId, name: &str, preemptible: bool) {
     if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    // Canary: drop this attempt's order edges on the floor. The execution
+    // is unchanged — only the validator's graph goes quietly incomplete,
+    // which is exactly the failure mode the trace cross-check exists for.
+    #[cfg(feature = "canary-txlock")]
+    if txfix_stm::canary::fire(txfix_stm::canary::Canary::LockSkipLockdep) {
         return;
     }
     HELD.with(|h| {

@@ -175,6 +175,13 @@ impl RawTxLock {
     }
 
     pub(crate) fn release(&self, me: ThreadToken) {
+        // Canary: the release never happens — the classic "forgot to
+        // unlock on this path" bug. The lock stays held by a thread that
+        // has moved on; every later acquirer blocks forever.
+        #[cfg(feature = "canary-txlock")]
+        if txfix_stm::canary::fire(txfix_stm::canary::Canary::LockDropRelease) {
+            return;
+        }
         let op = sched::SyncOp::LockRelease(self.id.0);
         sched::yield_point(op);
         let mut st = self.state.lock();
@@ -232,6 +239,16 @@ impl TxResource for LockRelease {
         // An abort-path release is a *revocation*: the lock is taken away
         // from a still-running transaction (the TxLock discipline).
         txfix_stm::obs::note_lock_revoked();
+        // Canary: a buggy revocation that briefly releases the lock and
+        // then blindly takes it back before releasing "for real". If a
+        // waiter slips into the window, the re-acquisition fails and the
+        // final release fires the non-owner assertion — mutual exclusion
+        // was already forfeited the moment the waiter got in.
+        #[cfg(feature = "canary-txlock")]
+        if txfix_stm::canary::fire(txfix_stm::canary::Canary::LockReacquireInRevoke) {
+            self.raw.release(self.owner);
+            self.raw.try_acquire(self.owner);
+        }
         self.raw.release(self.owner);
     }
 }

@@ -115,11 +115,22 @@ impl XFile {
                 }
             });
             let undo = self.inner.clone();
-            txn.on_abort(move || unsafe {
-                undo.with_pending(|st| {
-                    st.ops.clear();
-                    st.owner = 0;
-                });
+            txn.on_abort(move || {
+                // Canary: the undo never runs — the deferred ops and the
+                // ownership stamp of the aborted transaction survive,
+                // exactly the "forgot the compensation" bug x-calls exist
+                // to prevent. A later transaction entering the file will
+                // apply another transaction's buffered writes.
+                #[cfg(feature = "canary-xcall")]
+                if txfix_stm::canary::fire(txfix_stm::canary::Canary::XcallSkipUndo) {
+                    return;
+                }
+                unsafe {
+                    undo.with_pending(|st| {
+                        st.ops.clear();
+                        st.owner = 0;
+                    });
+                }
             });
         }
         Ok(())

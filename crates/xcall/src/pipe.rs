@@ -87,6 +87,15 @@ impl XPipe {
                 if !bytes.is_empty() {
                     let pipe = self.pipe.clone();
                     let undo = bytes.clone();
+                    // Canary: the compensation is registered twice, so an
+                    // abort pushes the consumed bytes back *twice* — the
+                    // stream re-delivers data that was only read once.
+                    #[cfg(feature = "canary-xcall")]
+                    if txfix_stm::canary::fire(txfix_stm::canary::Canary::XcallDoubleCompensate) {
+                        let pipe2 = pipe.clone();
+                        let undo2 = undo.clone();
+                        txn.on_abort(move || pipe2.unread(&undo2));
+                    }
                     txn.on_abort(move || pipe.unread(&undo));
                 }
                 Ok(Ok(bytes))
@@ -106,6 +115,13 @@ impl XPipe {
             Some(bytes) => {
                 let pipe = self.pipe.clone();
                 let undo = bytes.clone();
+                // Canary: as in `x_read` — duplicate compensation.
+                #[cfg(feature = "canary-xcall")]
+                if txfix_stm::canary::fire(txfix_stm::canary::Canary::XcallDoubleCompensate) {
+                    let pipe2 = pipe.clone();
+                    let undo2 = undo.clone();
+                    txn.on_abort(move || pipe2.unread(&undo2));
+                }
                 txn.on_abort(move || pipe.unread(&undo));
                 Ok(Some(bytes))
             }

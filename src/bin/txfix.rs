@@ -41,6 +41,8 @@ fn main() -> ExitCode {
         Some("chaos") => chaos_cmd(&args[1..]),
         Some("explore") => explore_cmd(&args[1..]),
         Some("autofix") => autofix_cmd(&args[1..]),
+        Some("canary") => canary_cmd(&args[1..]),
+        Some("list") => list_cmd(&args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -97,6 +99,15 @@ fn usage() {
          \x20                              widenings vs the hand-written TM variant; writes\n\
          \x20                              AUTOFIX_stm.json; exits nonzero on any\n\
          \x20                              unverified fix\n\
+         \x20 canary [<canary>|--all] [--seed S] [--json]\n\
+         \x20                              arm one planted detector bug at a time and run\n\
+         \x20                              it through every detection layer (analyze, lint,\n\
+         \x20                              explore, chaos); writes the txfix-canary-v1\n\
+         \x20                              capability matrix to CANARY_stm.json; exits\n\
+         \x20                              nonzero if any canary goes uncaught (needs a\n\
+         \x20                              build with `--features canary`)\n\
+         \x20 list [--json]                the corpus capability map: every scenario key,\n\
+         \x20                              its variants, and which detection layers cover it\n\
          \x20 help                         this message"
     );
 }
@@ -786,6 +797,185 @@ fn autofix_cmd(args: &[String]) -> ExitCode {
         eprintln!("error: some fixes failed verification");
         ExitCode::FAILURE
     }
+}
+
+/// The detection layers `txfix list` reports coverage for, in display
+/// order.
+const LIST_LAYERS: [&str; 6] = ["analyze", "lint", "explore", "chaos", "stress", "autofix"];
+
+fn list_cmd(args: &[String]) -> ExitCode {
+    use txfix::bench::{chaos, stress};
+    use txfix::corpus::scheduled_by_key;
+    use txfix::recipes::json::Json;
+
+    let mut json = false;
+    for opt in args {
+        match opt.as_str() {
+            "--json" => json = true,
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+
+    // Which layers cover which scenario. `analyze` (trace replay) and
+    // `autofix` (region inference) sweep the whole corpus; `lint` needs a
+    // declarative summary, `explore` a scheduled build, `chaos` and
+    // `stress` an open-ended load harness.
+    let coverage = |key: &str| -> [bool; 6] {
+        [
+            true,
+            summary_for(key, Variant::Buggy).is_some(),
+            scheduled_by_key(key).is_some(),
+            chaos::SCENARIOS.contains(&key),
+            stress::SCENARIOS.contains(&key),
+            true,
+        ]
+    };
+    let variants = ["buggy", "dev", "tm"];
+
+    if json {
+        let doc = Json::obj([
+            ("schema", Json::str("txfix-list-v1")),
+            (
+                "scenarios",
+                Json::list(keys::ALL.iter().map(|&key| {
+                    let cov = coverage(key);
+                    Json::obj([
+                        ("key", Json::str(key)),
+                        ("variants", Json::strings(variants)),
+                        (
+                            "layers",
+                            Json::obj(
+                                LIST_LAYERS.iter().zip(cov).map(|(&l, c)| (l, Json::Bool(c))),
+                            ),
+                        ),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.to_json());
+    } else {
+        println!(
+            "{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
+            "scenario", "variants", "analyze", "lint", "explore", "chaos", "stress", "autofix"
+        );
+        for &key in keys::ALL.iter() {
+            let cov = coverage(key);
+            let mark = |c: bool| if c { "yes" } else { "-" };
+            println!(
+                "{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
+                key,
+                variants.join(","),
+                mark(cov[0]),
+                mark(cov[1]),
+                mark(cov[2]),
+                mark(cov[3]),
+                mark(cov[4]),
+                mark(cov[5]),
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(feature = "canary")]
+fn canary_cmd(args: &[String]) -> ExitCode {
+    use txfix::canary;
+    use txfix::stm::canary::Canary;
+
+    let mut seed = 0xC0FFEEu64;
+    let mut selected: Option<Canary> = None;
+    let mut all = false;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(opt) = rest.next() {
+        match opt.as_str() {
+            "--all" => all = true,
+            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
+                Some(s) => seed = s,
+                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
+            },
+            "--json" => json = true,
+            other if !other.starts_with('-') && selected.is_none() => {
+                let Some(c) = Canary::parse(other) else {
+                    return usage_error(&format!(
+                        "no canary `{other}` (available: {})",
+                        Canary::ALL.map(Canary::name).join(", ")
+                    ));
+                };
+                selected = Some(c);
+            }
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    let swept: Vec<Canary> = if all {
+        Canary::ALL.to_vec()
+    } else if let Some(c) = selected {
+        vec![c]
+    } else {
+        return usage_error("canary needs a canary name or --all, e.g. `txfix canary --all`");
+    };
+
+    let report = canary::run_canaries(&swept, seed);
+    let rendered = report.to_json();
+
+    if json {
+        println!("{rendered}");
+    } else {
+        println!("{:26} {:12} {:8} caught by", "canary", "class", "caught");
+        for o in &report.outcomes {
+            let by = o.caught_by();
+            println!(
+                "{:26} {:12} {:8} {}",
+                o.canary.name(),
+                canary::class_name(o.expected),
+                if o.caught() { "yes" } else { "UNCAUGHT" },
+                if by.is_empty() { "-".to_string() } else { by.join(", ") }
+            );
+            for p in &o.probes {
+                let verdict = match (p.probed, p.caught) {
+                    (_, true) => "caught",
+                    (true, false) => "missed",
+                    (false, false) => "not probed",
+                };
+                println!("{:28}{:8} {:10} {}", "", p.layer, verdict, p.evidence);
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::write("CANARY_stm.json", format!("{rendered}\n")) {
+        eprintln!("error: cannot write CANARY_stm.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let per_run = format!("results/CANARY_stm_{stamp}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
+    {
+        eprintln!("error: cannot write {per_run}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !json {
+        println!("\nwrote CANARY_stm.json and {per_run}");
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: some canaries went uncaught by every detection layer");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(not(feature = "canary"))]
+fn canary_cmd(_args: &[String]) -> ExitCode {
+    eprintln!(
+        "error: this build carries no canary layer (by design: default builds compile the \
+         mutation sites out entirely).\nRebuild with `cargo run --features canary --bin txfix \
+         -- canary --all` to run the sweep."
+    );
+    ExitCode::FAILURE
 }
 
 fn scenario(args: &[String]) -> ExitCode {

@@ -1,0 +1,507 @@
+//! The canary mutation sweep behind `txfix canary`.
+//!
+//! A *canary* is one seeded, feature-gated bug planted at a real hazard
+//! site inside the runtime substrates (see [`txfix_stm::canary`] for the
+//! registry and the sites). This module arms one canary at a time and
+//! runs it through the four detection layers the repository ships —
+//!
+//! - **analyze**: the trace recorder + replay passes
+//!   ([`txfix_analyze::analyze_scenario`]), including the detector-
+//!   integrity passes in [`txfix_analyze::integrity`];
+//! - **lint**: the static critical-section analyzer — honestly *blind* to
+//!   every runtime canary (it models the source summaries, not the
+//!   mutated binary), recorded as `probed: false` so the matrix never
+//!   overstates static coverage;
+//! - **explore**: deterministic schedule exploration
+//!   ([`txfix_explore`]), which must find a failing schedule when the
+//!   mutation can only strike under a particular interleaving;
+//! - **chaos**: deterministic single-threaded micro-probes with value
+//!   oracles, for mutations whose damage is visible without concurrency.
+//!
+//! Each canary carries an expected [`HazardClass`]; a layer *catches* the
+//! canary when it reports a failure of that class. The sweep asserts
+//! every canary is caught by at least one layer and emits the
+//! `txfix-canary-v1` capability matrix (`CANARY_stm.json`).
+//!
+//! Every probe is deterministic by construction — single-armed canaries
+//! fire on every site visit (`Trigger::EveryNth(1)`), explore probes use
+//! DFS, chaos probes are single-threaded — so the matrix is bit-for-bit
+//! reproducible across seeded runs (CI compares two).
+
+use txfix_core::json::{Json, ToJson};
+use txfix_core::HazardClass;
+use txfix_corpus::{scheduled_by_key, Outcome, ScheduledRun, Variant};
+use txfix_explore::{explore_build, explore_variant, variant_short, ExploreConfig, Strategy};
+use txfix_stm::canary::{self, Canary};
+use txfix_stm::chaos::Trigger;
+use txfix_stm::{atomic, TVar, Txn, TxnError};
+use txfix_txlock::TxMutex;
+use txfix_xcall::{SimFs, SimPipe, XFile, XPipe};
+
+use std::sync::Arc;
+
+/// What one detection layer saw for one armed canary.
+#[derive(Clone, Debug)]
+pub struct LayerProbe {
+    /// Layer name: `analyze`, `lint`, `explore` or `chaos`.
+    pub layer: &'static str,
+    /// Whether the layer was exercised against this canary at all. A
+    /// `false` records a *structural* blind spot (with the reason in
+    /// `evidence`), not a failed probe.
+    pub probed: bool,
+    /// Whether the layer reported a failure of the expected class.
+    pub caught: bool,
+    /// The failure message that caught it, or why it was missed/skipped.
+    pub evidence: String,
+}
+
+/// One canary's complete trip through the detection layers.
+#[derive(Clone, Debug)]
+pub struct CanaryOutcome {
+    /// Which planted bug this is.
+    pub canary: Canary,
+    /// The hazard class a detector is expected to file it under.
+    pub expected: HazardClass,
+    /// One probe per layer, in `analyze, lint, explore, chaos` order.
+    pub probes: Vec<LayerProbe>,
+}
+
+impl CanaryOutcome {
+    /// Whether at least one layer caught the canary.
+    pub fn caught(&self) -> bool {
+        self.probes.iter().any(|p| p.caught)
+    }
+
+    /// The layers that caught it, in probe order.
+    pub fn caught_by(&self) -> Vec<&'static str> {
+        self.probes.iter().filter(|p| p.caught).map(|p| p.layer).collect()
+    }
+}
+
+/// The full sweep: the detection-capability matrix.
+#[derive(Clone, Debug)]
+pub struct CanaryReport {
+    /// Seed the canary triggers were armed with.
+    pub seed: u64,
+    /// One outcome per swept canary, in [`Canary::ALL`] order.
+    pub outcomes: Vec<CanaryOutcome>,
+}
+
+impl CanaryReport {
+    /// The sweep's verdict: every canary caught by at least one layer.
+    pub fn ok(&self) -> bool {
+        self.outcomes.iter().all(CanaryOutcome::caught)
+    }
+}
+
+/// Stable snake-case name for a hazard class (matrix vocabulary).
+pub fn class_name(c: HazardClass) -> &'static str {
+    match c {
+        HazardClass::LockCycle => "lock_cycle",
+        HazardClass::WaitCycle => "wait_cycle",
+        HazardClass::SharedData => "shared_data",
+        HazardClass::LostWakeup => "lost_wakeup",
+    }
+}
+
+/// The hazard class each canary's detection must be filed under.
+pub fn expected_class(c: Canary) -> HazardClass {
+    match c {
+        Canary::StmSkipWriteback
+        | Canary::StmSkipValidation
+        | Canary::StmStaleStamp
+        | Canary::XcallSkipUndo
+        | Canary::XcallDoubleCompensate
+        | Canary::SchedOutOfTurn => HazardClass::SharedData,
+        Canary::StmNotifyReorder => HazardClass::LostWakeup,
+        Canary::LockDropRelease | Canary::LockSkipLockdep | Canary::LockReacquireInRevoke => {
+            HazardClass::LockCycle
+        }
+    }
+}
+
+/// Map a dynamic failure message to the hazard class it evidences.
+///
+/// Deadlock stops and lock-discipline panics are lock-order hazards;
+/// wakeup-related messages are lost wakeups; everything else (lost
+/// updates, value-oracle misses, turnstile breaches) is unserialized
+/// shared data.
+fn classify(msg: &str) -> HazardClass {
+    if msg.starts_with("deadlock:")
+        || msg.contains("released by non-owner")
+        || msg.contains("acquired twice")
+        || msg.contains("lock-order")
+    {
+        HazardClass::LockCycle
+    } else if msg.contains("wakeup") {
+        HazardClass::LostWakeup
+    } else {
+        HazardClass::SharedData
+    }
+}
+
+fn not_probed(layer: &'static str, why: &str) -> LayerProbe {
+    LayerProbe { layer, probed: false, caught: false, evidence: why.to_string() }
+}
+
+fn lint_blind() -> LayerProbe {
+    not_probed(
+        "lint",
+        "static summaries model the source, not the mutated binary; runtime canaries are \
+         invisible to the lint layer by design",
+    )
+}
+
+/// Exploration budget for the canary probes. The probe scenarios are
+/// tiny (two threads, a handful of yield points); DFS exhausts them far
+/// below this bound.
+const EXPLORE_BUDGET: u64 = 2_000;
+
+fn explore_cfg(seed: u64) -> ExploreConfig {
+    ExploreConfig { seed, strategy: Strategy::Dfs, budget: EXPLORE_BUDGET, ..Default::default() }
+}
+
+/// Run a corpus scenario variant under `analyze` with the canary armed.
+fn analyze_probe(c: Canary, seed: u64, key: &str, variant: Variant) -> LayerProbe {
+    let expected = expected_class(c);
+    let _armed = canary::scoped(c, seed, Trigger::EveryNth(1));
+    let report = txfix_analyze::analyze_scenario(key, variant)
+        .unwrap_or_else(|| panic!("canary probe references unknown scenario {key}"));
+    let hit = report.findings.iter().find(|f| f.kind.class() == expected);
+    match hit {
+        Some(f) => LayerProbe {
+            layer: "analyze",
+            probed: true,
+            caught: true,
+            evidence: f.explanation.clone(),
+        },
+        None => LayerProbe {
+            layer: "analyze",
+            probed: true,
+            caught: false,
+            evidence: format!(
+                "{key}/{}: trace replay reports no {} finding — the mutated run leaves a \
+                 well-formed trace",
+                variant_short(variant),
+                class_name(expected)
+            ),
+        },
+    }
+}
+
+/// Run a scheduled corpus scenario variant under `explore` with the
+/// canary armed.
+fn explore_probe(c: Canary, seed: u64, key: &str, variant: Variant) -> LayerProbe {
+    let expected = expected_class(c);
+    let scenario = scheduled_by_key(key)
+        .unwrap_or_else(|| panic!("canary probe references unknown scheduled scenario {key}"));
+    let _armed = canary::scoped(c, seed, Trigger::EveryNth(1));
+    let entry = explore_variant(scenario.as_ref(), variant, &explore_cfg(seed));
+    match entry.failure {
+        Some(f) if classify(&f.message) == expected => {
+            LayerProbe { layer: "explore", probed: true, caught: true, evidence: f.message }
+        }
+        Some(f) => LayerProbe {
+            layer: "explore",
+            probed: true,
+            caught: false,
+            evidence: format!(
+                "failure found but of the wrong class (expected {}): {}",
+                class_name(expected),
+                f.message
+            ),
+        },
+        None => LayerProbe {
+            layer: "explore",
+            probed: true,
+            caught: false,
+            evidence: format!(
+                "{key}/{}: every explored schedule survives ({} schedules, exhausted: {}) — \
+                 the mutation does not perturb execution",
+                variant_short(variant),
+                entry.schedules,
+                entry.exhausted
+            ),
+        },
+    }
+}
+
+/// The ad-hoc revocation-window probe for
+/// [`Canary::LockReacquireInRevoke`]: two transactions take two revocable
+/// locks in opposite orders, so some schedule forms a cycle, the deadlock
+/// detector victimizes one, and its revocation runs the buggy
+/// release/re-acquire window. If a waiter slips into the window, the
+/// victim's final release panics — which exploration reports as the bug.
+fn revoke_probe(c: Canary, seed: u64) -> LayerProbe {
+    let expected = expected_class(c);
+    let build = |_v: Variant| -> ScheduledRun {
+        let a = Arc::new(TxMutex::new("canary.revoke.a", 0u32));
+        let b = Arc::new(TxMutex::new("canary.revoke.b", 0u32));
+        let body =
+            |first: Arc<TxMutex<u32>>, second: Arc<TxMutex<u32>>| -> Box<dyn FnOnce() + Send> {
+                Box::new(move || {
+                    atomic(move |txn| {
+                        first.lock_tx(txn)?;
+                        second.lock_tx(txn)?;
+                        Ok(())
+                    });
+                })
+            };
+        ScheduledRun {
+            threads: vec![body(a.clone(), b.clone()), body(b, a)],
+            // The bug manifests as a lock-discipline panic, not as a
+            // state violation.
+            check: Box::new(|| Outcome::Correct),
+        }
+    };
+    let _armed = canary::scoped(c, seed, Trigger::EveryNth(1));
+    let ex = explore_build(&build, Variant::Buggy, &explore_cfg(seed));
+    let failure = ex.failure.and_then(|o| match o.result {
+        txfix_explore::runner::RunResult::Bug(m) => Some(m),
+        _ => None,
+    });
+    match failure {
+        Some(msg) if classify(&msg) == expected => {
+            LayerProbe { layer: "explore", probed: true, caught: true, evidence: msg }
+        }
+        Some(msg) => LayerProbe {
+            layer: "explore",
+            probed: true,
+            caught: false,
+            evidence: format!(
+                "failure found but of the wrong class (expected {}): {msg}",
+                class_name(expected)
+            ),
+        },
+        None => LayerProbe {
+            layer: "explore",
+            probed: true,
+            caught: false,
+            evidence: format!(
+                "opposite-order lock_tx probe survives every explored schedule ({} schedules)",
+                ex.schedules
+            ),
+        },
+    }
+}
+
+/// Run a deterministic single-threaded micro-probe with the canary
+/// armed. The probe returns `Some(violation)` when its value oracle is
+/// broken.
+fn chaos_probe(
+    c: Canary,
+    seed: u64,
+    probe: fn() -> Option<String>,
+    description: &str,
+) -> LayerProbe {
+    let _armed = canary::scoped(c, seed, Trigger::EveryNth(1));
+    match probe() {
+        Some(violation) => {
+            LayerProbe { layer: "chaos", probed: true, caught: true, evidence: violation }
+        }
+        None => LayerProbe {
+            layer: "chaos",
+            probed: true,
+            caught: false,
+            evidence: format!("{description}: all invariants held"),
+        },
+    }
+}
+
+/// Value oracle: ten committed transactional increments must be visible.
+fn oracle_counter() -> Option<String> {
+    let v = TVar::new(0u64);
+    for _ in 0..10 {
+        atomic(|txn| v.modify(txn, |x| x + 1));
+    }
+    let got = v.load();
+    (got != 10).then(|| {
+        format!(
+            "value oracle: 10 committed transactional increments left the TVar at {got}, \
+             expected 10 — write-back was silently dropped"
+        )
+    })
+}
+
+/// Compensation oracle: a cancelled transaction must leave no deferred
+/// file operations (nor its ownership stamp) behind.
+fn oracle_xfile_undo() -> Option<String> {
+    let fs = SimFs::new();
+    let xf = XFile::open_or_create(&fs, "canary.log");
+    let res = Txn::build().try_run(|txn| {
+        xf.x_append(txn, b"payload")?;
+        txn.cancel::<()>()
+    });
+    assert!(
+        matches!(res, Err(TxnError::Cancelled)),
+        "probe transaction must cancel terminally, got {res:?}"
+    );
+    xf.pending_snapshot().map(|(_, ops)| {
+        format!(
+            "compensation oracle: a cancelled transaction left {ops} deferred op(s) and its \
+             ownership stamp on the x-file — the undo hook never ran"
+        )
+    })
+}
+
+/// Compensation oracle: aborting a 1-byte compensated read from a 2-byte
+/// pipe must restore exactly 2 buffered bytes.
+fn oracle_pipe_unread() -> Option<String> {
+    let pipe = SimPipe::new(16);
+    pipe.write(b"ab").expect("probe pipe has capacity");
+    let xp = XPipe::new(pipe.clone());
+    let res = Txn::build().try_run(|txn| {
+        let got = xp.x_try_read(txn, 1)?;
+        assert_eq!(got.as_deref(), Some(&b"a"[..]), "probe read must consume one byte");
+        txn.cancel::<()>()
+    });
+    assert!(
+        matches!(res, Err(TxnError::Cancelled)),
+        "probe transaction must cancel terminally, got {res:?}"
+    );
+    let buffered = pipe.buffered();
+    (buffered != 2).then(|| {
+        format!(
+            "compensation oracle: the pipe holds {buffered} bytes after the abort, expected 2 \
+             — the consumed byte was pushed back more than once"
+        )
+    })
+}
+
+/// Arm `c` and run it through all four detection layers.
+pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
+    let expected = expected_class(c);
+    let probes = match c {
+        Canary::StmSkipWriteback => vec![
+            // The documented analyze gap: a skipped write-back leaves a
+            // perfectly well-formed trace (committed transactions are
+            // mutually serialized), so trace replay cannot see it. The
+            // probe stays in the matrix to pin that blindness.
+            analyze_probe(c, seed, "av_stats_race", Variant::TmFix),
+            lint_blind(),
+            explore_probe(c, seed, "av_stats_race", Variant::TmFix),
+            chaos_probe(c, seed, oracle_counter, "10 increments then read back"),
+        ],
+        Canary::StmSkipValidation | Canary::StmStaleStamp => vec![
+            not_probed(
+                "analyze",
+                "only manifests when a racing schedule crosses the commit window; the single \
+                 uncontrolled interleaving the recorder captures is not reliably that one",
+            ),
+            lint_blind(),
+            explore_probe(c, seed, "av_stats_race", Variant::TmFix),
+            not_probed(
+                "chaos",
+                "invisible single-threaded: validation only matters under \
+                 contention",
+            ),
+        ],
+        Canary::StmNotifyReorder => vec![
+            analyze_probe(c, seed, "av_stats_race", Variant::TmFix),
+            lint_blind(),
+            not_probed(
+                "explore",
+                "a TL2 commit is one step at scheduler granularity; the reorder is internal \
+                 to it and produces no schedulable interleaving",
+            ),
+            not_probed(
+                "chaos",
+                "no blocked waiter exists single-threaded, so the early wakeup \
+                 has nobody to strand",
+            ),
+        ],
+        Canary::LockDropRelease => vec![
+            not_probed(
+                "analyze",
+                "the leaked lock would hang the uncontrolled scenario \
+                 threads; only the deterministic scheduler can observe the hang safely",
+            ),
+            lint_blind(),
+            explore_probe(c, seed, "dl_local_lock_order", Variant::DevFix),
+            not_probed("chaos", "the leaked lock would hang the probe thread"),
+        ],
+        Canary::LockSkipLockdep => vec![
+            analyze_probe(c, seed, "dl_local_lock_order", Variant::DevFix),
+            lint_blind(),
+            // Documented explore gap: the mutation changes only what the
+            // validator records, never the execution, so no schedule can
+            // fail.
+            explore_probe(c, seed, "dl_local_lock_order", Variant::DevFix),
+            not_probed("chaos", "execution is unchanged; there is no invariant to violate"),
+        ],
+        Canary::LockReacquireInRevoke => vec![
+            not_probed(
+                "analyze",
+                "needs a revocation forced at a precise point; the \
+                 uncontrolled run cannot steer a waiter into the window",
+            ),
+            lint_blind(),
+            revoke_probe(c, seed),
+            not_probed("chaos", "needs a second thread waiting inside the revocation window"),
+        ],
+        Canary::XcallSkipUndo => vec![
+            not_probed("analyze", "deferred-op buffers are not traced objects"),
+            lint_blind(),
+            not_probed("explore", "no scheduled scenario cancels an x-call transaction"),
+            chaos_probe(c, seed, oracle_xfile_undo, "cancelled x-append then audit pending ops"),
+        ],
+        Canary::XcallDoubleCompensate => vec![
+            not_probed("analyze", "pipe buffers are not traced objects"),
+            lint_blind(),
+            not_probed("explore", "no scheduled scenario aborts a compensated read"),
+            chaos_probe(
+                c,
+                seed,
+                oracle_pipe_unread,
+                "cancelled 1-byte read from a 2-byte pipe then audit",
+            ),
+        ],
+        Canary::SchedOutOfTurn => vec![
+            not_probed("analyze", "the trace recorder never sees the scheduler's decision log"),
+            lint_blind(),
+            explore_probe(c, seed, "av_stats_race", Variant::TmFix),
+            not_probed("chaos", "only scheduled runs have a turnstile to breach"),
+        ],
+    };
+    CanaryOutcome { canary: c, expected, probes }
+}
+
+/// Sweep `selected` canaries (in the given order) with `seed`.
+pub fn run_canaries(selected: &[Canary], seed: u64) -> CanaryReport {
+    CanaryReport { seed, outcomes: selected.iter().map(|&c| run_canary(c, seed)).collect() }
+}
+
+impl ToJson for LayerProbe {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("layer", Json::str(self.layer)),
+            ("probed", Json::Bool(self.probed)),
+            ("caught", Json::Bool(self.caught)),
+            ("evidence", Json::str(self.evidence.clone())),
+        ])
+    }
+}
+
+impl ToJson for CanaryOutcome {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("canary", Json::str(self.canary.name())),
+            ("site", Json::str(self.canary.site())),
+            ("expected_class", Json::str(class_name(self.expected))),
+            ("caught", Json::Bool(self.caught())),
+            ("caught_by", Json::strings(self.caught_by())),
+            ("layers", Json::list(self.probes.iter().map(ToJson::to_json_value))),
+        ])
+    }
+}
+
+impl ToJson for CanaryReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("txfix-canary-v1")),
+            ("seed", Json::int(self.seed)),
+            ("ok", Json::Bool(self.ok())),
+            ("canaries", Json::list(self.outcomes.iter().map(ToJson::to_json_value))),
+        ])
+    }
+}

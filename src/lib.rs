@@ -73,3 +73,9 @@ pub use txfix_explore as explore;
 /// synthesized patch statically and by schedule exploration
 /// (`txfix autofix`).
 pub use txfix_autofix as autofix;
+
+/// The canary mutation sweep (`txfix canary`): arm one planted detector
+/// bug at a time and prove each detection layer catches what it claims.
+/// Only present when built with `--features canary`.
+#[cfg(feature = "canary")]
+pub mod canary;

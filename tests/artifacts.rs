@@ -1,0 +1,108 @@
+//! Schema regression tests over the committed result artifacts.
+//!
+//! Every sweep (`txfix stress/chaos/explore/autofix/canary`) writes its
+//! canonical report to the repo root, and CI regenerates and compares
+//! them; these tests pin the *committed* copies — if a schema drifts or
+//! a committed artifact records a failing sweep, `cargo test` says so
+//! before any consumer trips over it.
+
+use txfix::recipes::json::{get, Json};
+
+fn load(name: &str) -> Json {
+    let path = format!("{}/{name}", env!("CARGO_MANIFEST_DIR"));
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed artifact {path} must exist: {e}"));
+    Json::parse(&raw).unwrap_or_else(|e| panic!("{name} must parse as JSON: {e}"))
+}
+
+/// Assert `doc` carries the schema marker and return its top-level map.
+fn check_schema<'a>(
+    name: &str,
+    doc: &'a Json,
+    schema: &str,
+) -> &'a std::collections::BTreeMap<String, Json> {
+    let obj = doc.object(name).unwrap();
+    assert_eq!(get(obj, "schema").unwrap().string("schema").unwrap(), schema, "{name}");
+    obj
+}
+
+#[test]
+fn bench_artifact_matches_stress_schema() {
+    let doc = load("BENCH_stm.json");
+    // The stress report predates the schema marker; its signature is the
+    // runs matrix itself.
+    let obj = doc.object("BENCH_stm.json").unwrap();
+    let runs = get(obj, "runs").unwrap().array("runs").unwrap();
+    assert!(!runs.is_empty(), "stress artifact records no runs");
+    for r in runs {
+        let run = r.object("run").unwrap();
+        for field in ["scenario", "variant"] {
+            get(run, field).unwrap().string(field).unwrap();
+        }
+        for field in ["ops_per_sec", "aborts", "threads", "p50_ns", "p99_ns"] {
+            get(run, field).unwrap().number(field).unwrap();
+        }
+    }
+}
+
+#[test]
+fn chaos_artifact_passed_its_sweep() {
+    let doc = load("CHAOS_stm.json");
+    let obj = check_schema("CHAOS_stm.json", &doc, "txfix-chaos-v1");
+    assert!(get(obj, "passed").unwrap().bool("passed").unwrap(), "committed chaos sweep failed");
+    assert!(!get(obj, "runs").unwrap().array("runs").unwrap().is_empty());
+}
+
+#[test]
+fn explore_artifact_met_its_expectations() {
+    let doc = load("EXPLORE_stm.json");
+    let obj = check_schema("EXPLORE_stm.json", &doc, "txfix-explore-v1");
+    assert!(get(obj, "ok").unwrap().bool("ok").unwrap(), "committed exploration failed");
+    assert!(!get(obj, "entries").unwrap().array("entries").unwrap().is_empty());
+}
+
+#[test]
+fn autofix_artifact_verified_every_fix() {
+    let doc = load("AUTOFIX_stm.json");
+    let obj = check_schema("AUTOFIX_stm.json", &doc, "txfix-autofix-v1");
+    assert!(get(obj, "ok").unwrap().bool("ok").unwrap(), "committed autofix sweep failed");
+    let entries = get(obj, "entries").unwrap().array("entries").unwrap();
+    assert!(!entries.is_empty());
+    for e in entries {
+        let entry = e.object("entry").unwrap();
+        let key = get(entry, "key").unwrap().string("key").unwrap();
+        assert!(get(entry, "ok").unwrap().bool("ok").unwrap(), "unverified fix for {key}");
+    }
+}
+
+#[test]
+fn canary_artifact_has_no_uncaught_canary() {
+    let doc = load("CANARY_stm.json");
+    let obj = check_schema("CANARY_stm.json", &doc, "txfix-canary-v1");
+    assert!(
+        get(obj, "ok").unwrap().bool("ok").unwrap(),
+        "committed canary matrix records an uncaught canary"
+    );
+    let canaries = get(obj, "canaries").unwrap().array("canaries").unwrap();
+    assert_eq!(canaries.len(), 10, "one matrix row per planted canary");
+    let layer_names = ["analyze", "lint", "explore", "chaos"];
+    for c in canaries {
+        let row = c.object("canary").unwrap();
+        let name = get(row, "canary").unwrap().string("canary").unwrap();
+        assert!(get(row, "caught").unwrap().bool("caught").unwrap(), "{name} uncaught");
+        let layers = get(row, "layers").unwrap().array("layers").unwrap();
+        assert_eq!(layers.len(), layer_names.len(), "{name}");
+        for (probe, expected) in layers.iter().zip(layer_names) {
+            let p = probe.object("probe").unwrap();
+            assert_eq!(get(p, "layer").unwrap().string("layer").unwrap(), expected, "{name}");
+            // A probe that caught the canary must have been probed: the
+            // matrix may not claim credit for a skipped layer.
+            let probed = get(p, "probed").unwrap().bool("probed").unwrap();
+            let caught = get(p, "caught").unwrap().bool("caught").unwrap();
+            assert!(probed || !caught, "{name}: caught by an unprobed layer");
+        }
+        // The lint layer is honestly blind to runtime mutations.
+        let lint = layers[1].object("probe").unwrap();
+        assert!(!get(lint, "probed").unwrap().bool("probed").unwrap(), "{name}");
+    }
+}
