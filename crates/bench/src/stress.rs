@@ -26,7 +26,7 @@ use txfix_apps::mysql::{MiniDb, MysqlVariant};
 use txfix_apps::spidermonkey::{ObjectStore, OwnershipMode, OwnershipStore, StmStore};
 use txfix_core::json::{Json, ToJson};
 use txfix_stm::obs;
-use txfix_stm::{OverheadModel, TVar, Txn};
+use txfix_stm::{ClockMode, OverheadModel, TVar, Txn};
 use txfix_txlock::TxMutex;
 use txfix_xcall::SimFs;
 
@@ -57,6 +57,9 @@ pub struct StressConfig {
     /// RNG). Recorded in the report so a run can be reproduced; the same
     /// seed pins the same per-worker jitter streams.
     pub seed: u64,
+    /// Version-clock schemes to sweep (each full scenario × threads ×
+    /// variant matrix is run once per scheme).
+    pub clocks: Vec<ClockMode>,
 }
 
 impl Default for StressConfig {
@@ -66,6 +69,7 @@ impl Default for StressConfig {
             threads: vec![1, 2, 4, 8],
             scenarios: SCENARIOS.to_vec(),
             seed: 0,
+            clocks: vec![ClockMode::Gv1, ClockMode::Gv5],
         }
     }
 }
@@ -77,6 +81,9 @@ pub struct StressRun {
     pub scenario: &'static str,
     /// `dev` or `tm`.
     pub variant: &'static str,
+    /// Version-clock scheme the STM ran under (`gv1` or `gv5`); the
+    /// lock-based `dev` variants record it too, for row symmetry.
+    pub clock: &'static str,
     /// Worker threads driving load.
     pub threads: usize,
     /// Actual wall-clock duration.
@@ -106,6 +113,7 @@ impl ToJson for StressRun {
         Json::obj([
             ("scenario", Json::str(self.scenario)),
             ("variant", Json::str(self.variant)),
+            ("clock", Json::str(self.clock)),
             ("threads", Json::int(self.threads as u64)),
             ("elapsed_secs", Json::Number(self.elapsed_secs)),
             ("ops", Json::int(self.ops)),
@@ -121,29 +129,44 @@ impl ToJson for StressRun {
     }
 }
 
+/// Number of hardware threads on the host running the sweep. Recorded in
+/// the report header so scaling claims can be judged against what the
+/// machine could physically show.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Assemble the whole-invocation report document (`BENCH_stm.json`).
 pub fn stress_report(cfg: &StressConfig, runs: &[StressRun]) -> Json {
     Json::obj([
-        ("schema", Json::str("txfix-stress-v1")),
+        ("schema", Json::str("txfix-stress-v2")),
         ("seed", Json::int(cfg.seed)),
         ("secs", Json::Number(cfg.secs)),
+        ("host_cores", Json::int(host_cores() as u64)),
         ("threads", Json::list(cfg.threads.iter().map(|&t| Json::int(t as u64)))),
+        ("clocks", Json::strings(cfg.clocks.iter().map(|c| c.name()))),
         ("scenarios", Json::strings(&cfg.scenarios)),
         ("runs", Json::list(runs.iter().map(ToJson::to_json_value))),
     ])
 }
 
-/// Run the full sweep: every configured scenario × thread count × variant.
+/// Run the full sweep: every configured clock scheme × scenario × thread
+/// count × variant. Restores the default (GV1, deterministic) clock
+/// scheme before returning, whatever the sweep ran under.
 pub fn run_stress(cfg: &StressConfig) -> Vec<StressRun> {
     obs::enable();
     let mut runs = Vec::new();
-    for &scenario in &cfg.scenarios {
-        for &threads in &cfg.threads {
-            for &variant in VARIANTS {
-                runs.push(run_one(scenario, variant, threads, cfg.secs, cfg.seed));
+    for &clock in &cfg.clocks {
+        txfix_stm::clock::set_mode(clock);
+        for &scenario in &cfg.scenarios {
+            for &threads in &cfg.threads {
+                for &variant in VARIANTS {
+                    runs.push(run_one(scenario, variant, threads, cfg.secs, cfg.seed));
+                }
             }
         }
     }
+    txfix_stm::clock::set_mode(ClockMode::Gv1);
     runs
 }
 
@@ -200,6 +223,7 @@ fn drive(
     StressRun {
         scenario,
         variant,
+        clock: txfix_stm::clock::mode().name(),
         threads,
         elapsed_secs: timed.elapsed_secs,
         ops,
@@ -445,13 +469,19 @@ mod tests {
             threads: vec![1],
             scenarios: vec!["av_stats_race"],
             seed: 0x5EED,
+            clocks: vec![ClockMode::Gv1, ClockMode::Gv5],
         };
         let runs = run_stress(&cfg);
-        assert_eq!(runs.len(), 2);
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].clock, "gv1");
+        assert_eq!(runs[3].clock, "gv5");
+        // The sweep must leave the process back on the deterministic clock.
+        assert_eq!(txfix_stm::clock::mode(), ClockMode::Gv1);
         let doc = stress_report(&cfg, &runs);
         let parsed = Json::parse(&doc.to_json()).expect("valid JSON");
         let obj = parsed.object("report").unwrap();
-        assert_eq!(obj.get("schema").unwrap().string("schema").unwrap(), "txfix-stress-v1");
-        assert_eq!(obj.get("runs").unwrap().array("runs").unwrap().len(), 2);
+        assert_eq!(obj.get("schema").unwrap().string("schema").unwrap(), "txfix-stress-v2");
+        assert!(obj.get("host_cores").unwrap().number("host_cores").unwrap() >= 1.0);
+        assert_eq!(obj.get("runs").unwrap().array("runs").unwrap().len(), 4);
     }
 }

@@ -37,6 +37,7 @@ pub mod finding;
 pub mod json;
 pub mod recipe;
 pub mod report;
+pub mod sweep;
 
 pub use analysis::{
     analyze, fallback_recipe, recipe_candidates, Analysis, FixPlan, HazardClass, Recipe,

@@ -83,11 +83,12 @@
 #[cfg(feature = "canary-core")]
 pub mod canary;
 pub mod chaos;
-mod clock;
+pub mod clock;
 mod contention;
 mod error;
 mod notifier;
 pub mod obs;
+mod orec;
 mod overhead;
 mod runtime;
 pub mod sched;
@@ -97,6 +98,7 @@ pub mod trace;
 mod tvar;
 mod txn;
 
+pub use clock::{ClockMode, Gv1, Gv5, VersionClock};
 pub use contention::{seed_backoff_rng, BackoffPolicy};
 pub use error::{Abort, CapacityKind, ConflictKind, StmResult, TxnError, WaitPoint};
 pub use obs::SiteId;

@@ -5,24 +5,40 @@
 //! waiter lists, we keep a single epoch counter bumped by every committed
 //! writer; a retrying transaction re-validates its read-set snapshot on each
 //! epoch change. This admits spurious wakeups (cheap) but no lost wakeups.
+//!
+//! The epoch lives in an atomic and the mutex/condvar pair is only touched
+//! when a waiter is registered: the common case — a writing commit with
+//! nobody retrying — is one uncontended `fetch_add` plus one load, not a
+//! mutex round-trip. The waiter counter and the epoch bump are both
+//! `SeqCst`, forming the classic Dekker pair: either the notifier sees the
+//! waiter (and takes the slow path through the mutex), or the waiter's
+//! epoch re-check after registering sees the bump.
 
 use parking_lot::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 pub(crate) struct Notifier {
-    epoch: Mutex<u64>,
+    epoch: AtomicU64,
+    waiters: AtomicU64,
+    lock: Mutex<()>,
     cv: Condvar,
 }
 
 impl Notifier {
     pub(crate) const fn new() -> Notifier {
-        Notifier { epoch: Mutex::new(0), cv: Condvar::new() }
+        Notifier {
+            epoch: AtomicU64::new(0),
+            waiters: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
     }
 
     /// Current epoch; capture *before* checking the condition you will wait
     /// on, so a concurrent commit is never missed.
     pub(crate) fn epoch(&self) -> u64 {
-        *self.epoch.lock()
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Announce that a commit published new values.
@@ -32,10 +48,15 @@ impl Notifier {
         // (a notify from inside a still-open transaction is a lost-wakeup
         // hazard — the waiter can revalidate against unpublished state).
         crate::trace::emit(crate::trace::EventKind::RetryNotify);
-        let mut e = self.epoch.lock();
-        *e += 1;
-        drop(e);
-        self.cv.notify_all();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Lock-and-drop before notifying: a waiter that saw the old
+            // epoch is either already in `wait` (receives the notify) or
+            // still holds the mutex (will re-check the epoch and see the
+            // bump before it can wait).
+            drop(self.lock.lock());
+            self.cv.notify_all();
+        }
         // Scheduled runs park retries on the scheduler, not on `cv`.
         crate::sched::signal(crate::sched::RES_NOTIFIER);
     }
@@ -43,12 +64,29 @@ impl Notifier {
     /// Block until the epoch advances past `seen`, or `timeout` elapses.
     /// Returns `true` if the epoch advanced.
     pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
-        let mut e = self.epoch.lock();
-        if *e > seen {
+        if self.epoch.load(Ordering::SeqCst) > seen {
             return true;
         }
-        self.cv.wait_for(&mut e, timeout);
-        *e > seen
+        // Saturate absurd timeouts instead of panicking on Instant overflow.
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(60 * 60 * 24 * 365));
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.lock.lock();
+        let advanced = loop {
+            // Re-check after registering (Dekker: see module docs) and
+            // after every wakeup, spurious or not.
+            if self.epoch.load(Ordering::SeqCst) > seen {
+                break true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break false;
+            };
+            self.cv.wait_for(&mut g, remaining);
+        };
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        advanced
     }
 }
 
@@ -61,7 +99,6 @@ pub(crate) fn global() -> &'static Notifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
 
     #[test]
     fn wait_past_returns_immediately_if_epoch_already_advanced() {
@@ -89,5 +126,15 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         n.notify();
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn notify_skips_the_mutex_with_no_waiters_but_still_bumps() {
+        let n = Notifier::new();
+        let e0 = n.epoch();
+        for _ in 0..5 {
+            n.notify();
+        }
+        assert_eq!(n.epoch(), e0 + 5);
     }
 }

@@ -2,13 +2,16 @@
 //!
 //! A [`TVar<T>`] is a shared memory cell whose reads and writes, when
 //! performed through a [`Txn`](crate::Txn), execute atomically and in
-//! isolation with respect to all other transactions. Each variable carries
-//! an *ownership record* (orec): a version stamp from the global clock plus
-//! a writer field used as a commit-time lock, in the style of TL2.
+//! isolation with respect to all other transactions. Commit metadata — the
+//! version stamp and commit-time writer lock — lives in the striped,
+//! cache-line-padded ownership-record table ([`crate::orec`]); a variable
+//! holds its creation-order id and a reference to its stripe, in the style
+//! of word-based TL2.
 
 use crate::clock;
 use crate::error::{Abort, ConflictKind, StmResult};
 use crate::notifier;
+use crate::orec::{self, Orec, DIRECT_WRITER};
 use crate::serial;
 use crate::trace;
 use parking_lot::RwLock;
@@ -28,11 +31,8 @@ impl fmt::Display for VarId {
     }
 }
 
-/// Writer-field sentinel for non-transactional direct stores.
-const DIRECT_WRITER: u64 = u64::MAX;
-
 /// How many times a reader re-checks a busy orec before declaring conflict.
-const READ_SPIN: usize = 128;
+pub(crate) const READ_SPIN: usize = 128;
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -41,38 +41,34 @@ type Boxed = Arc<dyn Any + Send + Sync>;
 /// Shared state of one transactional variable (type-erased).
 pub(crate) struct VarInner {
     pub(crate) id: u64,
-    /// Version of the most recent committed write (a global-clock value).
-    pub(crate) version: AtomicU64,
-    /// Serial of the transaction currently holding this orec for commit;
-    /// `0` when unlocked, [`DIRECT_WRITER`] during a non-transactional store.
-    pub(crate) writer: AtomicU64,
+    /// The ownership record this variable maps to — a stripe of the global
+    /// padded table, shared with every id at distance `k·STRIPES`.
+    pub(crate) orec: &'static Orec,
     /// Current committed value.
     value: RwLock<Boxed>,
 }
 
 impl VarInner {
     fn new(value: Boxed) -> Arc<VarInner> {
-        Arc::new(VarInner {
-            id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
-            version: AtomicU64::new(clock::now()),
-            writer: AtomicU64::new(0),
-            value: RwLock::new(value),
-        })
+        let id = NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed);
+        Arc::new(VarInner { id, orec: orec::stripe_for(id), value: RwLock::new(value) })
     }
 
     /// Lock-free consistent read: returns the value together with the
-    /// version it was committed at, or a conflict if the orec stays busy.
+    /// stripe version it was committed at, or a conflict if the orec stays
+    /// busy. The seqlock pattern — version, value, version-and-writer
+    /// re-check — guarantees the value belongs to the returned version.
     pub(crate) fn read_consistent(&self) -> StmResult<(Boxed, u64)> {
         for _ in 0..READ_SPIN {
-            let w1 = self.writer.load(Ordering::Acquire);
+            let w1 = self.orec.writer();
             if w1 != 0 {
                 std::hint::spin_loop();
                 continue;
             }
-            let v1 = self.version.load(Ordering::Acquire);
+            let v1 = self.orec.version();
             let val = self.value.read().clone();
-            let v2 = self.version.load(Ordering::Acquire);
-            let w2 = self.writer.load(Ordering::Acquire);
+            let v2 = self.orec.version();
+            let w2 = self.orec.writer();
             if v1 == v2 && w2 == 0 {
                 return Ok((val, v1));
             }
@@ -92,71 +88,33 @@ impl VarInner {
         }
     }
 
-    /// Try to acquire this orec for commit by transaction `serial`.
-    pub(crate) fn try_lock_orec(&self, serial: u64) -> bool {
-        self.writer.compare_exchange(0, serial, Ordering::AcqRel, Ordering::Acquire).is_ok()
-    }
-
-    /// Bounded-spin orec acquisition for eager (encounter-time) writes.
-    pub(crate) fn try_lock_orec_spinning(&self, serial: u64) -> bool {
-        for _ in 0..READ_SPIN {
-            let cur = self.writer.load(Ordering::Acquire);
-            if cur == serial {
-                return true;
-            }
-            if cur == 0 && self.try_lock_orec(serial) {
-                return true;
-            }
-            std::hint::spin_loop();
-        }
-        false
-    }
-
     /// Current value without consistency checks — only for the owner of
     /// the orec (eager writers reading their own in-place updates).
-    pub(crate) fn read_unchecked(&self) -> Arc<dyn Any + Send + Sync> {
+    pub(crate) fn read_unchecked(&self) -> Boxed {
         self.value.read().clone()
     }
 
     /// Replace the value without touching the version — only while the
-    /// orec is held (eager in-place writes and their rollback).
-    pub(crate) fn set_value(&self, value: Arc<dyn Any + Send + Sync>) {
+    /// orec is held (commit write-back, eager in-place writes and their
+    /// rollback).
+    pub(crate) fn set_value(&self, value: Boxed) {
         *self.value.write() = value;
     }
 
-    pub(crate) fn unlock_orec(&self, serial: u64) {
-        let prev = self.writer.swap(0, Ordering::Release);
-        debug_assert_eq!(prev, serial, "orec unlocked by non-owner");
-    }
-
-    /// Publish `value` at version `wv`; caller must hold the orec.
-    pub(crate) fn publish(&self, value: Boxed, wv: u64) {
-        *self.value.write() = value;
-        self.version.store(wv, Ordering::Release);
-    }
-
-    /// Whether the orec's version still matches `version` and the orec is
-    /// either unlocked or held by `self_serial`.
-    pub(crate) fn validate(&self, version: u64, self_serial: u64) -> bool {
-        let w = self.writer.load(Ordering::Acquire);
-        if w != 0 && w != self_serial {
-            return false;
-        }
-        self.version.load(Ordering::Acquire) == version
-    }
-
-    /// Non-transactional atomic store (a degenerate single-write commit).
+    /// Non-transactional atomic store (a degenerate single-write commit):
+    /// lock the stripe, then stamp (clock rule 1 — lock before stamping).
     fn store_direct(&self, value: Boxed) {
         let _g = serial::shared();
         loop {
-            if self.try_lock_orec(DIRECT_WRITER) {
+            if self.orec.try_lock(DIRECT_WRITER) {
                 break;
             }
             std::hint::spin_loop();
         }
-        let wv = clock::tick();
-        self.publish(value, wv);
-        self.writer.store(0, Ordering::Release);
+        let wv = clock::commit_stamp();
+        self.set_value(value);
+        self.orec.stamp_release(wv);
+        self.orec.unlock(DIRECT_WRITER);
         drop(_g);
         notifier::global().notify();
     }
@@ -166,8 +124,8 @@ impl fmt::Debug for VarInner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VarInner")
             .field("id", &self.id)
-            .field("version", &self.version.load(Ordering::Relaxed))
-            .field("writer", &self.writer.load(Ordering::Relaxed))
+            .field("stripe", &orec::stripe_index(self.id))
+            .field("orec", &self.orec)
             .finish()
     }
 }
@@ -348,30 +306,31 @@ mod tests {
     }
 
     #[test]
-    fn store_bumps_version() {
+    fn store_bumps_stripe_version() {
         let v = TVar::new(0u64);
-        let before = v.inner.version.load(Ordering::SeqCst);
+        let (_, before) = v.inner.read_spinning();
         v.store(1);
-        assert!(v.inner.version.load(Ordering::SeqCst) > before);
+        let (_, after) = v.inner.read_spinning();
+        assert!(after > before);
     }
 
     #[test]
     fn validate_detects_version_change() {
         let v = TVar::new(0u64);
         let (_, ver) = v.inner.read_spinning();
-        assert!(v.inner.validate(ver, 42));
+        assert!(v.inner.orec.validate(ver, 42));
         v.store(1);
-        assert!(!v.inner.validate(ver, 42));
+        assert!(!v.inner.orec.validate(ver, 42));
     }
 
     #[test]
-    fn orec_lock_excludes_and_unlocks() {
+    fn busy_orec_forces_reader_conflict_until_unlocked() {
         let v = TVar::new(0u64);
-        assert!(v.inner.try_lock_orec(9));
-        assert!(!v.inner.try_lock_orec(10));
+        assert!(v.inner.orec.try_lock(9));
+        assert!(!v.inner.orec.try_lock(10));
         // Busy orec forces readers into conflict after bounded spinning.
         assert!(matches!(v.inner.read_consistent(), Err(Abort::Conflict(ConflictKind::OrecBusy))));
-        v.inner.unlock_orec(9);
+        v.inner.orec.unlock(9);
         assert!(v.inner.read_consistent().is_ok());
     }
 

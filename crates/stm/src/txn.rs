@@ -1,6 +1,22 @@
 //! The transaction descriptor: read/write sets, validation, commit and
 //! abort, irrevocability, and integration hooks for external resources
 //! (revocable locks, transactional I/O).
+//!
+//! ## Commit path
+//!
+//! The lazy (TL2-style) commit is: take the serialization lock shared,
+//! lock the write set's orec stripes in canonical (stripe-index) order,
+//! obtain a write stamp from the [`crate::clock`] (*after* the locks —
+//! rule 1 of the clock safety contract), validate the read set, publish
+//! the buffered values, stamp-and-release the stripes. Read-only
+//! transactions commit without touching any of that.
+//!
+//! Set lookups are O(1): a per-transaction 128-bit Bloom filter over each
+//! of the read and write sets answers the common misses (first read of a
+//! variable, read of a never-written variable) with two bit tests, and a
+//! filter hit falls back to a short scan. Repeated reads of the same
+//! variable dedup against the existing entry instead of growing the read
+//! set, so validation cost is proportional to *distinct* variables read.
 
 use crate::chaos;
 use crate::clock;
@@ -14,18 +30,42 @@ use crate::sched;
 use crate::serial;
 use crate::stats;
 use crate::trace;
-use crate::tvar::VarInner;
-use parking_lot::RwLockWriteGuard;
+use crate::tvar::{VarInner, READ_SPIN};
 use std::any::Any;
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 type Boxed = Arc<dyn Any + Send + Sync>;
+type OrecRef = &'static crate::orec::Orec;
 
 static NEXT_TXN_SERIAL: AtomicU64 = AtomicU64::new(1);
+
+/// Serials are handed to threads in chunks so beginning a transaction does
+/// not touch a shared cache line. Uniqueness is all that matters to the
+/// consumers (orec writer fields, lockdep nodes, trace identity).
+const SERIAL_CHUNK: u64 = 256;
+
+thread_local! {
+    /// (next, end] of this thread's unissued serial chunk.
+    static SERIAL_POOL: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+fn next_serial() -> u64 {
+    SERIAL_POOL.with(|p| {
+        let (next, end) = p.get();
+        if next == end {
+            let base = NEXT_TXN_SERIAL.fetch_add(SERIAL_CHUNK, Ordering::Relaxed);
+            p.set((base + 1, base + SERIAL_CHUNK));
+            base
+        } else {
+            p.set((next + 1, end));
+            next
+        }
+    })
+}
 
 /// Whether a transaction is *atomic* or *relaxed* (paper §5.1, following
 /// the C++ TM semantics work it cites).
@@ -145,7 +185,8 @@ impl KillHandle {
 }
 
 struct ReadEntry {
-    var: Arc<VarInner>,
+    orec: OrecRef,
+    id: u64,
     version: u64,
 }
 
@@ -160,17 +201,23 @@ struct UndoEntry {
     old_value: Boxed,
 }
 
+/// Two bits per id in a 128-bit Bloom filter; a miss (any bit clear) is a
+/// definitive "not in set", a hit falls back to a scan.
+#[inline]
+fn filter_bits(id: u64) -> u128 {
+    let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (1u128 << (h >> 57)) | (1u128 << ((h >> 50) & 127))
+}
+
 /// A snapshot of a transaction's read set, used to block `retry` until a
 /// read variable changes.
-pub(crate) struct ReadSnapshot(Vec<(Arc<VarInner>, u64)>);
+pub(crate) struct ReadSnapshot(Vec<(OrecRef, u64)>);
 
 impl ReadSnapshot {
-    /// Whether any variable has a different committed version than the one
-    /// the transaction observed (a busy orec counts as "changing").
+    /// Whether any read stripe has a different committed version than the
+    /// one the transaction observed (a busy orec counts as "changing").
     pub(crate) fn changed(&self) -> bool {
-        self.0.iter().any(|(var, ver)| {
-            var.writer.load(Ordering::Acquire) != 0 || var.version.load(Ordering::Acquire) != *ver
-        })
+        self.0.iter().any(|(o, ver)| o.writer() != 0 || o.version() != *ver)
     }
 
     pub(crate) fn is_empty(&self) -> bool {
@@ -194,12 +241,18 @@ pub struct Txn {
     read_set: Vec<ReadEntry>,
     write_set: Vec<WriteEntry>,
     undo_log: Vec<UndoEntry>,
-    write_index: HashMap<u64, usize>,
+    /// Bloom filter over read-set ids (duplicate-read dedup).
+    read_filter: u128,
+    /// Bloom filter over written ids (read-after-write lookup); covers
+    /// `write_set` under lazy and `undo_log` under eager.
+    write_filter: u128,
     commit_hooks: Vec<Box<dyn FnOnce()>>,
     abort_hooks: Vec<Box<dyn FnOnce()>>,
     resources: Vec<Arc<dyn TxResource>>,
-    kill_flag: Arc<AtomicBool>,
-    irrevocable: Option<RwLockWriteGuard<'static, ()>>,
+    /// Created on first [`kill_handle`](Txn::kill_handle) request; most
+    /// transactions never pay the allocation.
+    kill_flag: OnceLock<Arc<AtomicBool>>,
+    irrevocable: Option<serial::ExclusiveGuard>,
     was_irrevocable: bool,
     read_capacity: Option<usize>,
     write_capacity: Option<usize>,
@@ -231,11 +284,11 @@ impl Txn {
     pub(crate) fn begin(opts: &TxnOptions, attempt: u64) -> Txn {
         sched::yield_point(sched::SyncOp::TxnBegin);
         charge(opts.overhead.begin_ns);
-        let serial = NEXT_TXN_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let serial = next_serial();
         trace::emit(trace::EventKind::TxnBegin { serial });
         Txn {
             serial,
-            rv: clock::now(),
+            rv: clock::begin_stamp(),
             kind: opts.kind,
             policy: opts.write_policy,
             site: opts.site,
@@ -243,11 +296,12 @@ impl Txn {
             read_set: Vec::new(),
             write_set: Vec::new(),
             undo_log: Vec::new(),
-            write_index: HashMap::new(),
+            read_filter: 0,
+            write_filter: 0,
             commit_hooks: Vec::new(),
             abort_hooks: Vec::new(),
             resources: Vec::new(),
-            kill_flag: Arc::new(AtomicBool::new(false)),
+            kill_flag: OnceLock::new(),
             irrevocable: None,
             was_irrevocable: false,
             read_capacity: opts.read_capacity,
@@ -301,7 +355,8 @@ impl Txn {
     /// A handle external parties (deadlock detectors) can use to abort this
     /// transaction.
     pub fn kill_handle(&self) -> KillHandle {
-        KillHandle { flag: self.kill_flag.clone(), serial: self.serial }
+        let flag = self.kill_flag.get_or_init(|| Arc::new(AtomicBool::new(false)));
+        KillHandle { flag: flag.clone(), serial: self.serial }
     }
 
     /// Check for an external kill request.
@@ -312,13 +367,31 @@ impl Txn {
     /// irrevocable (an irrevocable transaction can no longer roll back, so
     /// kills are ignored).
     pub fn check_killed(&self) -> StmResult<()> {
-        if self.irrevocable.is_none() && self.kill_flag.load(Ordering::SeqCst) {
+        let killed = match self.kill_flag.get() {
+            Some(f) => f.load(Ordering::SeqCst),
+            None => false,
+        };
+        if self.irrevocable.is_none() && killed {
             return Err(Abort::Killed);
         }
         Ok(())
     }
 
     // ---- reads and writes -------------------------------------------------
+
+    /// Index into the written-entry list (`write_set` under lazy,
+    /// `undo_log` under eager) for `id`, or `None` — O(1) via the write
+    /// Bloom filter for the common miss.
+    #[inline]
+    fn write_slot(&self, id: u64, bits: u128) -> Option<usize> {
+        if self.write_filter & bits != bits {
+            return None;
+        }
+        match self.policy {
+            WritePolicy::Lazy => self.write_set.iter().rposition(|w| w.var.id == id),
+            WritePolicy::Eager => self.undo_log.iter().rposition(|u| u.var.id == id),
+        }
+    }
 
     pub(crate) fn read_raw(&mut self, var: &Arc<VarInner>) -> StmResult<Boxed> {
         // Irrevocable bodies never yield: they hold the global serial lock,
@@ -335,12 +408,16 @@ impl Txn {
         if self.irrevocable.is_none() && chaos::should_inject(chaos::InjectionPoint::TxnRead) {
             return Err(Abort::Conflict(ConflictKind::ReadValidation));
         }
-        if let Some(&i) = self.write_index.get(&var.id) {
+        let bits = filter_bits(var.id);
+        if let Some(i) = self.write_slot(var.id, bits) {
             self.trace_access(var.id, trace::AccessKind::Read);
             return Ok(match self.policy {
                 WritePolicy::Lazy => self.write_set[i].value.clone(),
                 // Eager: we own the orec and already wrote in place.
-                WritePolicy::Eager => var.read_unchecked(),
+                WritePolicy::Eager => {
+                    let _ = i;
+                    var.read_unchecked()
+                }
             });
         }
         let (value, version) = match var.read_consistent() {
@@ -351,10 +428,26 @@ impl Txn {
             }
         };
         if version > self.rv {
-            self.extend_rv()?;
+            self.extend_rv(version)?;
             if version > self.rv {
-                // Someone committed between our consistent read and the
-                // extension; the read itself may still be stale.
+                // The clock could not be extended past the observed stamp
+                // (only possible across clock-mode transitions); the read
+                // may be stale.
+                obs::note_orec_conflict(var.id);
+                return Err(Abort::Conflict(ConflictKind::ReadValidation));
+            }
+        }
+        // Duplicate read: dedup against the existing entry instead of
+        // growing the read set.
+        if self.read_filter & bits == bits {
+            if let Some(e) = self.read_set.iter().rev().find(|e| e.id == var.id) {
+                if e.version == version {
+                    self.trace_access(var.id, trace::AccessKind::Read);
+                    return Ok(value);
+                }
+                // The stripe moved since the first read of this variable:
+                // the recorded entry can no longer validate, so the
+                // transaction is doomed — abort now instead of at commit.
                 obs::note_orec_conflict(var.id);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
@@ -364,7 +457,8 @@ impl Txn {
                 return Err(Abort::Capacity(CapacityKind::ReadSet));
             }
         }
-        self.read_set.push(ReadEntry { var: var.clone(), version });
+        self.read_set.push(ReadEntry { orec: var.orec, id: var.id, version });
+        self.read_filter |= bits;
         self.trace_access(var.id, trace::AccessKind::Read);
         Ok(value)
     }
@@ -375,7 +469,8 @@ impl Txn {
         }
         charge(self.overhead.write_ns);
         self.check_killed()?;
-        if let Some(&i) = self.write_index.get(&var.id) {
+        let bits = filter_bits(var.id);
+        if let Some(i) = self.write_slot(var.id, bits) {
             match self.policy {
                 WritePolicy::Lazy => self.write_set[i].value = value,
                 WritePolicy::Eager => var.set_value(value),
@@ -390,25 +485,26 @@ impl Txn {
         }
         match self.policy {
             WritePolicy::Lazy => {
-                self.write_index.insert(var.id, self.write_set.len());
                 self.write_set.push(WriteEntry { var: var.clone(), value });
             }
             WritePolicy::Eager => {
-                // Encounter-time locking: take the orec now (bounded spin),
-                // snapshot the old value for rollback, update in place. The
-                // version stays untouched until commit, so concurrent
-                // readers either see the old consistent state (before the
-                // lock) or treat the busy orec as a conflict.
-                if !var.try_lock_orec_spinning(self.serial) {
+                // Encounter-time locking: take the stripe now (bounded
+                // spin; an immediate hit if we already own it through a
+                // stripe-sharing variable), snapshot the old value for
+                // rollback, update in place. The version stays untouched
+                // until commit, so concurrent readers either see the old
+                // consistent state (before the lock) or treat the busy
+                // orec as a conflict.
+                if !var.orec.try_lock_spinning(self.serial, READ_SPIN) {
                     obs::note_orec_conflict(var.id);
                     return Err(Abort::Conflict(ConflictKind::OrecBusy));
                 }
                 let old_value = var.read_unchecked();
                 var.set_value(value);
-                self.write_index.insert(var.id, self.undo_log.len());
                 self.undo_log.push(UndoEntry { var: var.clone(), old_value });
             }
         }
+        self.write_filter |= bits;
         self.trace_access(var.id, trace::AccessKind::Write);
         Ok(())
     }
@@ -418,17 +514,18 @@ impl Txn {
         trace::emit(trace::EventKind::TxnAccess { serial: self.serial, var, kind });
     }
 
-    /// Attempt to advance the read version to the current clock by
-    /// revalidating every read made so far (TL2 timestamp extension).
-    fn extend_rv(&mut self) -> StmResult<()> {
-        let now = clock::now();
+    /// Attempt to advance the read version to at least `target` by raising
+    /// the clock and revalidating every read made so far (TL2 lazy
+    /// snapshot extension).
+    fn extend_rv(&mut self, target: u64) -> StmResult<()> {
+        let new_rv = clock::advance_to(target);
         for e in &self.read_set {
-            if !e.var.validate(e.version, self.serial) {
-                obs::note_orec_conflict(e.var.id);
+            if !e.orec.validate(e.version, self.serial) {
+                obs::note_orec_conflict(e.id);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
         }
-        self.rv = now;
+        self.rv = new_rv;
         Ok(())
     }
 
@@ -507,7 +604,7 @@ impl Txn {
         // With the serial lock held exclusively no commit is in flight, so
         // validation is stable.
         for e in &self.read_set {
-            if !e.var.validate(e.version, self.serial) {
+            if !e.orec.validate(e.version, self.serial) {
                 drop(guard);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
@@ -569,7 +666,16 @@ impl Txn {
     // ---- lifecycle ---------------------------------------------------------
 
     pub(crate) fn take_read_snapshot(&self) -> ReadSnapshot {
-        ReadSnapshot(self.read_set.iter().map(|e| (e.var.clone(), e.version)).collect())
+        ReadSnapshot(self.read_set.iter().map(|e| (e.orec, e.version)).collect())
+    }
+
+    /// The write set's stripes, deduplicated, in canonical (stripe-index)
+    /// order — the commit lock order.
+    fn commit_stripes(entries: impl Iterator<Item = OrecRef>) -> Vec<OrecRef> {
+        let mut stripes: Vec<OrecRef> = entries.collect();
+        stripes.sort_by_key(|o| o.index());
+        stripes.dedup_by_key(|o| o.index());
+        stripes
     }
 
     /// Attempt to commit. On success all writes are published atomically,
@@ -619,28 +725,28 @@ impl Txn {
 
         let guard = serial::shared();
 
-        // Lock orecs in global id order to avoid committer/committer
-        // deadlock.
-        let mut order: Vec<usize> = (0..self.write_set.len()).collect();
-        order.sort_by_key(|&i| self.write_set[i].var.id);
-        let mut locked: Vec<usize> = Vec::with_capacity(order.len());
-        for &i in &order {
-            if self.write_set[i].var.try_lock_orec(self.serial) {
-                locked.push(i);
-            } else {
-                obs::note_orec_conflict(self.write_set[i].var.id);
-                for &j in &locked {
-                    self.write_set[j].var.unlock_orec(self.serial);
+        // Lock stripes in canonical order so committer/committer deadlock
+        // is structurally impossible.
+        let stripes = Self::commit_stripes(self.write_set.iter().map(|w| w.var.orec));
+        for (k, o) in stripes.iter().enumerate() {
+            if !o.try_lock(self.serial) {
+                let busy = o.index();
+                if let Some(w) = self.write_set.iter().find(|w| w.var.orec.index() == busy) {
+                    obs::note_orec_conflict(w.var.id);
+                }
+                for locked in &stripes[..k] {
+                    locked.unlock(self.serial);
                 }
                 drop(guard);
                 return Err(Abort::Conflict(ConflictKind::OrecBusy));
             }
         }
 
-        let wv = clock::tick();
+        // Write stamp *after* the locks (clock safety contract, rule 1).
+        let wv = clock::commit_stamp();
 
-        // Canary: commit with a stale version stamp — publish each value
-        // at the orec's *pre-commit* version instead of `wv`, so a
+        // Canary: commit with a stale version stamp — publish the values
+        // but leave every stripe at its *pre-commit* version, so a
         // concurrent reader's validation still matches and the conflict
         // goes unseen.
         #[cfg(feature = "canary-stm")]
@@ -653,10 +759,10 @@ impl Txn {
             if crate::canary::fire(crate::canary::Canary::StmSkipValidation) {
                 continue;
             }
-            if !e.var.validate(e.version, self.serial) {
-                obs::note_orec_conflict(e.var.id);
-                for &j in &locked {
-                    self.write_set[j].var.unlock_orec(self.serial);
+            if !e.orec.validate(e.version, self.serial) {
+                obs::note_orec_conflict(e.id);
+                for locked in &stripes {
+                    locked.unlock(self.serial);
                 }
                 drop(guard);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
@@ -667,8 +773,8 @@ impl Txn {
         // locked, nothing published yet. The unlock path below must leave
         // no trace of the attempt.
         if chaos::should_inject(chaos::InjectionPoint::TxnWriteback) {
-            for &j in &locked {
-                self.write_set[j].var.unlock_orec(self.serial);
+            for locked in &stripes {
+                locked.unlock(self.serial);
             }
             drop(guard);
             return Err(Abort::Conflict(ConflictKind::OrecBusy));
@@ -691,16 +797,19 @@ impl Txn {
             if crate::canary::fire(crate::canary::Canary::StmSkipWriteback) {
                 continue;
             }
-            #[cfg(feature = "canary-stm")]
-            if stale_stamp {
-                let old = w.var.version.load(Ordering::Acquire);
-                w.var.publish(w.value.clone(), old);
-                continue;
-            }
-            w.var.publish(w.value.clone(), wv);
+            w.var.set_value(w.value.clone());
         }
-        for &j in &locked {
-            self.write_set[j].var.unlock_orec(self.serial);
+        #[cfg(feature = "canary-stm")]
+        let do_stamp = !stale_stamp;
+        #[cfg(not(feature = "canary-stm"))]
+        let do_stamp = true;
+        if do_stamp {
+            for o in &stripes {
+                o.stamp_release(wv);
+            }
+        }
+        for o in &stripes {
+            o.unlock(self.serial);
         }
         drop(guard);
 
@@ -708,18 +817,27 @@ impl Txn {
         Ok(())
     }
 
-    /// Commit an eager transaction: orecs are already held and values are
+    /// Commit an eager transaction: stripes are already held and values are
     /// in place; validate reads, stamp the new version, release.
     fn commit_eager(&mut self) -> StmResult<()> {
         if self.undo_log.is_empty() {
             self.finish_success(false);
             return Ok(());
         }
-        let guard = serial::shared();
-        let wv = clock::tick();
+        // `try_shared`, not `shared`: this transaction already holds orec
+        // stripes from encounter time, and blocking here while an
+        // irrevocable transaction drains the lock would deadlock against
+        // its publication spinning on our stripes. Aborting instead is
+        // always safe (rollback releases the stripes) and the runtime
+        // re-executes.
+        let Some(guard) = serial::try_shared() else {
+            return Err(Abort::Conflict(ConflictKind::OrecBusy));
+        };
+        // Write stamp after the (encounter-time) locks: rule 1 holds.
+        let wv = clock::commit_stamp();
         for e in &self.read_set {
-            if !e.var.validate(e.version, self.serial) {
-                obs::note_orec_conflict(e.var.id);
+            if !e.orec.validate(e.version, self.serial) {
+                obs::note_orec_conflict(e.id);
                 drop(guard);
                 return Err(Abort::Conflict(ConflictKind::ReadValidation));
             }
@@ -731,9 +849,10 @@ impl Txn {
             drop(guard);
             return Err(Abort::Conflict(ConflictKind::OrecBusy));
         }
-        for u in &self.undo_log {
-            u.var.version.store(wv, Ordering::Release);
-            u.var.unlock_orec(self.serial);
+        let stripes = Self::commit_stripes(self.undo_log.iter().map(|u| u.var.orec));
+        for o in &stripes {
+            o.stamp_release(wv);
+            o.unlock(self.serial);
         }
         self.undo_log.clear();
         drop(guard);
@@ -744,25 +863,67 @@ impl Txn {
     /// Roll an eager transaction's in-place writes back to their
     /// pre-transaction values and release the orecs.
     fn rollback_eager(&mut self) {
+        if self.undo_log.is_empty() {
+            return;
+        }
+        let stripes = Self::commit_stripes(self.undo_log.iter().map(|u| u.var.orec));
         for u in self.undo_log.drain(..).rev() {
             u.var.set_value(u.old_value);
-            u.var.unlock_orec(self.serial);
+        }
+        for o in &stripes {
+            o.unlock(self.serial);
         }
     }
 
     fn publish_irrevocable(&mut self) {
-        // Exclusive serial lock: no concurrent commit or direct store, so
-        // publication does not need orec locks (readers are protected by
-        // the per-variable version check).
         let wrote = !self.write_set.is_empty() || !self.undo_log.is_empty();
         if wrote {
-            let wv = clock::tick();
-            for w in &self.write_set {
-                w.var.publish(w.value.clone(), wv);
+            // Lock the stripes even though the exclusive serial lock
+            // excludes every other *commit*: non-transactional readers use
+            // the stripe seqlock, and publishing a value without the lock
+            // can hand them a new value under the old version stamp. The
+            // only possible holders are eager transactions still in their
+            // bodies (encounter-time locks are taken outside the serial
+            // lock); they cannot commit past `try_shared` while we hold
+            // the lock exclusively, so they either roll back (releasing
+            // the stripe) or spin behind us — progress is guaranteed.
+            // Under the cooperative scheduler threads interleave only at
+            // yield points, so the seqlock race cannot occur and spinning
+            // on a parked holder would hang the schedule: skip the locks
+            // there, matching the single-step semantics.
+            let lock_stripes = !sched::is_controlled();
+            let wv = clock::commit_stamp();
+            let stripes = Self::commit_stripes(self.write_set.iter().map(|w| w.var.orec));
+            if lock_stripes {
+                for o in &stripes {
+                    let mut spins = 0u32;
+                    while !o.try_lock(self.serial) {
+                        spins += 1;
+                        if spins.is_multiple_of(64) {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
             }
-            for u in self.undo_log.drain(..) {
-                u.var.version.store(wv, Ordering::Release);
-                u.var.unlock_orec(self.serial);
+            for w in &self.write_set {
+                w.var.set_value(w.value.clone());
+            }
+            for o in &stripes {
+                o.stamp_release(wv);
+                if lock_stripes {
+                    o.unlock(self.serial);
+                }
+            }
+            // Eager irrevocable: stripes already held from encounter time.
+            if !self.undo_log.is_empty() {
+                let eager = Self::commit_stripes(self.undo_log.iter().map(|u| u.var.orec));
+                for o in &eager {
+                    o.stamp_release(wv);
+                    o.unlock(self.serial);
+                }
+                self.undo_log.clear();
             }
         }
         self.irrevocable = None; // release the exclusive guard
@@ -817,7 +978,8 @@ impl Txn {
         self.commit_hooks.clear();
         self.read_set.clear();
         self.write_set.clear();
-        self.write_index.clear();
+        self.read_filter = 0;
+        self.write_filter = 0;
     }
 }
 

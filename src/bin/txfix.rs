@@ -11,7 +11,14 @@
 //! cargo run --bin txfix -- analyze av_stats_race
 //! cargo run --bin txfix -- lint --all
 //! ```
+//!
+//! The sweep subcommands (`stress`, `chaos`, `explore`, `autofix`,
+//! `canary`, `list`) all run behind the shared
+//! [`sweep::SweepRunner`] frame: common `--json`/`--seed`/`--out`
+//! parsing, one artifact writer (canonical file plus a timestamped copy
+//! under `results/`), one exit-code policy.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use txfix::corpus::{
     all_bugs, all_scenarios, bug_by_id, bug_by_scenario, keys, scenario_by_key, summary_for,
@@ -19,6 +26,7 @@ use txfix::corpus::{
 };
 use txfix::lint::{lint_summary, LintReport};
 use txfix::recipes::json::ToJson;
+use txfix::recipes::sweep::{self, Flag, SweepArgs, SweepExit, SweepOutput, SweepRunner};
 use txfix::recipes::{
     analyze, preference, table1, table2, table3, tm_difficulty, Analysis, CorpusSummary, Preference,
 };
@@ -37,12 +45,12 @@ fn main() -> ExitCode {
         Some("scenario") => scenario(&args[1..]),
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("lint") => lint_cmd(&args[1..]),
-        Some("stress") => stress_cmd(&args[1..]),
-        Some("chaos") => chaos_cmd(&args[1..]),
-        Some("explore") => explore_cmd(&args[1..]),
-        Some("autofix") => autofix_cmd(&args[1..]),
+        Some("stress") => sweep_cmd(&mut StressSweep::default(), &args[1..]),
+        Some("chaos") => sweep_cmd(&mut ChaosSweep::default(), &args[1..]),
+        Some("explore") => sweep_cmd(&mut ExploreSweep::default(), &args[1..]),
+        Some("autofix") => sweep_cmd(&mut AutofixSweep::default(), &args[1..]),
         Some("canary") => canary_cmd(&args[1..]),
-        Some("list") => list_cmd(&args[1..]),
+        Some("list") => sweep_cmd(&mut ListSweep, &args[1..]),
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -51,11 +59,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// Drive one sweep through the shared frame, mapping usage errors to the
+/// common usage printer.
+fn sweep_cmd(runner: &mut dyn SweepRunner, args: &[String]) -> ExitCode {
+    match sweep::run_sweep(runner, args) {
+        SweepExit::Done(code) => code,
+        SweepExit::Usage(msg) => usage_error(&msg),
+    }
+}
+
 fn usage() {
     println!(
         "txfix — Applying Transactional Memory to Concurrency Bugs (ASPLOS 2012 reproduction)\n\
          \n\
          USAGE: txfix <command> [args]\n\
+         \n\
+         Every sweep command also accepts --json (print the report document),\n\
+         --out PATH (override the canonical artifact path), and writes a\n\
+         timestamped copy of its artifact under results/.\n\
          \n\
          COMMANDS:\n\
          \x20 tables                       print the study's Tables 1-3\n\
@@ -74,32 +95,34 @@ fn usage() {
          \x20                              statically analyze critical-section summaries\n\
          \x20                              (default: all three variants) and verify the\n\
          \x20                              synthesized fix recipes; exits nonzero on findings\n\
-         \x20 stress [<key>|--all] [--secs N] [--threads 1,2,4,8] [--seed S] [--json]\n\
+         \x20 stress [<key>|--all] [--secs N] [--threads 1,2,4,8] [--seed S]\n\
+         \x20        [--clock gv1|gv5|both]\n\
          \x20                              sustain open-ended load against the dev and TM\n\
-         \x20                              fix variants, report throughput / abort rate /\n\
-         \x20                              latency percentiles, and write BENCH_stm.json\n\
-         \x20 chaos [<key>|--all] [--seed S] [--threads N] [--ops N] [--json]\n\
+         \x20                              fix variants under each version-clock scheme,\n\
+         \x20                              report throughput / abort rate / latency\n\
+         \x20                              percentiles, and write BENCH_stm.json\n\
+         \x20 chaos [<key>|--all] [--seed S] [--threads N] [--ops N]\n\
          \x20                              sweep seeded fault-injection schedules over the\n\
          \x20                              corpus scenarios (dev and tm) under concurrent\n\
          \x20                              load, assert invariants after every run, and\n\
          \x20                              write CHAOS_stm.json; exits nonzero on any\n\
          \x20                              violation; bit-for-bit reproducible per seed\n\
          \x20 explore [<key>|--all] [--variant buggy|dev|tm] [--strategy dfs|pct]\n\
-         \x20         [--budget N] [--seed S] [--json]\n\
+         \x20         [--budget N] [--seed S]\n\
          \x20                              model-check scenario schedules under the\n\
          \x20                              deterministic scheduler: every buggy variant\n\
          \x20                              must break within budget (failing schedule\n\
          \x20                              minimized and printed), every fixed variant\n\
          \x20                              must survive all explored schedules; writes\n\
          \x20                              EXPLORE_stm.json; exits nonzero on violations\n\
-         \x20 autofix [<key>|--all] [--strategy dfs|pct] [--budget N] [--seed S] [--json]\n\
+         \x20 autofix [<key>|--all] [--strategy dfs|pct] [--budget N] [--seed S]\n\
          \x20                              infer atomic-region fixes from static findings,\n\
          \x20                              synthesize the TM patch, and verify it both\n\
          \x20                              statically and by schedule exploration; reports\n\
          \x20                              widenings vs the hand-written TM variant; writes\n\
          \x20                              AUTOFIX_stm.json; exits nonzero on any\n\
          \x20                              unverified fix\n\
-         \x20 canary [<canary>|--all] [--seed S] [--json]\n\
+         \x20 canary [<canary>|--all] [--seed S]\n\
          \x20                              arm one planted detector bug at a time and run\n\
          \x20                              it through every detection layer (analyze, lint,\n\
          \x20                              explore, chaos); writes the txfix-canary-v1\n\
@@ -384,71 +407,99 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
 }
 
-fn stress_cmd(args: &[String]) -> ExitCode {
-    use txfix::bench::stress;
+// ---- sweep commands -------------------------------------------------------
 
-    let mut cfg = stress::StressConfig::default();
-    let mut key: Option<String> = None;
-    let mut all = false;
-    let mut json = false;
-    let mut rest = args.iter();
-    while let Some(opt) = rest.next() {
-        match opt.as_str() {
-            "--all" => all = true,
-            "--secs" => match rest.next().and_then(|s| s.parse::<f64>().ok()) {
-                Some(s) if s > 0.0 => cfg.secs = s,
-                _ => return usage_error("--secs takes a positive number"),
+#[derive(Default)]
+struct StressSweep {
+    cfg: txfix::bench::stress::StressConfig,
+}
+
+impl SweepRunner for StressSweep {
+    fn name(&self) -> &'static str {
+        "stress"
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("BENCH_stm.json")
+    }
+
+    fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
+        use txfix::stm::ClockMode;
+        match flag {
+            "--secs" => match value.and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => {
+                    self.cfg.secs = s;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--secs takes a positive number".into()),
             },
             "--threads" => {
-                let parsed: Option<Vec<usize>> = rest
-                    .next()
+                let parsed: Option<Vec<usize>> = value
                     .map(|list| list.split(',').map(|t| t.trim().parse::<usize>().ok()).collect())
                     .unwrap_or(None);
                 match parsed {
-                    Some(t) if !t.is_empty() && t.iter().all(|&n| n > 0) => cfg.threads = t,
-                    _ => {
-                        return usage_error("--threads takes a comma-separated list, e.g. 1,2,4,8")
+                    Some(t) if !t.is_empty() && t.iter().all(|&n| n > 0) => {
+                        self.cfg.threads = t;
+                        Ok(Flag::SeenWithValue)
                     }
+                    _ => Err("--threads takes a comma-separated list, e.g. 1,2,4,8".into()),
                 }
             }
-            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
-                Some(s) => cfg.seed = s,
-                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
-            },
-            "--json" => json = true,
-            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
-            other => return usage_error(&format!("unknown option `{other}`")),
+            "--clock" => {
+                match value {
+                    Some("both") => self.cfg.clocks = vec![ClockMode::Gv1, ClockMode::Gv5],
+                    Some(name) => match ClockMode::parse(name) {
+                        Some(c) => self.cfg.clocks = vec![c],
+                        None => return Err("--clock takes gv1|gv5|both".into()),
+                    },
+                    None => return Err("--clock takes gv1|gv5|both".into()),
+                }
+                Ok(Flag::SeenWithValue)
+            }
+            _ => Ok(Flag::Unknown),
         }
     }
-    if !all {
-        let Some(k) = key else {
-            return usage_error("stress needs a scenario key or --all, e.g. `txfix stress --all`");
-        };
-        let Some(&k) = stress::SCENARIOS.iter().find(|&&s| s == k) else {
-            return usage_error(&format!(
-                "no stress scenario `{k}` (available: {})",
-                stress::SCENARIOS.join(", ")
-            ));
-        };
-        cfg.scenarios = vec![k];
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        use txfix::bench::stress;
+        if args.all {
+            return Ok(());
+        }
+        if args.keys.is_empty() {
+            return Err("stress needs a scenario key or --all, e.g. `txfix stress --all`".into());
+        }
+        let mut selected = Vec::new();
+        for k in &args.keys {
+            let Some(&k) = stress::SCENARIOS.iter().find(|&&s| s == k) else {
+                return Err(format!(
+                    "no stress scenario `{k}` (available: {})",
+                    stress::SCENARIOS.join(", ")
+                ));
+            };
+            selected.push(k);
+        }
+        self.cfg.scenarios = selected;
+        Ok(())
     }
 
-    let runs = stress::run_stress(&cfg);
-    let doc = stress::stress_report(&cfg, &runs);
-    let rendered = doc.to_json();
-
-    if json {
-        println!("{rendered}");
-    } else {
-        println!(
-            "{:22} {:4} {:>3}  {:>12}  {:>9}  {:>10}  {:>10}  {:>7}",
-            "scenario", "var", "thr", "ops/s", "aborts", "p50", "p99", "abort%"
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::bench::stress;
+        if let Some(s) = args.seed {
+            self.cfg.seed = s;
+        }
+        let runs = stress::run_stress(&self.cfg);
+        let rendered = stress::stress_report(&self.cfg, &runs).to_json();
+        let mut table = format!(
+            "{:22} {:4} {:5} {:>3}  {:>12}  {:>9}  {:>10}  {:>10}  {:>7}",
+            "scenario", "var", "clock", "thr", "ops/s", "aborts", "p50", "p99", "abort%"
         );
         for r in &runs {
-            println!(
-                "{:22} {:4} {:>3}  {:>12.0}  {:>9}  {:>8}ns  {:>8}ns  {:>6.2}%",
+            let _ = write!(
+                table,
+                "\n{:22} {:4} {:5} {:>3}  {:>12.0}  {:>9}  {:>8}ns  {:>8}ns  {:>6.2}%",
                 r.scenario,
                 r.variant,
+                r.clock,
                 r.threads,
                 r.ops_per_sec,
                 r.aborts,
@@ -457,181 +508,158 @@ fn stress_cmd(args: &[String]) -> ExitCode {
                 r.abort_rate * 100.0
             );
         }
-    }
-
-    // Persist the document: the canonical copy at the repo root and a
-    // timestamped one under results/.
-    if let Err(e) = std::fs::write("BENCH_stm.json", format!("{rendered}\n")) {
-        eprintln!("error: cannot write BENCH_stm.json: {e}");
-        return ExitCode::FAILURE;
-    }
-    let stamp = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let per_run = format!("results/BENCH_stm_{stamp}.json");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
-    {
-        eprintln!("error: cannot write {per_run}: {e}");
-        return ExitCode::FAILURE;
-    }
-    if !json {
-        println!("\nwrote BENCH_stm.json and {per_run}");
-    }
-    ExitCode::SUCCESS
-}
-
-fn parse_seed(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
+        Ok(SweepOutput { rendered, table, ok: true, failure: "" })
     }
 }
 
-fn chaos_cmd(args: &[String]) -> ExitCode {
-    use txfix::bench::chaos;
+#[derive(Default)]
+struct ChaosSweep {
+    cfg: txfix::bench::chaos::ChaosConfig,
+}
 
-    let mut cfg = chaos::ChaosConfig::default();
-    let mut key: Option<String> = None;
-    let mut all = false;
-    let mut json = false;
-    let mut rest = args.iter();
-    while let Some(opt) = rest.next() {
-        match opt.as_str() {
-            "--all" => all = true,
-            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
-                Some(s) => cfg.seed = s,
-                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
+impl SweepRunner for ChaosSweep {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("CHAOS_stm.json")
+    }
+
+    fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
+        match flag {
+            "--threads" => match value.and_then(|s| s.parse::<usize>().ok()) {
+                Some(t) if t > 0 => {
+                    self.cfg.threads = t;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--threads takes a positive integer".into()),
             },
-            "--threads" => match rest.next().and_then(|s| s.parse::<usize>().ok()) {
-                Some(t) if t > 0 => cfg.threads = t,
-                _ => return usage_error("--threads takes a positive integer"),
+            "--ops" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.ops_per_thread = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--ops takes a positive integer".into()),
             },
-            "--ops" => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
-                Some(n) if n > 0 => cfg.ops_per_thread = n,
-                _ => return usage_error("--ops takes a positive integer"),
-            },
-            "--json" => json = true,
-            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
-            other => return usage_error(&format!("unknown option `{other}`")),
+            _ => Ok(Flag::Unknown),
         }
     }
-    if !all {
-        let Some(k) = key else {
-            return usage_error("chaos needs a scenario key or --all, e.g. `txfix chaos --all`");
-        };
-        let Some(&k) = chaos::SCENARIOS.iter().find(|&&s| s == k) else {
-            return usage_error(&format!(
-                "no chaos scenario `{k}` (available: {})",
-                chaos::SCENARIOS.join(", ")
-            ));
-        };
-        cfg.scenarios = vec![k];
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        use txfix::bench::chaos;
+        if args.all {
+            return Ok(());
+        }
+        if args.keys.is_empty() {
+            return Err("chaos needs a scenario key or --all, e.g. `txfix chaos --all`".into());
+        }
+        let mut selected = Vec::new();
+        for k in &args.keys {
+            let Some(&k) = chaos::SCENARIOS.iter().find(|&&s| s == k) else {
+                return Err(format!(
+                    "no chaos scenario `{k}` (available: {})",
+                    chaos::SCENARIOS.join(", ")
+                ));
+            };
+            selected.push(k);
+        }
+        self.cfg.scenarios = selected;
+        Ok(())
     }
 
-    let runs = chaos::run_chaos(&cfg);
-    let doc = chaos::chaos_report(&cfg, &runs);
-    let rendered = doc.to_json();
-
-    if json {
-        println!("{rendered}");
-    } else {
-        println!(
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::bench::chaos;
+        if let Some(s) = args.seed {
+            self.cfg.seed = s;
+        }
+        let runs = chaos::run_chaos(&self.cfg);
+        let rendered = chaos::chaos_report(&self.cfg, &runs).to_json();
+        let mut table = format!(
             "{:22} {:14} {:4} {:>3}  {:>7}  verdict",
             "scenario", "schedule", "var", "thr", "ops"
         );
         for r in &runs {
             let verdict = if r.passed() { "ok".to_string() } else { r.violations.join("; ") };
-            println!(
-                "{:22} {:14} {:4} {:>3}  {:>7}  {}",
+            let _ = write!(
+                table,
+                "\n{:22} {:14} {:4} {:>3}  {:>7}  {}",
                 r.scenario, r.schedule, r.variant, r.threads, r.ops, verdict
             );
         }
-    }
-
-    if let Err(e) = std::fs::write("CHAOS_stm.json", format!("{rendered}\n")) {
-        eprintln!("error: cannot write CHAOS_stm.json: {e}");
-        return ExitCode::FAILURE;
-    }
-    let stamp = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let per_run = format!("results/CHAOS_stm_{stamp}.json");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
-    {
-        eprintln!("error: cannot write {per_run}: {e}");
-        return ExitCode::FAILURE;
-    }
-    if !json {
-        println!("\nwrote CHAOS_stm.json and {per_run}");
-    }
-    if runs.iter().all(chaos::ChaosRun::passed) {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("error: chaos sweep observed invariant violations");
-        ExitCode::FAILURE
+        Ok(SweepOutput {
+            rendered,
+            table,
+            ok: runs.iter().all(chaos::ChaosRun::passed),
+            failure: "chaos sweep observed invariant violations",
+        })
     }
 }
 
-fn explore_cmd(args: &[String]) -> ExitCode {
-    use txfix::corpus::scheduled_scenarios;
-    use txfix::explore;
-    use txfix::recipes::json::ToJson as _;
+#[derive(Default)]
+struct ExploreSweep {
+    cfg: txfix::explore::ExploreConfig,
+    variants: Option<Vec<Variant>>,
+}
 
-    let mut cfg = explore::ExploreConfig::default();
-    let mut key: Option<String> = None;
-    let mut all = false;
-    let mut json = false;
-    let mut variants: Vec<Variant> = Variant::ALL.to_vec();
-    let mut rest = args.iter();
-    while let Some(opt) = rest.next() {
-        match opt.as_str() {
-            "--all" => all = true,
-            "--variant" => match rest.next().and_then(|s| explore::variant_parse(s)) {
-                Some(v) => variants = vec![v],
-                None => return usage_error("--variant takes buggy|dev|tm"),
+impl SweepRunner for ExploreSweep {
+    fn name(&self) -> &'static str {
+        "explore"
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("EXPLORE_stm.json")
+    }
+
+    fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
+        use txfix::explore;
+        match flag {
+            "--variant" => match value.and_then(explore::variant_parse) {
+                Some(v) => {
+                    self.variants = Some(vec![v]);
+                    Ok(Flag::SeenWithValue)
+                }
+                None => Err("--variant takes buggy|dev|tm".into()),
             },
-            "--strategy" => match rest.next().and_then(|s| explore::Strategy::parse(s)) {
-                Some(s) => cfg.strategy = s,
-                None => return usage_error("--strategy takes dfs|pct"),
+            "--strategy" => match value.and_then(explore::Strategy::parse) {
+                Some(s) => {
+                    self.cfg.strategy = s;
+                    Ok(Flag::SeenWithValue)
+                }
+                None => Err("--strategy takes dfs|pct".into()),
             },
-            "--budget" => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
-                Some(n) if n > 0 => cfg.budget = n,
-                _ => return usage_error("--budget takes a positive integer"),
+            "--budget" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.budget = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--budget takes a positive integer".into()),
             },
-            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
-                Some(s) => cfg.seed = s,
-                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
-            },
-            "--json" => json = true,
-            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
-            other => return usage_error(&format!("unknown option `{other}`")),
+            _ => Ok(Flag::Unknown),
         }
     }
-    if !all && key.is_none() {
-        let available =
-            scheduled_scenarios().iter().map(|s| s.key().to_string()).collect::<Vec<_>>();
-        return usage_error(&format!(
-            "explore needs a scenario key or --all (available: {})",
-            available.join(", ")
-        ));
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        if args.all || !args.keys.is_empty() {
+            return Ok(());
+        }
+        let available = txfix::corpus::scheduled_scenarios()
+            .iter()
+            .map(|s| s.key().to_string())
+            .collect::<Vec<_>>();
+        Err(format!("explore needs a scenario key or --all (available: {})", available.join(", ")))
     }
-    let keys: Option<Vec<String>> = key.map(|k| vec![k]);
 
-    let report = match explore::explore_corpus(keys.as_deref(), &variants, &cfg) {
-        Ok(r) => r,
-        Err(e) => return usage_error(&e),
-    };
-    let rendered = report.to_json();
-
-    if json {
-        println!("{rendered}");
-    } else {
-        println!(
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::explore;
+        if let Some(s) = args.seed {
+            self.cfg.seed = s;
+        }
+        let variants = self.variants.clone().unwrap_or_else(|| Variant::ALL.to_vec());
+        let selection: Option<&[String]> = if args.all { None } else { Some(args.keys.as_slice()) };
+        let report = explore::explore_corpus(selection, &variants, &self.cfg)?;
+        let rendered = report.to_json();
+        let mut table = format!(
             "{:18} {:5} {:>9} {:>7} {:>8}  verdict",
             "scenario", "var", "schedules", "pruned", "exhaust"
         );
@@ -647,8 +675,9 @@ fn explore_cmd(args: &[String]) -> ExitCode {
                 (None, true) => "clean".to_string(),
                 (None, false) => "NO BUG FOUND within budget".to_string(),
             };
-            println!(
-                "{:18} {:5} {:>9} {:>7} {:>8}  {}",
+            let _ = write!(
+                table,
+                "\n{:18} {:5} {:>9} {:>7} {:>8}  {}",
                 e.key,
                 e.variant,
                 e.schedules,
@@ -657,92 +686,81 @@ fn explore_cmd(args: &[String]) -> ExitCode {
                 verdict
             );
             if let (Some(f), true) = (&e.failure, e.ok) {
-                println!(
-                    "{:55}replay: --strategy {} --seed {} trace {}",
+                let _ = write!(
+                    table,
+                    "\n{:55}replay: --strategy {} --seed {} trace {}",
                     "", report.strategy, report.seed, f.trace
                 );
             }
         }
-    }
-
-    if let Err(e) = std::fs::write("EXPLORE_stm.json", format!("{rendered}\n")) {
-        eprintln!("error: cannot write EXPLORE_stm.json: {e}");
-        return ExitCode::FAILURE;
-    }
-    let stamp = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let per_run = format!("results/EXPLORE_stm_{stamp}.json");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
-    {
-        eprintln!("error: cannot write {per_run}: {e}");
-        return ExitCode::FAILURE;
-    }
-    if !json {
-        println!("\nwrote EXPLORE_stm.json and {per_run}");
-    }
-    if report.ok() {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("error: exploration expectations not met");
-        ExitCode::FAILURE
+        Ok(SweepOutput {
+            rendered,
+            table,
+            ok: report.ok(),
+            failure: "exploration expectations not met",
+        })
     }
 }
 
-fn autofix_cmd(args: &[String]) -> ExitCode {
-    use txfix::autofix;
-    use txfix::corpus::keys;
-    use txfix::explore;
-    use txfix::recipes::json::ToJson as _;
+#[derive(Default)]
+struct AutofixSweep {
+    cfg: txfix::explore::ExploreConfig,
+}
 
-    let mut cfg = explore::ExploreConfig::default();
-    let mut key: Option<String> = None;
-    let mut all = false;
-    let mut json = false;
-    let mut rest = args.iter();
-    while let Some(opt) = rest.next() {
-        match opt.as_str() {
-            "--all" => all = true,
-            "--strategy" => match rest.next().and_then(|s| explore::Strategy::parse(s)) {
-                Some(s) => cfg.strategy = s,
-                None => return usage_error("--strategy takes dfs|pct"),
+impl SweepRunner for AutofixSweep {
+    fn name(&self) -> &'static str {
+        "autofix"
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("AUTOFIX_stm.json")
+    }
+
+    fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
+        use txfix::explore;
+        match flag {
+            "--strategy" => match value.and_then(explore::Strategy::parse) {
+                Some(s) => {
+                    self.cfg.strategy = s;
+                    Ok(Flag::SeenWithValue)
+                }
+                None => Err("--strategy takes dfs|pct".into()),
             },
-            "--budget" => match rest.next().and_then(|s| s.parse::<u64>().ok()) {
-                Some(n) if n > 0 => cfg.budget = n,
-                _ => return usage_error("--budget takes a positive integer"),
+            "--budget" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.budget = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--budget takes a positive integer".into()),
             },
-            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
-                Some(s) => cfg.seed = s,
-                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
-            },
-            "--json" => json = true,
-            other if !other.starts_with('-') && key.is_none() => key = Some(other.to_string()),
-            other => return usage_error(&format!("unknown option `{other}`")),
+            _ => Ok(Flag::Unknown),
         }
     }
-    if !all && key.is_none() {
-        return usage_error(&format!(
-            "autofix needs a scenario key or --all (available: {})",
-            keys::ALL.join(", ")
-        ));
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        if args.all || !args.keys.is_empty() {
+            return Ok(());
+        }
+        Err(format!("autofix needs a scenario key or --all (available: {})", keys::ALL.join(", ")))
     }
-    let selected: Option<Vec<String>> = key.map(|k| vec![k]);
 
-    let report = match autofix::autofix_corpus(selected.as_deref(), &cfg) {
-        Ok(r) => r,
-        Err(e) => return usage_error(&e),
-    };
-    let rendered = report.to_json();
-
-    if json {
-        println!("{rendered}");
-    } else {
-        println!("{:22} {:>6} {:>7} {:>8}  verdict", "scenario", "rounds", "static", "patched");
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::autofix;
+        if let Some(s) = args.seed {
+            self.cfg.seed = s;
+        }
+        let selection: Option<&[String]> = if args.all { None } else { Some(args.keys.as_slice()) };
+        let report = autofix::autofix_corpus(selection, &self.cfg)?;
+        let rendered = report.to_json();
+        let mut table =
+            format!("{:22} {:>6} {:>7} {:>8}  verdict", "scenario", "rounds", "static", "patched");
         for e in &report.entries {
             if let Some(err) = &e.error {
-                println!("{:22} {:>6} {:>7} {:>8}  INFERENCE FAILED: {err}", e.key, "-", "-", "-");
+                let _ = write!(
+                    table,
+                    "\n{:22} {:>6} {:>7} {:>8}  INFERENCE FAILED: {err}",
+                    e.key, "-", "-", "-"
+                );
                 continue;
             }
             let verdict = match (&e.patched.failure, &e.buggy.failure) {
@@ -750,8 +768,9 @@ fn autofix_cmd(args: &[String]) -> ExitCode {
                 (None, Some(b)) => format!("verified (bug reproduced: {b})"),
                 (None, None) => "verified (no counterexample within budget)".to_string(),
             };
-            println!(
-                "{:22} {:>6} {:>7} {:>8}  {}",
+            let _ = write!(
+                table,
+                "\n{:22} {:>6} {:>7} {:>8}  {}",
                 e.key,
                 e.rounds,
                 if e.static_clean { "clean" } else { "DIRTY" },
@@ -759,11 +778,12 @@ fn autofix_cmd(args: &[String]) -> ExitCode {
                 verdict
             );
             for (region, recipe) in e.regions.iter().zip(&e.recipes) {
-                println!("{:24}fix: {region}  [{recipe}]", "");
+                let _ = write!(table, "\n{:24}fix: {region}  [{recipe}]", "");
             }
             for w in &e.widenings {
-                println!(
-                    "{:24}widened {}: inferred {{{}}} vs hand {{{}}}",
+                let _ = write!(
+                    table,
+                    "\n{:24}widened {}: inferred {{{}}} vs hand {{{}}}",
                     "",
                     w.path,
                     w.inferred.join(", "),
@@ -771,31 +791,12 @@ fn autofix_cmd(args: &[String]) -> ExitCode {
                 );
             }
         }
-    }
-
-    if let Err(e) = std::fs::write("AUTOFIX_stm.json", format!("{rendered}\n")) {
-        eprintln!("error: cannot write AUTOFIX_stm.json: {e}");
-        return ExitCode::FAILURE;
-    }
-    let stamp = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let per_run = format!("results/AUTOFIX_stm_{stamp}.json");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
-    {
-        eprintln!("error: cannot write {per_run}: {e}");
-        return ExitCode::FAILURE;
-    }
-    if !json {
-        println!("\nwrote AUTOFIX_stm.json and {per_run}");
-    }
-    if report.ok() {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("error: some fixes failed verification");
-        ExitCode::FAILURE
+        Ok(SweepOutput {
+            rendered,
+            table,
+            ok: report.ok(),
+            failure: "some fixes failed verification",
+        })
     }
 }
 
@@ -803,36 +804,49 @@ fn autofix_cmd(args: &[String]) -> ExitCode {
 /// order.
 const LIST_LAYERS: [&str; 6] = ["analyze", "lint", "explore", "chaos", "stress", "autofix"];
 
-fn list_cmd(args: &[String]) -> ExitCode {
-    use txfix::bench::{chaos, stress};
-    use txfix::corpus::scheduled_by_key;
-    use txfix::recipes::json::Json;
+struct ListSweep;
 
-    let mut json = false;
-    for opt in args {
-        match opt.as_str() {
-            "--json" => json = true,
-            other => return usage_error(&format!("unknown option `{other}`")),
-        }
+impl SweepRunner for ListSweep {
+    fn name(&self) -> &'static str {
+        "list"
     }
 
-    // Which layers cover which scenario. `analyze` (trace replay) and
-    // `autofix` (region inference) sweep the whole corpus; `lint` needs a
-    // declarative summary, `explore` a scheduled build, `chaos` and
-    // `stress` an open-ended load harness.
-    let coverage = |key: &str| -> [bool; 6] {
-        [
-            true,
-            summary_for(key, Variant::Buggy).is_some(),
-            scheduled_by_key(key).is_some(),
-            chaos::SCENARIOS.contains(&key),
-            stress::SCENARIOS.contains(&key),
-            true,
-        ]
-    };
-    let variants = ["buggy", "dev", "tm"];
+    fn artifact(&self) -> Option<&'static str> {
+        None
+    }
 
-    if json {
+    fn takes_seed(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        if let Some(k) = args.keys.first() {
+            return Err(format!("list takes no scenario selection (got `{k}`)"));
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, _args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::bench::{chaos, stress};
+        use txfix::corpus::scheduled_by_key;
+        use txfix::recipes::json::Json;
+
+        // Which layers cover which scenario. `analyze` (trace replay) and
+        // `autofix` (region inference) sweep the whole corpus; `lint` needs
+        // a declarative summary, `explore` a scheduled build, `chaos` and
+        // `stress` an open-ended load harness.
+        let coverage = |key: &str| -> [bool; 6] {
+            [
+                true,
+                summary_for(key, Variant::Buggy).is_some(),
+                scheduled_by_key(key).is_some(),
+                chaos::SCENARIOS.contains(&key),
+                stress::SCENARIOS.contains(&key),
+                true,
+            ]
+        };
+        let variants = ["buggy", "dev", "tm"];
+
         let doc = Json::obj([
             ("schema", Json::str("txfix-list-v1")),
             (
@@ -852,17 +866,16 @@ fn list_cmd(args: &[String]) -> ExitCode {
                 })),
             ),
         ]);
-        println!("{}", doc.to_json());
-    } else {
-        println!(
+        let mut table = format!(
             "{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
             "scenario", "variants", "analyze", "lint", "explore", "chaos", "stress", "autofix"
         );
         for &key in keys::ALL.iter() {
             let cov = coverage(key);
             let mark = |c: bool| if c { "yes" } else { "-" };
-            println!(
-                "{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
+            let _ = write!(
+                table,
+                "\n{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
                 key,
                 variants.join(","),
                 mark(cov[0]),
@@ -873,59 +886,67 @@ fn list_cmd(args: &[String]) -> ExitCode {
                 mark(cov[5]),
             );
         }
+        Ok(SweepOutput { rendered: doc.to_json(), table, ok: true, failure: "" })
     }
-    ExitCode::SUCCESS
 }
 
 #[cfg(feature = "canary")]
-fn canary_cmd(args: &[String]) -> ExitCode {
-    use txfix::canary;
-    use txfix::stm::canary::Canary;
+struct CanarySweep {
+    swept: Vec<txfix::stm::canary::Canary>,
+    seed: u64,
+}
 
-    let mut seed = 0xC0FFEEu64;
-    let mut selected: Option<Canary> = None;
-    let mut all = false;
-    let mut json = false;
-    let mut rest = args.iter();
-    while let Some(opt) = rest.next() {
-        match opt.as_str() {
-            "--all" => all = true,
-            "--seed" => match rest.next().and_then(|s| parse_seed(s)) {
-                Some(s) => seed = s,
-                None => return usage_error("--seed takes an integer (decimal or 0x-hex)"),
-            },
-            "--json" => json = true,
-            other if !other.starts_with('-') && selected.is_none() => {
-                let Some(c) = Canary::parse(other) else {
-                    return usage_error(&format!(
-                        "no canary `{other}` (available: {})",
-                        Canary::ALL.map(Canary::name).join(", ")
-                    ));
-                };
-                selected = Some(c);
-            }
-            other => return usage_error(&format!("unknown option `{other}`")),
-        }
+#[cfg(feature = "canary")]
+impl Default for CanarySweep {
+    fn default() -> CanarySweep {
+        CanarySweep { swept: Vec::new(), seed: 0xC0FFEE }
     }
-    let swept: Vec<Canary> = if all {
-        Canary::ALL.to_vec()
-    } else if let Some(c) = selected {
-        vec![c]
-    } else {
-        return usage_error("canary needs a canary name or --all, e.g. `txfix canary --all`");
-    };
+}
 
-    let report = canary::run_canaries(&swept, seed);
-    let rendered = report.to_json();
+#[cfg(feature = "canary")]
+impl SweepRunner for CanarySweep {
+    fn name(&self) -> &'static str {
+        "canary"
+    }
 
-    if json {
-        println!("{rendered}");
-    } else {
-        println!("{:26} {:12} {:8} caught by", "canary", "class", "caught");
+    fn artifact(&self) -> Option<&'static str> {
+        Some("CANARY_stm.json")
+    }
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        use txfix::stm::canary::Canary;
+        if args.all {
+            self.swept = Canary::ALL.to_vec();
+            return Ok(());
+        }
+        if args.keys.is_empty() {
+            return Err("canary needs a canary name or --all, e.g. `txfix canary --all`".into());
+        }
+        for k in &args.keys {
+            let Some(c) = Canary::parse(k) else {
+                return Err(format!(
+                    "no canary `{k}` (available: {})",
+                    Canary::ALL.map(Canary::name).join(", ")
+                ));
+            };
+            self.swept.push(c);
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::canary;
+        if let Some(s) = args.seed {
+            self.seed = s;
+        }
+        let report = canary::run_canaries(&self.swept, self.seed);
+        let rendered = report.to_json();
+        let mut table = format!("{:26} {:12} {:8} caught by", "canary", "class", "caught");
         for o in &report.outcomes {
             let by = o.caught_by();
-            println!(
-                "{:26} {:12} {:8} {}",
+            let _ = write!(
+                table,
+                "\n{:26} {:12} {:8} {}",
                 o.canary.name(),
                 canary::class_name(o.expected),
                 if o.caught() { "yes" } else { "UNCAUGHT" },
@@ -937,35 +958,21 @@ fn canary_cmd(args: &[String]) -> ExitCode {
                     (true, false) => "missed",
                     (false, false) => "not probed",
                 };
-                println!("{:28}{:8} {:10} {}", "", p.layer, verdict, p.evidence);
+                let _ = write!(table, "\n{:28}{:8} {:10} {}", "", p.layer, verdict, p.evidence);
             }
         }
+        Ok(SweepOutput {
+            rendered,
+            table,
+            ok: report.ok(),
+            failure: "some canaries went uncaught by every detection layer",
+        })
     }
+}
 
-    if let Err(e) = std::fs::write("CANARY_stm.json", format!("{rendered}\n")) {
-        eprintln!("error: cannot write CANARY_stm.json: {e}");
-        return ExitCode::FAILURE;
-    }
-    let stamp = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let per_run = format!("results/CANARY_stm_{stamp}.json");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&per_run, format!("{rendered}\n")))
-    {
-        eprintln!("error: cannot write {per_run}: {e}");
-        return ExitCode::FAILURE;
-    }
-    if !json {
-        println!("\nwrote CANARY_stm.json and {per_run}");
-    }
-    if report.ok() {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("error: some canaries went uncaught by every detection layer");
-        ExitCode::FAILURE
-    }
+#[cfg(feature = "canary")]
+fn canary_cmd(args: &[String]) -> ExitCode {
+    sweep_cmd(&mut CanarySweep::default(), args)
 }
 
 #[cfg(not(feature = "canary"))]

@@ -29,14 +29,21 @@ fn check_schema<'a>(
 #[test]
 fn bench_artifact_matches_stress_schema() {
     let doc = load("BENCH_stm.json");
-    // The stress report predates the schema marker; its signature is the
-    // runs matrix itself.
-    let obj = doc.object("BENCH_stm.json").unwrap();
+    let obj = check_schema("BENCH_stm.json", &doc, "txfix-stress-v2");
+    assert!(get(obj, "host_cores").unwrap().number("host_cores").unwrap() >= 1.0);
+    let clocks: Vec<String> = get(obj, "clocks")
+        .unwrap()
+        .array("clocks")
+        .unwrap()
+        .iter()
+        .map(|c| c.string("clock").unwrap().to_string())
+        .collect();
+    assert_eq!(clocks, ["gv1", "gv5"], "committed sweep must cover both clocks");
     let runs = get(obj, "runs").unwrap().array("runs").unwrap();
     assert!(!runs.is_empty(), "stress artifact records no runs");
     for r in runs {
         let run = r.object("run").unwrap();
-        for field in ["scenario", "variant"] {
+        for field in ["scenario", "variant", "clock"] {
             get(run, field).unwrap().string(field).unwrap();
         }
         for field in ["ops_per_sec", "aborts", "threads", "p50_ns", "p99_ns"] {
