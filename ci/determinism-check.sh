@@ -4,7 +4,7 @@
 # Run <command...> twice, capturing stdout to <prefix>_a.json and
 # <prefix>_b.json, and fail unless both runs succeed and agree
 # byte-for-byte. Every seeded sweep in this repo (chaos, explore,
-# autofix, canary) promises bit-for-bit reproducibility; this is the one
+# autofix, crash, canary) promises bit-for-bit reproducibility; this is the one
 # place that promise is enforced, so CI smokes all share it instead of
 # each hand-rolling the double run.
 set -eu

@@ -82,10 +82,16 @@ pub enum Canary {
     /// scheduler records the picker's decision but runs a different
     /// ready candidate. Hit ordinal: one per perturbable decision.
     SchedOutOfTurn = 9,
+    /// Pretend-success fsync in the WAL durability path: the commit-time
+    /// sync application reports success but never moves the page cache
+    /// to the durable image, so acknowledged commits silently stop
+    /// surviving crashes (the kimberlite `canary-skip-fsync` bug class).
+    /// Hit ordinal: one per deferred sync application.
+    WalSkipFsync = 10,
 }
 
 /// Number of canary sites (size of the arming tables).
-pub const SITE_COUNT: usize = 10;
+pub const SITE_COUNT: usize = 11;
 
 impl Canary {
     /// Every canary, in discriminant order.
@@ -100,6 +106,7 @@ impl Canary {
         Canary::XcallSkipUndo,
         Canary::XcallDoubleCompensate,
         Canary::SchedOutOfTurn,
+        Canary::WalSkipFsync,
     ];
 
     /// Table index.
@@ -121,6 +128,7 @@ impl Canary {
             Canary::XcallSkipUndo => "xcall_skip_undo",
             Canary::XcallDoubleCompensate => "xcall_double_compensate",
             Canary::SchedOutOfTurn => "sched_out_of_turn",
+            Canary::WalSkipFsync => "wal_skip_fsync",
         }
     }
 
@@ -137,6 +145,7 @@ impl Canary {
             Canary::XcallSkipUndo => "xcall::file abort undo hook",
             Canary::XcallDoubleCompensate => "xcall::pipe compensation registration",
             Canary::SchedOutOfTurn => "stm::sched turnstile decision",
+            Canary::WalSkipFsync => "xcall::file commit-time sync application",
         }
     }
 
@@ -182,6 +191,7 @@ static SITE_SALT: [u64; SITE_COUNT] = [
     0x2545_F491_4F6C_DD1D,
     0x9E6C_63D0_876A_3F6B,
     0xD1B5_4A32_D192_ED03,
+    0x2BB6_863E_4098_BD1D,
 ];
 
 /// Arm `canary` with `trigger` under `seed`, zeroing all hit/fired

@@ -1,0 +1,430 @@
+//! The crash-recovery checker behind `txfix crash`.
+//!
+//! For each WAL variant × fault schedule, the checker first runs a fixed
+//! scripted workload against [`DurableKv`] in crash-point *record* mode
+//! to learn the crash-point universe — every `(label, hit-count)` the
+//! run passes through. Then, for every `(label, hit, image-seed)` triple
+//! it reruns the workload with that crash point armed: the firing hit
+//! freezes the simulated durable world, the filesystem takes a seeded
+//! crash image ([`SimFs::crash`]), the world thaws, recovery replays the
+//! log, and three invariants are checked against the workload oracle:
+//!
+//! * **durability** — every batch acknowledged before the crash has a
+//!   durable commit marker;
+//! * **atomicity** — every durably committed transaction recovered its
+//!   complete, intact put set (all-or-nothing);
+//! * **no resurrection** — no cancelled batch has a durable commit
+//!   marker.
+//!
+//! The correct protocol ([`WalVariant::Fixed`]) must be clean at every
+//! crash point; the buggy one ([`WalVariant::CommitBeforeFsync`]) must
+//! be flagged at its planted window, [`AFTER_COMMIT_WRITE`]. Everything
+//! is derived from the run seed through `splitmix64`, so reports are
+//! bit-for-bit reproducible.
+
+use crate::redo::{recover_and_compact, Recovery, WalVariant, AFTER_COMMIT_WRITE};
+use crate::DurableKv;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use txfix_core::json::{Json, ToJson};
+use txfix_stm::chaos::{self, splitmix64, FaultPlan, InjectionPoint, Trigger};
+use txfix_xcall::{crashpoint, SimFs, BLOCK_BYTES};
+
+/// Report schema identifier.
+pub const SCHEMA: &str = "txfix-crash-v1";
+
+/// Default run seed (matches the other seeded sweeps).
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// Where the workload keeps its log inside the simulated filesystem.
+pub const WAL_PATH: &str = "wal/kv.log";
+
+/// Which concurrent-fault backdrop the workload runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// No injected faults: the crash is the only adversity.
+    Clean,
+    /// `chaos` faults at the file x-calls: transactions restart mid-
+    /// protocol while crash points are armed, composing crash-during-
+    /// fault with fault-during-crash-window.
+    XcallFaults,
+}
+
+impl Schedule {
+    /// Every schedule.
+    pub const ALL: [Schedule; 2] = [Schedule::Clean, Schedule::XcallFaults];
+
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Clean => "clean",
+            Schedule::XcallFaults => "xcall_faults",
+        }
+    }
+}
+
+/// What to sweep.
+pub struct CrashConfig {
+    /// Run seed; every trigger coin and crash image derives from it.
+    pub seed: u64,
+    /// Crash images drawn per `(label, hit)` — more draws, more distinct
+    /// flush subsets explored.
+    pub images_per_point: u64,
+    /// WAL variants to drive.
+    pub variants: Vec<WalVariant>,
+    /// Fault backdrops to compose with.
+    pub schedules: Vec<Schedule>,
+}
+
+impl CrashConfig {
+    /// The full matrix under `seed`: both variants, both schedules, two
+    /// images per point.
+    pub fn full(seed: u64) -> CrashConfig {
+        CrashConfig {
+            seed,
+            images_per_point: 2,
+            variants: WalVariant::ALL.to_vec(),
+            schedules: Schedule::ALL.to_vec(),
+        }
+    }
+}
+
+// ---- the workload and its oracle ------------------------------------------
+
+/// One scripted batch: `(cancel?, puts)`. Values are long enough that a
+/// batch's records plus its commit marker always span several
+/// `BLOCK_BYTES` blocks — otherwise a single surviving block could never
+/// tear a transaction and the buggy protocol would look atomic.
+const SCRIPT: &[(bool, &[(&str, &str)])] = &[
+    (false, &[("alpha", "a1_kkkkkkkkkkkk"), ("beta", "b1_kkkkkkkkkkkk")]),
+    (false, &[("gamma", "g2_kkkkkkkkkkkk")]),
+    (true, &[("alpha", "poisoned_value_x")]),
+    (
+        false,
+        &[("alpha", "a4_kkkkkkkkkkkk"), ("delta", "d4_kkkkkkkkkkkk"), ("beta", "b4_kkkkkkkkkkkk")],
+    ),
+    (false, &[("beta", "b5_kkkkkkkkkkkk")]),
+    (true, &[("delta", "poisoned_value_y")]),
+    (false, &[("epsilon", "e7_kkkkkkkkkkkk"), ("gamma", "g7_kkkkkkkkkkkk")]),
+];
+
+/// What the workload knows it did — the ground truth recovery is checked
+/// against.
+struct TxnFact {
+    txid: u64,
+    puts: Vec<(String, String)>,
+    cancelled: bool,
+    /// The batch was acknowledged (committed) *before* the crash froze
+    /// the world. Acks issued after the freeze belong to a process that
+    /// is already dead and claim nothing.
+    acked: bool,
+}
+
+fn run_script(kv: &DurableKv) -> Vec<TxnFact> {
+    SCRIPT
+        .iter()
+        .map(|&(cancelled, pairs)| {
+            let puts: Vec<(String, String)> =
+                pairs.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect();
+            if cancelled {
+                let txid = kv.put_many_cancelled(&puts);
+                TxnFact { txid, puts, cancelled: true, acked: false }
+            } else {
+                match kv.put_many(&puts) {
+                    Ok(txid) => {
+                        TxnFact { txid, puts, cancelled: false, acked: !crashpoint::is_frozen() }
+                    }
+                    Err(_) => TxnFact { txid: 0, puts, cancelled: false, acked: false },
+                }
+            }
+        })
+        .collect()
+}
+
+fn execute_workload(variant: WalVariant) -> (Arc<SimFs>, Vec<TxnFact>) {
+    let fs = SimFs::new();
+    let kv = DurableKv::open(&fs, WAL_PATH, variant);
+    let facts = run_script(&kv);
+    // A terminal label so "crash at quiescence" is part of the sweep:
+    // with everything synced and acknowledged, recovery must reproduce
+    // the full map.
+    crashpoint::crash_point("wal_quiesce");
+    (fs, facts)
+}
+
+fn plan_for(schedule: Schedule, seed: u64) -> Option<FaultPlan> {
+    match schedule {
+        Schedule::Clean => None,
+        Schedule::XcallFaults => Some(
+            FaultPlan::new(splitmix64(seed ^ 0xFA01_7AB1E))
+                .with(InjectionPoint::XcallFile, Trigger::EveryNth(7)),
+        ),
+    }
+}
+
+fn check(facts: &[TxnFact], rec: &Recovery) -> Vec<String> {
+    let mut violations = Vec::new();
+    let by_txid: BTreeMap<u64, &TxnFact> = facts.iter().map(|f| (f.txid, f)).collect();
+    for f in facts {
+        if f.cancelled && rec.committed.contains(&f.txid) {
+            violations.push(format!(
+                "resurrection: cancelled txn {} has a durable commit marker",
+                f.txid
+            ));
+        }
+        if !f.cancelled && f.acked && !rec.committed.contains(&f.txid) {
+            violations
+                .push(format!("durability: acknowledged txn {} lost its commit marker", f.txid));
+        }
+    }
+    for &txid in &rec.committed {
+        match by_txid.get(&txid) {
+            None => violations.push(format!("atomicity: unknown txn {txid} committed")),
+            Some(f) => {
+                let got = rec.records.get(&txid).cloned().unwrap_or_default();
+                if got != f.puts {
+                    violations.push(format!(
+                        "atomicity: committed txn {txid} is torn ({} of {} puts recovered intact)",
+                        got.iter().filter(|p| f.puts.contains(p)).count(),
+                        f.puts.len()
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn run_armed(
+    variant: WalVariant,
+    plan: Option<&FaultPlan>,
+    label: &str,
+    hit: u64,
+    seed: u64,
+    image: u64,
+) -> Vec<String> {
+    let _chaos = plan.map(chaos::scoped);
+    let session = crashpoint::arm(label, seed, Trigger::Nth(hit));
+    let (fs, facts) = execute_workload(variant);
+    let fired = crashpoint::fired();
+    // Which unflushed blocks the kernel happened to write back before
+    // this crash: a fresh coin per (seed, label, hit, image).
+    let image_seed = splitmix64(
+        seed ^ crashpoint::label_hash(label) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ image,
+    );
+    fs.crash(image_seed);
+    drop(session); // thaw: recovery is post-crash code and runs unfrozen
+    let file = fs.open(WAL_PATH).expect("workload always creates its log");
+    let rec = recover_and_compact(&file);
+    let mut violations = check(&facts, &rec);
+    if fired.is_none() {
+        violations.push(format!(
+            "harness: crash point {label} hit {hit} did not fire (nondeterministic workload?)"
+        ));
+    }
+    violations
+}
+
+// ---- report ---------------------------------------------------------------
+
+/// One `(hit, image)` draw that violated an invariant.
+pub struct Failure {
+    /// Which hit ordinal of the label crashed.
+    pub hit: u64,
+    /// Which crash-image draw.
+    pub image: u64,
+    /// The invariant violations recovery exhibited.
+    pub violations: Vec<String>,
+}
+
+/// All draws for one crash-point label.
+pub struct PointOutcome {
+    /// The crash-point label.
+    pub label: String,
+    /// Hits the label received in the record pass (= crash instants
+    /// swept).
+    pub hits: u64,
+    /// The draws that violated an invariant (empty = clean label).
+    pub failures: Vec<Failure>,
+}
+
+/// One variant × schedule cell of the sweep.
+pub struct ScheduleOutcome {
+    /// The fault backdrop.
+    pub schedule: Schedule,
+    /// Total armed crash runs executed.
+    pub runs: u64,
+    /// Per-label outcomes, in first-seen order.
+    pub points: Vec<PointOutcome>,
+    /// Labels with at least one failing draw.
+    pub flagged: Vec<String>,
+    /// Verdict: a fixed WAL must be clean everywhere; the buggy WAL must
+    /// be flagged at [`AFTER_COMMIT_WRITE`].
+    pub ok: bool,
+}
+
+/// One WAL variant's outcomes across the schedules.
+pub struct VariantOutcome {
+    /// The protocol driven.
+    pub variant: WalVariant,
+    /// Whether this variant is supposed to survive every crash point.
+    pub expected_clean: bool,
+    /// One outcome per schedule.
+    pub schedules: Vec<ScheduleOutcome>,
+    /// All schedules met their verdict.
+    pub ok: bool,
+}
+
+/// The `txfix-crash-v1` report.
+pub struct CrashReport {
+    /// Run seed.
+    pub seed: u64,
+    /// Crash images drawn per `(label, hit)`.
+    pub images_per_point: u64,
+    /// Per-variant outcomes.
+    pub variants: Vec<VariantOutcome>,
+    /// Every variant met its verdict.
+    pub ok: bool,
+}
+
+impl ToJson for CrashReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("seed", Json::int(self.seed)),
+            ("block_bytes", Json::int(BLOCK_BYTES as u64)),
+            ("images_per_point", Json::int(self.images_per_point)),
+            (
+                "variants",
+                Json::list(self.variants.iter().map(|v| {
+                    Json::obj([
+                        ("variant", Json::str(v.variant.name())),
+                        ("expected_clean", Json::Bool(v.expected_clean)),
+                        (
+                            "schedules",
+                            Json::list(v.schedules.iter().map(|s| {
+                                Json::obj([
+                                    ("schedule", Json::str(s.schedule.name())),
+                                    ("runs", Json::int(s.runs)),
+                                    (
+                                        "points",
+                                        Json::list(s.points.iter().map(|p| {
+                                            Json::obj([
+                                                ("label", Json::str(&p.label)),
+                                                ("hits", Json::int(p.hits)),
+                                                (
+                                                    "failures",
+                                                    Json::list(p.failures.iter().map(|f| {
+                                                        Json::obj([
+                                                            ("hit", Json::int(f.hit)),
+                                                            ("image", Json::int(f.image)),
+                                                            (
+                                                                "violations",
+                                                                Json::strings(&f.violations),
+                                                            ),
+                                                        ])
+                                                    })),
+                                                ),
+                                            ])
+                                        })),
+                                    ),
+                                    ("flagged", Json::strings(&s.flagged)),
+                                    ("ok", Json::Bool(s.ok)),
+                                ])
+                            })),
+                        ),
+                        ("ok", Json::Bool(v.ok)),
+                    ])
+                })),
+            ),
+            ("ok", Json::Bool(self.ok)),
+        ])
+    }
+}
+
+impl CrashReport {
+    /// Human-readable table, one row per variant × schedule.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:<13} {:>6} {:>6} {:>8}  {}\n",
+            "variant", "schedule", "points", "runs", "failures", "verdict"
+        ));
+        for v in &self.variants {
+            for s in &v.schedules {
+                let failures: usize = s.points.iter().map(|p| p.failures.len()).sum();
+                let verdict = match (v.expected_clean, s.ok) {
+                    (true, true) => "ok (clean at every crash point)".to_owned(),
+                    (false, true) => format!("ok (flagged at {})", AFTER_COMMIT_WRITE),
+                    (true, false) => format!("FAIL (flagged: {})", s.flagged.join(", ")),
+                    (false, false) => "FAIL (planted bug not flagged)".to_owned(),
+                };
+                out.push_str(&format!(
+                    "{:<20} {:<13} {:>6} {:>6} {:>8}  {}\n",
+                    v.variant.name(),
+                    s.schedule.name(),
+                    s.points.len(),
+                    s.runs,
+                    failures,
+                    verdict
+                ));
+            }
+        }
+        out.push_str(&format!("\ncrash sweep: {}", if self.ok { "ok" } else { "FAILED" }));
+        out
+    }
+}
+
+/// Run the crash-recovery sweep. Takes process-global crash-point and
+/// chaos state; callers must not run it concurrently with other armed
+/// harnesses.
+pub fn run_crash_check(cfg: &CrashConfig) -> CrashReport {
+    let mut variants = Vec::new();
+    for &variant in &cfg.variants {
+        let mut schedules = Vec::new();
+        for &schedule in &cfg.schedules {
+            let plan = plan_for(schedule, cfg.seed);
+            // Record pass: learn the crash-point universe of this cell.
+            let universe = {
+                let _chaos = plan.as_ref().map(chaos::scoped);
+                let session = crashpoint::record();
+                let _ = execute_workload(variant);
+                let u = crashpoint::recording();
+                drop(session);
+                u
+            };
+            let mut points = Vec::new();
+            let mut runs = 0u64;
+            for (label, hits) in &universe {
+                let mut failures = Vec::new();
+                for hit in 1..=*hits {
+                    for image in 0..cfg.images_per_point {
+                        runs += 1;
+                        let violations =
+                            run_armed(variant, plan.as_ref(), label, hit, cfg.seed, image);
+                        if !violations.is_empty() {
+                            failures.push(Failure { hit, image, violations });
+                        }
+                    }
+                }
+                points.push(PointOutcome { label: label.clone(), hits: *hits, failures });
+            }
+            let flagged: Vec<String> =
+                points.iter().filter(|p| !p.failures.is_empty()).map(|p| p.label.clone()).collect();
+            let ok = match variant {
+                WalVariant::Fixed => flagged.is_empty(),
+                WalVariant::CommitBeforeFsync => flagged.iter().any(|l| l == AFTER_COMMIT_WRITE),
+            };
+            schedules.push(ScheduleOutcome { schedule, runs, points, flagged, ok });
+        }
+        let ok = schedules.iter().all(|s| s.ok);
+        variants.push(VariantOutcome {
+            variant,
+            expected_clean: variant == WalVariant::Fixed,
+            schedules,
+            ok,
+        });
+    }
+    let ok = variants.iter().all(|v| v.ok);
+    CrashReport { seed: cfg.seed, images_per_point: cfg.images_per_point, variants, ok }
+}

@@ -1,0 +1,135 @@
+//! End-to-end checks of the crash sweep: the fixed protocol survives
+//! every crash point, the commit-before-fsync protocol is flagged at its
+//! planted window, and the whole report is deterministic per seed.
+//!
+//! The crash-point registry and chaos layer are process-global, so every
+//! test here serializes on [`GATE`].
+
+use std::sync::Mutex;
+use txfix_core::json::ToJson;
+use txfix_stm::chaos::Trigger;
+use txfix_wal::checker::{run_crash_check, CrashConfig, Schedule, WAL_PATH};
+use txfix_wal::{DurableKv, WalVariant, AFTER_COMMIT_WRITE};
+use txfix_xcall::{crashpoint, SimFs, BLOCK_BYTES};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn fixed_wal_is_clean_and_buggy_wal_is_flagged_at_the_planted_window() {
+    let _g = GATE.lock().unwrap();
+    let report = run_crash_check(&CrashConfig::full(7));
+    assert!(report.ok, "sweep verdict:\n{}", report.table());
+    for v in &report.variants {
+        for s in &v.schedules {
+            match v.variant {
+                WalVariant::Fixed => assert!(
+                    s.flagged.is_empty(),
+                    "fixed WAL flagged under {}: {:?}",
+                    s.schedule.name(),
+                    s.flagged
+                ),
+                WalVariant::CommitBeforeFsync => assert!(
+                    s.flagged.iter().any(|l| l == AFTER_COMMIT_WRITE),
+                    "buggy WAL not flagged at {} under {}",
+                    AFTER_COMMIT_WRITE,
+                    s.schedule.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_report_is_bit_for_bit_deterministic_per_seed() {
+    let _g = GATE.lock().unwrap();
+    let cfg = CrashConfig {
+        seed: 11,
+        images_per_point: 2,
+        variants: vec![WalVariant::Fixed, WalVariant::CommitBeforeFsync],
+        schedules: vec![Schedule::Clean, Schedule::XcallFaults],
+    };
+    let a = run_crash_check(&cfg).to_json();
+    let b = run_crash_check(&cfg).to_json();
+    assert_eq!(a, b);
+    let other = run_crash_check(&CrashConfig { seed: 12, ..CrashConfig::full(12) }).to_json();
+    assert_ne!(a, other, "the seed must steer the crash images");
+}
+
+/// Satellite invariant: at *every* crash point of the fixed workload,
+/// the crash image the model would take is a legal flush subset of the
+/// page cache — block-granular, each block either the durable content or
+/// the cached content, never a blend.
+#[test]
+fn crash_image_is_a_legal_flush_subset_at_every_crash_point() {
+    let _g = GATE.lock().unwrap();
+    // Record pass: learn the labels this workload passes through.
+    let universe = {
+        let session = crashpoint::record();
+        run_fixed_workload();
+        let u = crashpoint::recording();
+        drop(session);
+        u
+    };
+    assert!(
+        universe.iter().any(|(l, _)| l == AFTER_COMMIT_WRITE),
+        "the WAL protocol must plant its commit window: {universe:?}"
+    );
+    for (label, hits) in &universe {
+        for hit in 1..=*hits {
+            let session = crashpoint::arm(label, 0, Trigger::Nth(hit));
+            let fs = run_fixed_workload();
+            assert!(crashpoint::fired().is_some(), "{label} hit {hit} must fire");
+            let file = fs.open(WAL_PATH).unwrap();
+            let cached = file.read_all();
+            let durable = file.durable_snapshot();
+            for seed in [0u64, 7, 1234] {
+                let img = file.crash_image(seed);
+                assert_flush_subset(&img, &durable, &cached, label, hit, seed);
+            }
+            drop(session);
+        }
+    }
+}
+
+fn run_fixed_workload() -> std::sync::Arc<SimFs> {
+    let fs = SimFs::new();
+    let kv = DurableKv::open(&fs, WAL_PATH, WalVariant::Fixed);
+    let puts = |pairs: &[(&str, &str)]| -> Vec<(String, String)> {
+        pairs.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect()
+    };
+    let _ = kv.put_many(&puts(&[("a", "a1_kkkkkkkkkkkk"), ("b", "b1_kkkkkkkkkkkk")]));
+    kv.put_many_cancelled(&puts(&[("a", "poisoned_value")]));
+    let _ = kv.put_many(&puts(&[("c", "c3_kkkkkkkkkkkk")]));
+    crashpoint::crash_point("wal_quiesce");
+    fs
+}
+
+fn assert_flush_subset(
+    img: &[u8],
+    durable: &[u8],
+    cached: &[u8],
+    label: &str,
+    hit: u64,
+    seed: u64,
+) {
+    assert!(
+        img.len() >= durable.len() && img.len() <= cached.len().max(durable.len()),
+        "image length out of range at {label}#{hit} seed {seed}"
+    );
+    for b in 0..img.len().div_ceil(BLOCK_BYTES) {
+        let s = b * BLOCK_BYTES;
+        let e = ((b + 1) * BLOCK_BYTES).min(img.len());
+        let pad = |src: &[u8]| -> Vec<u8> {
+            let mut v = vec![0u8; e - s];
+            if src.len() > s {
+                let ce = src.len().min(e);
+                v[..ce - s].copy_from_slice(&src[s..ce]);
+            }
+            v
+        };
+        assert!(
+            img[s..e] == pad(durable)[..] || img[s..e] == pad(cached)[..],
+            "block {b} at {label}#{hit} seed {seed} blends durable and cached content"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the crash model and recovery:
+//!
+//! * recovery is idempotent — recovering (and compacting) twice yields
+//!   the same map and the same log bytes as doing it once;
+//! * a crash image is always a legal flush subset of the page cache —
+//!   block-granular, each block either durable or cached content.
+//!
+//! Nothing here arms the crash-point registry, so these run in parallel
+//! with each other safely.
+
+use proptest::prelude::*;
+use txfix_stm::atomic;
+use txfix_wal::{recover, recover_and_compact, Wal, WalVariant};
+use txfix_xcall::{SimFs, BLOCK_BYTES};
+
+#[derive(Clone, Debug)]
+enum DiskOp {
+    Append(Vec<u8>),
+    WriteAt(usize, Vec<u8>),
+    Sync,
+}
+
+fn disk_op() -> impl Strategy<Value = DiskOp> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..48).prop_map(DiskOp::Append),
+        (0usize..96, proptest::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(o, b)| DiskOp::WriteAt(o, b)),
+        Just(DiskOp::Sync),
+    ]
+}
+
+fn wal_token() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,14}".prop_map(|s| s)
+}
+
+proptest! {
+    /// The durable image a crash would leave is a legal flush subset of
+    /// the page cache after any sequence of appends, positional writes
+    /// and syncs: per block, either the durable bytes or the cached
+    /// bytes, never a blend, and the durable prefix always survives.
+    #[test]
+    fn crash_image_is_block_granular_durable_or_cached(
+        ops in proptest::collection::vec(disk_op(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("prop");
+        for op in &ops {
+            match op {
+                DiskOp::Append(b) => f.append(b),
+                DiskOp::WriteAt(o, b) => f.write_at(*o, b),
+                DiskOp::Sync => f.sync_all(),
+            }
+        }
+        let cached = f.read_all();
+        let durable = f.durable_snapshot();
+        let img = f.crash_image(seed);
+        prop_assert_eq!(&img, &f.crash_image(seed), "image must be pure per seed");
+        prop_assert!(img.len() >= durable.len());
+        prop_assert!(img.len() <= cached.len().max(durable.len()));
+        let dirty = f.dirty_blocks();
+        for b in 0..img.len().div_ceil(BLOCK_BYTES) {
+            let s = b * BLOCK_BYTES;
+            let e = ((b + 1) * BLOCK_BYTES).min(img.len());
+            let pad = |src: &[u8]| -> Vec<u8> {
+                let mut v = vec![0u8; e - s];
+                if src.len() > s {
+                    let ce = src.len().min(e);
+                    v[..ce - s].copy_from_slice(&src[s..ce]);
+                }
+                v
+            };
+            if dirty.contains(&b) {
+                prop_assert!(
+                    img[s..e] == pad(&durable)[..] || img[s..e] == pad(&cached)[..],
+                    "dirty block {} blends durable and cached content", b
+                );
+            } else {
+                prop_assert!(
+                    img[s..e] == pad(&durable)[..],
+                    "clean block {} may only hold durable content", b
+                );
+            }
+        }
+    }
+
+    /// Recovering twice is the same as recovering once: for any log made
+    /// of committed batches plus arbitrary torn garbage at the tail,
+    /// `recover_and_compact` reaches a fixpoint in one step.
+    #[test]
+    fn recovery_and_compaction_are_idempotent(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((wal_token(), wal_token()), 1..4),
+            0..5,
+        ),
+        garbage in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let fs = SimFs::new();
+        let wal = Wal::open(&fs, "wal", WalVariant::Fixed);
+        for (i, batch) in batches.iter().enumerate() {
+            atomic(|txn| wal.x_log_txn(txn, i as u64 + 1, batch));
+        }
+        // A crash-torn tail: raw bytes that may or may not parse.
+        wal.file().file().append(&garbage);
+
+        let once = recover_and_compact(wal.file().file());
+        let bytes_once = wal.file().file().read_all();
+        let twice = recover_and_compact(wal.file().file());
+        let bytes_twice = wal.file().file().read_all();
+
+        prop_assert_eq!(&once.map, &twice.map, "map must be stable across recoveries");
+        prop_assert_eq!(&bytes_once, &bytes_twice, "compacted log must be a fixpoint");
+        prop_assert_eq!(
+            bytes_twice,
+            wal.file().file().durable_snapshot(),
+            "compaction must leave the log fully durable"
+        );
+        prop_assert_eq!(twice.skipped_lines, 0, "a compacted log has no garbage");
+        // And the compacted log replays to the same map a third time.
+        prop_assert_eq!(&recover(wal.file().file()).map, &once.map);
+    }
+}

@@ -7,6 +7,7 @@
 //! provides isolation between transactions touching the same file until
 //! commit, mirroring xCalls' logical file locks.
 
+use crate::crashpoint;
 use crate::simos::SimFile;
 use std::fmt;
 use std::sync::Arc;
@@ -19,6 +20,13 @@ use txfix_txlock::TxMutex;
 enum PendingOp {
     Append(Vec<u8>),
     WriteAt(usize, Vec<u8>),
+    /// Deferred `fsync`: promote the cache to the durable image when the
+    /// preceding deferred writes have been applied.
+    Sync,
+    /// A crash point evaluated at the matching place in the commit-time
+    /// apply sequence — how the WAL plants protocol-level labels like
+    /// `wal_after_commit_write` between its deferred writes.
+    Marker(&'static str),
 }
 
 struct XFileInner {
@@ -105,9 +113,24 @@ impl XFile {
                 unsafe {
                     apply.with_pending(|st| {
                         for op in st.ops.drain(..) {
+                            crashpoint::crash_point("xfile_apply");
                             match op {
                                 PendingOp::Append(bytes) => apply.file.append(&bytes),
                                 PendingOp::WriteAt(off, bytes) => apply.file.write_at(off, &bytes),
+                                PendingOp::Sync => {
+                                    // Canary: the fsync reports success
+                                    // without flushing — acknowledged
+                                    // commits silently lose durability,
+                                    // visible only across a crash.
+                                    #[cfg(feature = "canary-xcall")]
+                                    if txfix_stm::canary::fire(
+                                        txfix_stm::canary::Canary::WalSkipFsync,
+                                    ) {
+                                        continue;
+                                    }
+                                    apply.file.sync_all();
+                                }
+                                PendingOp::Marker(label) => crashpoint::crash_point(label),
                             }
                         }
                         st.owner = 0;
@@ -125,6 +148,7 @@ impl XFile {
                 if txfix_stm::canary::fire(txfix_stm::canary::Canary::XcallSkipUndo) {
                     return;
                 }
+                crashpoint::crash_point("xfile_undo");
                 unsafe {
                     undo.with_pending(|st| {
                         st.ops.clear();
@@ -166,6 +190,38 @@ impl XFile {
         Ok(())
     }
 
+    /// Defer an `fsync` until the transaction commits: once the deferred
+    /// writes queued before it have been applied, the page cache is
+    /// promoted to the durable image. Ordering within the transaction is
+    /// preserved, so `append; sync; append` leaves the second append
+    /// cached but not durable — exactly the handle a write-ahead log's
+    /// commit protocol needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
+    pub fn x_sync(&self, txn: &mut Txn) -> StmResult<()> {
+        txfix_stm::obs::note_xcall();
+        self.enter(txn)?;
+        self.inner.lock.with_tx(txn, |st| st.ops.push(PendingOp::Sync))?;
+        self.inject_io_fault(txn)?;
+        Ok(())
+    }
+
+    /// Plant a named crash point between this transaction's deferred
+    /// operations: it is evaluated at the matching position in the
+    /// commit-time apply sequence. Instrumentation only — never faulted
+    /// by chaos, free when no crash session is armed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
+    pub fn x_crash_point(&self, txn: &mut Txn, label: &'static str) -> StmResult<()> {
+        self.enter(txn)?;
+        self.inner.lock.with_tx(txn, move |st| st.ops.push(PendingOp::Marker(label)))?;
+        Ok(())
+    }
+
     /// Read the file as this transaction sees it: committed content with
     /// the transaction's own deferred operations applied.
     ///
@@ -188,6 +244,8 @@ impl XFile {
                         }
                         view[*off..off + bytes.len()].copy_from_slice(bytes);
                     }
+                    // Neither changes the bytes a reader observes.
+                    PendingOp::Sync | PendingOp::Marker(_) => {}
                 }
             }
             view
@@ -297,6 +355,24 @@ mod tests {
         let xf2 = xf.clone();
         atomic(move |txn| xf2.x_write_at(txn, 1, b"XY"));
         assert_eq!(xf.file().read_all(), b"aXYa");
+    }
+
+    #[test]
+    fn x_sync_applies_in_deferred_order() {
+        let fs = SimFs::new();
+        let xf = XFile::open_or_create(&fs, "wal");
+        let xf2 = xf.clone();
+        atomic(move |txn| {
+            xf2.x_append(txn, b"durable")?;
+            xf2.x_sync(txn)?;
+            xf2.x_append(txn, b" cached-only")
+        });
+        assert_eq!(xf.file().read_all(), b"durable cached-only");
+        assert_eq!(
+            xf.file().durable_snapshot(),
+            b"durable",
+            "the fsync must land between the two appends, not after both"
+        );
     }
 
     #[test]

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 mod asyncio;
+pub mod crashpoint;
 mod file;
 mod pipe;
 mod simos;
 
 pub use asyncio::AsyncIo;
+pub use crashpoint::crash_point;
 pub use file::XFile;
 pub use pipe::{x_inevitable, XPipe, XSocket};
-pub use simos::{OsError, SimFile, SimFs, SimPipe, SimSocket};
+pub use simos::{OsError, SimFile, SimFs, SimPipe, SimSocket, BLOCK_BYTES};

@@ -10,11 +10,30 @@
 //! kernel — and the transactional semantics are layered on top by the
 //! [`crate`] root's x-call wrappers.
 
+//!
+//! ## Durability
+//!
+//! Each [`SimFile`] keeps *two* images: the **page cache** (what reads
+//! see) and the **durable** contents (what survives a crash), plus the
+//! set of dirty blocks in between. [`SimFile::sync_all`] is `fsync`:
+//! it promotes the cache to the durable image. [`SimFs::crash`] builds
+//! the post-crash state from the durable image plus a seeded,
+//! splitmix64-chosen subset of the dirty blocks — the kernel was free to
+//! write back any unflushed block at any time, so a crash may persist an
+//! arbitrary subset of them, and the seed makes that subset reproducible.
+//! Pipe and socket buffers are volatile and do not survive.
+
+use crate::crashpoint;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
+use txfix_stm::chaos::splitmix64;
+
+/// Writeback granularity of the simulated page cache, in bytes. A crash
+/// persists or drops unflushed data in units of this size.
+pub const BLOCK_BYTES: usize = 32;
 
 /// Errors from the simulated OS.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,10 +61,60 @@ impl fmt::Display for OsError {
 
 impl std::error::Error for OsError {}
 
-/// An in-memory file: a growable byte array with append/truncate/read.
+/// Page-cache vs durable split of one file's bytes.
+struct FileState {
+    /// What reads observe: every write lands here immediately.
+    cached: Vec<u8>,
+    /// What a crash preserves unconditionally: the last synced image.
+    durable: Vec<u8>,
+    /// Cache blocks not yet flushed; a crash keeps a seeded subset.
+    dirty: BTreeSet<usize>,
+}
+
+impl FileState {
+    /// Mark every block overlapping `[from, to)` dirty.
+    fn mark_dirty(&mut self, from: usize, to: usize) {
+        if from >= to {
+            return;
+        }
+        for b in (from / BLOCK_BYTES)..=((to - 1) / BLOCK_BYTES) {
+            self.dirty.insert(b);
+        }
+    }
+
+    /// The post-crash contents under `seed`: the durable image overlaid
+    /// with each dirty block whose per-block coin says the kernel wrote
+    /// it back before the crash. `salt` distinguishes files under one
+    /// seed.
+    fn crash_image(&self, salt: u64, seed: u64) -> Vec<u8> {
+        let mut img = self.durable.clone();
+        for &b in &self.dirty {
+            let coin = splitmix64(seed ^ salt ^ splitmix64(b as u64 ^ 0x5851_F42D_4C95_7F2D));
+            if coin & 1 != 0 {
+                continue; // this block never reached the disk
+            }
+            let start = b * BLOCK_BYTES;
+            let end = ((b + 1) * BLOCK_BYTES).min(self.cached.len());
+            if start >= end {
+                continue;
+            }
+            if img.len() < end {
+                img.resize(end, 0);
+            }
+            img[start..end].copy_from_slice(&self.cached[start..end]);
+        }
+        img
+    }
+}
+
+/// An in-memory file: a growable byte array with append/truncate/read,
+/// split into a page cache and a durable image (see the module docs).
 pub struct SimFile {
     name: String,
-    data: Mutex<Vec<u8>>,
+    /// Per-file crash-image salt, derived from the name, so one crash
+    /// seed draws independent block coins in every file.
+    salt: u64,
+    state: Mutex<FileState>,
 }
 
 impl fmt::Debug for SimFile {
@@ -56,7 +125,15 @@ impl fmt::Debug for SimFile {
 
 impl SimFile {
     fn new(name: &str) -> Arc<SimFile> {
-        Arc::new(SimFile { name: name.to_owned(), data: Mutex::new(Vec::new()) })
+        Arc::new(SimFile {
+            name: name.to_owned(),
+            salt: crashpoint::label_hash(name),
+            state: Mutex::new(FileState {
+                cached: Vec::new(),
+                durable: Vec::new(),
+                dirty: BTreeSet::new(),
+            }),
+        })
     }
 
     /// The file's path within its filesystem.
@@ -66,26 +143,41 @@ impl SimFile {
 
     /// Append raw bytes (the non-transactional "system call").
     pub fn append(&self, bytes: &[u8]) {
-        self.data.lock().extend_from_slice(bytes);
+        crashpoint::crash_point("simos_file_append");
+        if crashpoint::is_frozen() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let from = st.cached.len();
+        st.cached.extend_from_slice(bytes);
+        let to = st.cached.len();
+        st.mark_dirty(from, to);
     }
 
     /// Write at an absolute offset, growing the file if needed.
     pub fn write_at(&self, offset: usize, bytes: &[u8]) {
-        let mut d = self.data.lock();
-        if d.len() < offset + bytes.len() {
-            d.resize(offset + bytes.len(), 0);
+        crashpoint::crash_point("simos_file_write_at");
+        if crashpoint::is_frozen() {
+            return;
         }
-        d[offset..offset + bytes.len()].copy_from_slice(bytes);
+        let mut st = self.state.lock();
+        let old_len = st.cached.len();
+        if old_len < offset + bytes.len() {
+            st.cached.resize(offset + bytes.len(), 0);
+        }
+        st.cached[offset..offset + bytes.len()].copy_from_slice(bytes);
+        // The zero-fill between the old end and `offset` changed too.
+        st.mark_dirty(old_len.min(offset), offset + bytes.len());
     }
 
-    /// Snapshot of the whole contents.
+    /// Snapshot of the whole contents, as reads see them (page cache).
     pub fn read_all(&self) -> Vec<u8> {
-        self.data.lock().clone()
+        self.state.lock().cached.clone()
     }
 
-    /// Current length in bytes.
+    /// Current length in bytes (page cache).
     pub fn len(&self) -> usize {
-        self.data.lock().len()
+        self.state.lock().cached.len()
     }
 
     /// Whether the file is empty.
@@ -94,9 +186,58 @@ impl SimFile {
     }
 
     /// Truncate to `len` bytes (no-op if already shorter). Used by x-call
-    /// compensation to undo appends.
+    /// compensation to undo appends. Like data writes, an unsynced
+    /// truncation is not durable: the discarded tail's blocks stay dirty,
+    /// and a crash may resurrect them from the durable image.
     pub fn truncate(&self, len: usize) {
-        self.data.lock().truncate(len);
+        crashpoint::crash_point("simos_file_truncate");
+        if crashpoint::is_frozen() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let old = st.cached.len();
+        if len < old {
+            st.cached.truncate(len);
+            st.mark_dirty(len, old);
+        }
+    }
+
+    /// `fsync(2)`: promote the page cache to the durable image.
+    pub fn sync_all(&self) {
+        crashpoint::crash_point("simos_file_sync");
+        if crashpoint::is_frozen() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.durable = st.cached.clone();
+        st.dirty.clear();
+    }
+
+    /// Snapshot of the durable (crash-surviving) image.
+    pub fn durable_snapshot(&self) -> Vec<u8> {
+        self.state.lock().durable.clone()
+    }
+
+    /// Indices of cache blocks not yet flushed, ascending.
+    pub fn dirty_blocks(&self) -> Vec<usize> {
+        self.state.lock().dirty.iter().copied().collect()
+    }
+
+    /// The contents a crash under `seed` would leave behind, without
+    /// crashing. Pure: same state and seed, same image.
+    pub fn crash_image(&self, seed: u64) -> Vec<u8> {
+        self.state.lock().crash_image(self.salt, seed)
+    }
+
+    /// Crash this file: replace both images with [`SimFile::crash_image`]
+    /// and clear the dirty set. Deliberately ignores the crash-point
+    /// freeze — taking the image *is* the crash, not post-crash work.
+    pub fn crash(&self, seed: u64) {
+        let mut st = self.state.lock();
+        let img = st.crash_image(self.salt, seed);
+        st.cached.clone_from(&img);
+        st.durable = img;
+        st.dirty.clear();
     }
 }
 
@@ -162,6 +303,16 @@ impl SimFs {
         v.sort();
         v
     }
+
+    /// Crash the whole filesystem: every file keeps its durable image
+    /// plus a seeded subset of its unflushed blocks (see
+    /// [`SimFile::crash`]). Per-file salts make the outcome independent
+    /// of namespace iteration order.
+    pub fn crash(&self, seed: u64) {
+        for f in self.files.lock().values() {
+            f.crash(seed);
+        }
+    }
 }
 
 struct PipeState {
@@ -210,6 +361,12 @@ impl SimPipe {
     ///
     /// [`OsError::Closed`] if the read end has been closed.
     pub fn write(&self, bytes: &[u8]) -> Result<(), OsError> {
+        crashpoint::crash_point("simos_pipe_write");
+        if crashpoint::is_frozen() {
+            // The crash already happened; the bytes go nowhere. Reporting
+            // success keeps the (dead) workload running to completion.
+            return Ok(());
+        }
         let mut remaining = bytes;
         let mut s = self.state.lock();
         while !remaining.is_empty() {
@@ -237,6 +394,9 @@ impl SimPipe {
     ///
     /// [`OsError::TimedOut`] if nothing arrived in time.
     pub fn read(&self, max: usize, timeout: Duration) -> Result<Vec<u8>, OsError> {
+        if crashpoint::is_frozen() {
+            return Err(OsError::TimedOut);
+        }
         let mut s = self.state.lock();
         loop {
             if !s.buf.is_empty() {
@@ -256,6 +416,9 @@ impl SimPipe {
 
     /// Read without blocking; `None` when no data is buffered.
     pub fn try_read(&self, max: usize) -> Option<Vec<u8>> {
+        if crashpoint::is_frozen() {
+            return None;
+        }
         let mut s = self.state.lock();
         if s.buf.is_empty() {
             return None;
@@ -267,8 +430,13 @@ impl SimPipe {
     }
 
     /// Push bytes back to the *front* of the pipe — the compensation x-call
-    /// reads use to undo a consumed read on abort.
+    /// reads use to undo a consumed read on abort. A no-op once the world
+    /// is frozen: a compensation queued before a crash must not replay
+    /// into the post-crash image (the process that owed it is dead).
     pub fn unread(&self, bytes: &[u8]) {
+        if crashpoint::is_frozen() {
+            return;
+        }
         let mut s = self.state.lock();
         for &b in bytes.iter().rev() {
             s.buf.push_front(b);
@@ -291,6 +459,12 @@ impl SimPipe {
     pub fn close_read(&self) {
         self.state.lock().read_closed = true;
         self.writable.notify_all();
+    }
+
+    /// Crash the pipe: kernel pipe buffers are volatile, so everything
+    /// in flight is lost. Ignores the freeze, like [`SimFile::crash`].
+    pub fn crash(&self) {
+        self.state.lock().buf.clear();
     }
 }
 
@@ -366,6 +540,67 @@ mod tests {
         let f2 = fs.open("shared").unwrap();
         f1.append(b"x");
         assert_eq!(f2.read_all(), b"x");
+    }
+
+    #[test]
+    fn sync_promotes_cache_to_durable() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("db");
+        f.append(b"record one; ");
+        assert_eq!(f.durable_snapshot(), b"", "nothing durable before fsync");
+        assert!(!f.dirty_blocks().is_empty());
+        f.sync_all();
+        assert_eq!(f.durable_snapshot(), b"record one; ");
+        assert!(f.dirty_blocks().is_empty());
+        f.append(b"record two");
+        assert_eq!(f.durable_snapshot(), b"record one; ", "appends are cached until synced");
+    }
+
+    #[test]
+    fn crash_keeps_durable_image_and_some_flush_subset() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("db");
+        let synced: Vec<u8> = vec![b's'; 3 * BLOCK_BYTES];
+        f.append(&synced);
+        f.sync_all();
+        let unsynced: Vec<u8> = vec![b'u'; 4 * BLOCK_BYTES];
+        f.append(&unsynced);
+        let cached = f.read_all();
+        for seed in 0..32u64 {
+            let img = f.crash_image(seed);
+            assert_eq!(&img[..synced.len()], &synced[..], "durable prefix always survives");
+            assert!(img.len() <= cached.len());
+            // Every surviving block is bit-for-bit a cached block.
+            for b in 3..img.len().div_ceil(BLOCK_BYTES) {
+                let s = b * BLOCK_BYTES;
+                let e = ((b + 1) * BLOCK_BYTES).min(img.len());
+                let block = &img[s..e];
+                assert!(
+                    block == &cached[s..e] || block.iter().all(|&x| x == 0),
+                    "block {b} is neither cached content nor a dropped hole"
+                );
+            }
+            assert_eq!(img, f.crash_image(seed), "crash image is pure per seed");
+        }
+        // Different seeds keep different subsets (32 coins × 4 blocks: the
+        // chance of all agreeing is negligible for this fixed model).
+        let distinct: std::collections::HashSet<Vec<u8>> =
+            (0..32u64).map(|s| f.crash_image(s)).collect();
+        assert!(distinct.len() > 1, "the kept subset must depend on the seed");
+        // Applying the crash collapses both images onto the chosen one.
+        let expect = f.crash_image(9);
+        fs.crash(9);
+        assert_eq!(f.read_all(), expect);
+        assert_eq!(f.durable_snapshot(), expect);
+        assert!(f.dirty_blocks().is_empty());
+    }
+
+    #[test]
+    fn pipe_buffers_are_volatile_across_crash() {
+        let p = SimPipe::new(16);
+        p.write(b"in flight").unwrap();
+        p.crash();
+        assert_eq!(p.buffered(), 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! ```
 //!
 //! The sweep subcommands (`stress`, `chaos`, `explore`, `autofix`,
-//! `canary`, `list`) all run behind the shared
+//! `crash`, `canary`, `list`) all run behind the shared
 //! [`sweep::SweepRunner`] frame: common `--json`/`--seed`/`--out`
 //! parsing, one artifact writer (canonical file plus a timestamped copy
 //! under `results/`), one exit-code policy.
@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         Some("chaos") => sweep_cmd(&mut ChaosSweep::default(), &args[1..]),
         Some("explore") => sweep_cmd(&mut ExploreSweep::default(), &args[1..]),
         Some("autofix") => sweep_cmd(&mut AutofixSweep::default(), &args[1..]),
+        Some("crash") => sweep_cmd(&mut CrashSweep::default(), &args[1..]),
         Some("canary") => canary_cmd(&args[1..]),
         Some("list") => sweep_cmd(&mut ListSweep, &args[1..]),
         Some("help") | None => {
@@ -122,10 +123,19 @@ fn usage() {
          \x20                              widenings vs the hand-written TM variant; writes\n\
          \x20                              AUTOFIX_stm.json; exits nonzero on any\n\
          \x20                              unverified fix\n\
+         \x20 crash [<variant>|--all] [--seed S] [--images N]\n\
+         \x20                              sweep every crash point of the WAL workload:\n\
+         \x20                              freeze the durable world at the point, take a\n\
+         \x20                              seeded crash image, recover, and assert\n\
+         \x20                              atomicity / durability / no-resurrection; the\n\
+         \x20                              fixed protocol must be clean everywhere and the\n\
+         \x20                              planted commit-before-fsync bug must be flagged;\n\
+         \x20                              writes CRASH_stm.json; bit-for-bit reproducible\n\
+         \x20                              per seed\n\
          \x20 canary [<canary>|--all] [--seed S]\n\
          \x20                              arm one planted detector bug at a time and run\n\
          \x20                              it through every detection layer (analyze, lint,\n\
-         \x20                              explore, chaos); writes the txfix-canary-v1\n\
+         \x20                              explore, chaos, crash); writes the txfix-canary-v1\n\
          \x20                              capability matrix to CANARY_stm.json; exits\n\
          \x20                              nonzero if any canary goes uncaught (needs a\n\
          \x20                              build with `--features canary`)\n\
@@ -800,9 +810,81 @@ impl SweepRunner for AutofixSweep {
     }
 }
 
+struct CrashSweep {
+    cfg: txfix::wal::checker::CrashConfig,
+}
+
+impl Default for CrashSweep {
+    fn default() -> CrashSweep {
+        use txfix::wal::checker::{CrashConfig, DEFAULT_SEED};
+        // `select` fills in the swept variants; everything else starts at
+        // the full-matrix defaults.
+        CrashSweep { cfg: CrashConfig { variants: Vec::new(), ..CrashConfig::full(DEFAULT_SEED) } }
+    }
+}
+
+impl SweepRunner for CrashSweep {
+    fn name(&self) -> &'static str {
+        "crash"
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("CRASH_stm.json")
+    }
+
+    fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
+        match flag {
+            "--images" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.images_per_point = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--images takes a positive integer".into()),
+            },
+            _ => Ok(Flag::Unknown),
+        }
+    }
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        use txfix::wal::WalVariant;
+        if args.all {
+            self.cfg.variants = WalVariant::ALL.to_vec();
+            return Ok(());
+        }
+        if args.keys.is_empty() {
+            return Err("crash needs a WAL variant or --all, e.g. `txfix crash --all`".into());
+        }
+        for k in &args.keys {
+            let Some(v) = WalVariant::parse(k) else {
+                return Err(format!(
+                    "no WAL variant `{k}` (available: {})",
+                    WalVariant::ALL.map(WalVariant::name).join(", ")
+                ));
+            };
+            self.cfg.variants.push(v);
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::wal::checker;
+        if let Some(s) = args.seed {
+            self.cfg.seed = s;
+        }
+        let report = checker::run_crash_check(&self.cfg);
+        Ok(SweepOutput {
+            rendered: report.to_json(),
+            table: report.table(),
+            ok: report.ok,
+            failure: "crash sweep: recovery invariants not met at some crash point",
+        })
+    }
+}
+
 /// The detection layers `txfix list` reports coverage for, in display
 /// order.
-const LIST_LAYERS: [&str; 6] = ["analyze", "lint", "explore", "chaos", "stress", "autofix"];
+const LIST_LAYERS: [&str; 7] =
+    ["analyze", "lint", "explore", "chaos", "stress", "autofix", "crash"];
 
 struct ListSweep;
 
@@ -834,8 +916,9 @@ impl SweepRunner for ListSweep {
         // Which layers cover which scenario. `analyze` (trace replay) and
         // `autofix` (region inference) sweep the whole corpus; `lint` needs
         // a declarative summary, `explore` a scheduled build, `chaos` and
-        // `stress` an open-ended load harness.
-        let coverage = |key: &str| -> [bool; 6] {
+        // `stress` an open-ended load harness. `crash` covers only the WAL
+        // durability subject (below), never the in-memory corpus scenarios.
+        let coverage = |key: &str| -> [bool; 7] {
             [
                 true,
                 summary_for(key, Variant::Buggy).is_some(),
@@ -843,49 +926,74 @@ impl SweepRunner for ListSweep {
                 chaos::SCENARIOS.contains(&key),
                 stress::SCENARIOS.contains(&key),
                 true,
+                false,
             ]
         };
         let variants = ["buggy", "dev", "tm"];
+        // The crash sweep drives its own durable test subject rather than
+        // a corpus scenario: the WAL-backed KV map, in both protocol
+        // variants.
+        let subject_key = "wal_durable_kv";
+        let subject_variants: Vec<&str> =
+            txfix::wal::WalVariant::ALL.iter().map(|v| v.name()).collect();
+        let subject_cov = [false, false, false, false, false, false, true];
 
+        let layer_obj = |cov: [bool; 7]| {
+            Json::obj(LIST_LAYERS.iter().zip(cov).map(|(&l, c)| (l, Json::Bool(c))))
+        };
         let doc = Json::obj([
             ("schema", Json::str("txfix-list-v1")),
             (
                 "scenarios",
                 Json::list(keys::ALL.iter().map(|&key| {
-                    let cov = coverage(key);
                     Json::obj([
                         ("key", Json::str(key)),
                         ("variants", Json::strings(variants)),
-                        (
-                            "layers",
-                            Json::obj(
-                                LIST_LAYERS.iter().zip(cov).map(|(&l, c)| (l, Json::Bool(c))),
-                            ),
-                        ),
+                        ("layers", layer_obj(coverage(key))),
                     ])
                 })),
             ),
+            (
+                "subjects",
+                Json::list([Json::obj([
+                    ("key", Json::str(subject_key)),
+                    ("variants", Json::strings(subject_variants.iter().copied())),
+                    ("layers", layer_obj(subject_cov)),
+                ])]),
+            ),
         ]);
         let mut table = format!(
-            "{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
-            "scenario", "variants", "analyze", "lint", "explore", "chaos", "stress", "autofix"
+            "{:22} {:25} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7} {:>5}",
+            "scenario",
+            "variants",
+            "analyze",
+            "lint",
+            "explore",
+            "chaos",
+            "stress",
+            "autofix",
+            "crash"
         );
-        for &key in keys::ALL.iter() {
-            let cov = coverage(key);
-            let mark = |c: bool| if c { "yes" } else { "-" };
+        let mark = |c: bool| if c { "yes" } else { "-" };
+        let mut row = |key: &str, vars: &str, cov: [bool; 7]| {
             let _ = write!(
                 table,
-                "\n{:22} {:14} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7}",
+                "\n{:22} {:25} {:>7} {:>4} {:>7} {:>5} {:>6} {:>7} {:>5}",
                 key,
-                variants.join(","),
+                vars,
                 mark(cov[0]),
                 mark(cov[1]),
                 mark(cov[2]),
                 mark(cov[3]),
                 mark(cov[4]),
                 mark(cov[5]),
+                mark(cov[6]),
             );
+        };
+        for &key in keys::ALL.iter() {
+            row(key, &variants.join(","), coverage(key));
         }
+        row(subject_key, &subject_variants.join(","), subject_cov);
         Ok(SweepOutput { rendered: doc.to_json(), table, ok: true, failure: "" })
     }
 }

@@ -3,7 +3,7 @@
 //! A *canary* is one seeded, feature-gated bug planted at a real hazard
 //! site inside the runtime substrates (see [`txfix_stm::canary`] for the
 //! registry and the sites). This module arms one canary at a time and
-//! runs it through the four detection layers the repository ships —
+//! runs it through the five detection layers the repository ships —
 //!
 //! - **analyze**: the trace recorder + replay passes
 //!   ([`txfix_analyze::analyze_scenario`]), including the detector-
@@ -16,7 +16,11 @@
 //!   ([`txfix_explore`]), which must find a failing schedule when the
 //!   mutation can only strike under a particular interleaving;
 //! - **chaos**: deterministic single-threaded micro-probes with value
-//!   oracles, for mutations whose damage is visible without concurrency.
+//!   oracles, for mutations whose damage is visible without concurrency;
+//! - **crash**: the crash-recovery checker
+//!   ([`txfix_wal::checker::run_crash_check`]), for mutations whose
+//!   damage is only visible in what survives a simulated crash — a
+//!   skipped fsync leaves every pre-crash observation intact.
 //!
 //! Each canary carries an expected [`HazardClass`]; a layer *catches* the
 //! canary when it reports a failure of that class. The sweep asserts
@@ -25,8 +29,9 @@
 //!
 //! Every probe is deterministic by construction — single-armed canaries
 //! fire on every site visit (`Trigger::EveryNth(1)`), explore probes use
-//! DFS, chaos probes are single-threaded — so the matrix is bit-for-bit
-//! reproducible across seeded runs (CI compares two).
+//! DFS, chaos probes are single-threaded, crash probes derive every
+//! trigger coin and crash image from the seed — so the matrix is
+//! bit-for-bit reproducible across seeded runs (CI compares two).
 
 use txfix_core::json::{Json, ToJson};
 use txfix_core::HazardClass;
@@ -43,7 +48,7 @@ use std::sync::Arc;
 /// What one detection layer saw for one armed canary.
 #[derive(Clone, Debug)]
 pub struct LayerProbe {
-    /// Layer name: `analyze`, `lint`, `explore` or `chaos`.
+    /// Layer name: `analyze`, `lint`, `explore`, `chaos` or `crash`.
     pub layer: &'static str,
     /// Whether the layer was exercised against this canary at all. A
     /// `false` records a *structural* blind spot (with the reason in
@@ -62,7 +67,8 @@ pub struct CanaryOutcome {
     pub canary: Canary,
     /// The hazard class a detector is expected to file it under.
     pub expected: HazardClass,
-    /// One probe per layer, in `analyze, lint, explore, chaos` order.
+    /// One probe per layer, in `analyze, lint, explore, chaos, crash`
+    /// order.
     pub probes: Vec<LayerProbe>,
 }
 
@@ -112,6 +118,7 @@ pub fn expected_class(c: Canary) -> HazardClass {
         | Canary::StmStaleStamp
         | Canary::XcallSkipUndo
         | Canary::XcallDoubleCompensate
+        | Canary::WalSkipFsync
         | Canary::SchedOutOfTurn => HazardClass::SharedData,
         Canary::StmNotifyReorder => HazardClass::LostWakeup,
         Canary::LockDropRelease | Canary::LockSkipLockdep | Canary::LockReacquireInRevoke => {
@@ -149,6 +156,14 @@ fn lint_blind() -> LayerProbe {
         "lint",
         "static summaries model the source, not the mutated binary; runtime canaries are \
          invisible to the lint layer by design",
+    )
+}
+
+fn crash_blind() -> LayerProbe {
+    not_probed(
+        "crash",
+        "the crash checker audits the durable WAL image; this site damages volatile state \
+         that no crash image records",
     )
 }
 
@@ -308,6 +323,54 @@ fn chaos_probe(
     }
 }
 
+/// Run the crash-recovery checker over the *fixed* WAL protocol with the
+/// canary armed. The fixed protocol is clean at every crash point by
+/// construction, so any flagged point is the canary's doing — a
+/// pretend-success fsync turns "records durable before the marker" into
+/// a lie the seeded crash images expose.
+fn crash_probe(c: Canary, seed: u64) -> LayerProbe {
+    use txfix_wal::checker::{run_crash_check, CrashConfig, Schedule};
+    use txfix_wal::WalVariant;
+    let _armed = canary::scoped(c, seed, Trigger::EveryNth(1));
+    let report = run_crash_check(&CrashConfig {
+        seed,
+        images_per_point: 2,
+        variants: vec![WalVariant::Fixed],
+        schedules: vec![Schedule::Clean],
+    });
+    let mut flagged = Vec::new();
+    let mut evidence = None;
+    for v in &report.variants {
+        for s in &v.schedules {
+            flagged.extend(s.flagged.iter().cloned());
+            evidence = evidence.or_else(|| {
+                s.points
+                    .iter()
+                    .flat_map(|p| &p.failures)
+                    .flat_map(|f| &f.violations)
+                    .next()
+                    .cloned()
+            });
+        }
+    }
+    match evidence {
+        Some(violation) => LayerProbe {
+            layer: "crash",
+            probed: true,
+            caught: true,
+            evidence: format!("fixed WAL flagged at {}: {violation}", flagged.join(", ")),
+        },
+        None => LayerProbe {
+            layer: "crash",
+            probed: true,
+            caught: false,
+            evidence: "the fixed WAL recovered cleanly at every crash point — the mutated \
+                       fsync path left nothing for a crash to lose"
+                .to_string(),
+        },
+    }
+}
+
 /// Value oracle: ten committed transactional increments must be visible.
 fn oracle_counter() -> Option<String> {
     let v = TVar::new(0u64);
@@ -381,6 +444,7 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
             lint_blind(),
             explore_probe(c, seed, "av_stats_race", Variant::TmFix),
             chaos_probe(c, seed, oracle_counter, "10 increments then read back"),
+            crash_blind(),
         ],
         Canary::StmSkipValidation | Canary::StmStaleStamp => vec![
             not_probed(
@@ -395,6 +459,7 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
                 "invisible single-threaded: validation only matters under \
                  contention",
             ),
+            crash_blind(),
         ],
         Canary::StmNotifyReorder => vec![
             analyze_probe(c, seed, "av_stats_race", Variant::TmFix),
@@ -409,6 +474,7 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
                 "no blocked waiter exists single-threaded, so the early wakeup \
                  has nobody to strand",
             ),
+            crash_blind(),
         ],
         Canary::LockDropRelease => vec![
             not_probed(
@@ -419,6 +485,7 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
             lint_blind(),
             explore_probe(c, seed, "dl_local_lock_order", Variant::DevFix),
             not_probed("chaos", "the leaked lock would hang the probe thread"),
+            crash_blind(),
         ],
         Canary::LockSkipLockdep => vec![
             analyze_probe(c, seed, "dl_local_lock_order", Variant::DevFix),
@@ -428,6 +495,7 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
             // fail.
             explore_probe(c, seed, "dl_local_lock_order", Variant::DevFix),
             not_probed("chaos", "execution is unchanged; there is no invariant to violate"),
+            crash_blind(),
         ],
         Canary::LockReacquireInRevoke => vec![
             not_probed(
@@ -438,12 +506,14 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
             lint_blind(),
             revoke_probe(c, seed),
             not_probed("chaos", "needs a second thread waiting inside the revocation window"),
+            crash_blind(),
         ],
         Canary::XcallSkipUndo => vec![
             not_probed("analyze", "deferred-op buffers are not traced objects"),
             lint_blind(),
             not_probed("explore", "no scheduled scenario cancels an x-call transaction"),
             chaos_probe(c, seed, oracle_xfile_undo, "cancelled x-append then audit pending ops"),
+            crash_blind(),
         ],
         Canary::XcallDoubleCompensate => vec![
             not_probed("analyze", "pipe buffers are not traced objects"),
@@ -455,12 +525,25 @@ pub fn run_canary(c: Canary, seed: u64) -> CanaryOutcome {
                 oracle_pipe_unread,
                 "cancelled 1-byte read from a 2-byte pipe then audit",
             ),
+            crash_blind(),
         ],
         Canary::SchedOutOfTurn => vec![
             not_probed("analyze", "the trace recorder never sees the scheduler's decision log"),
             lint_blind(),
             explore_probe(c, seed, "av_stats_race", Variant::TmFix),
             not_probed("chaos", "only scheduled runs have a turnstile to breach"),
+            crash_blind(),
+        ],
+        Canary::WalSkipFsync => vec![
+            not_probed("analyze", "deferred sync application is not a traced object"),
+            lint_blind(),
+            not_probed("explore", "no scheduled scenario drives the WAL durability path"),
+            not_probed(
+                "chaos",
+                "a pretend-success fsync is invisible to any pre-crash observation: reads, \
+                 value oracles and compensation audits all see the intact page cache",
+            ),
+            crash_probe(c, seed),
         ],
     };
     CanaryOutcome { canary: c, expected, probes }

@@ -34,6 +34,10 @@ pub use txfix_txlock as txlock;
 /// Transactional system calls over a simulated OS (xCalls).
 pub use txfix_xcall as xcall;
 
+/// Write-ahead logging over transactional files, the durable KV test
+/// subject, and the crash-recovery checker (`txfix crash`).
+pub use txfix_wal as wal;
+
 /// The bounded-capacity hardware-TM model with hybrid fallback.
 pub use txfix_htm as htm;
 

@@ -1,6 +1,6 @@
 //! Schema regression tests over the committed result artifacts.
 //!
-//! Every sweep (`txfix stress/chaos/explore/autofix/canary`) writes its
+//! Every sweep (`txfix stress/chaos/explore/autofix/crash/canary`) writes its
 //! canonical report to the repo root, and CI regenerates and compares
 //! them; these tests pin the *committed* copies — if a schema drifts or
 //! a committed artifact records a failing sweep, `cargo test` says so
@@ -83,6 +83,34 @@ fn autofix_artifact_verified_every_fix() {
 }
 
 #[test]
+fn crash_artifact_is_clean_on_fixed_and_flags_the_planted_bug() {
+    let doc = load("CRASH_stm.json");
+    let obj = check_schema("CRASH_stm.json", &doc, "txfix-crash-v1");
+    assert!(get(obj, "ok").unwrap().bool("ok").unwrap(), "committed crash sweep failed");
+    let variants = get(obj, "variants").unwrap().array("variants").unwrap();
+    assert_eq!(variants.len(), 2, "both WAL protocol variants swept");
+    for v in variants {
+        let row = v.object("variant").unwrap();
+        let name = get(row, "variant").unwrap().string("variant").unwrap();
+        let expected_clean = get(row, "expected_clean").unwrap().bool("expected_clean").unwrap();
+        assert_eq!(expected_clean, name == "fixed", "{name}");
+        assert!(get(row, "ok").unwrap().bool("ok").unwrap(), "{name} missed its verdict");
+        for s in get(row, "schedules").unwrap().array("schedules").unwrap() {
+            let sched = s.object("schedule").unwrap();
+            let flagged = get(sched, "flagged").unwrap().array("flagged").unwrap();
+            if expected_clean {
+                assert!(flagged.is_empty(), "{name}: fixed WAL flagged {flagged:?}");
+            } else {
+                assert!(
+                    flagged.iter().any(|l| l.string("label").unwrap() == "wal_after_commit_write"),
+                    "{name}: planted bug not flagged at its window"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn canary_artifact_has_no_uncaught_canary() {
     let doc = load("CANARY_stm.json");
     let obj = check_schema("CANARY_stm.json", &doc, "txfix-canary-v1");
@@ -91,8 +119,8 @@ fn canary_artifact_has_no_uncaught_canary() {
         "committed canary matrix records an uncaught canary"
     );
     let canaries = get(obj, "canaries").unwrap().array("canaries").unwrap();
-    assert_eq!(canaries.len(), 10, "one matrix row per planted canary");
-    let layer_names = ["analyze", "lint", "explore", "chaos"];
+    assert_eq!(canaries.len(), 11, "one matrix row per planted canary");
+    let layer_names = ["analyze", "lint", "explore", "chaos", "crash"];
     for c in canaries {
         let row = c.object("canary").unwrap();
         let name = get(row, "canary").unwrap().string("canary").unwrap();

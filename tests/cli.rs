@@ -140,6 +140,33 @@ fn chaos_sweep_is_deterministic_and_writes_the_report() {
 }
 
 #[test]
+fn crash_sweep_is_deterministic_and_writes_the_report() {
+    let dir = std::env::temp_dir().join(format!("txfix-crash-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_txfix"))
+            .args(["crash", "--all", "--seed", "11", "--json"])
+            .current_dir(&dir)
+            .output()
+            .expect("run txfix crash");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "fixed seed must reproduce bit-for-bit");
+    let doc = txfix::recipes::json::Json::parse(first.trim()).expect("valid JSON");
+    let obj = doc.object("crash report").expect("object");
+    assert_eq!(obj["schema"].string("schema").unwrap(), "txfix-crash-v1");
+    assert!(obj["ok"].bool("ok").unwrap());
+    let variants = obj["variants"].array("variants").expect("variants array");
+    assert_eq!(variants.len(), 2, "both WAL protocol variants swept");
+    let on_disk = std::fs::read_to_string(dir.join("CRASH_stm.json")).expect("report written");
+    assert_eq!(on_disk.trim(), first.trim(), "stdout and CRASH_stm.json agree");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_input_fails_with_usage() {
     let (_, ok) = txfix(&["show"]);
     assert!(!ok);
