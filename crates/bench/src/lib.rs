@@ -8,14 +8,20 @@
 //! [`stress`] module sustains open-ended load against each fix variant and
 //! reports throughput, abort rate and latency percentiles (`txfix
 //! stress`); the [`chaos`] module sweeps seeded fault-injection schedules
-//! over the corpus scenarios and asserts their invariants (`txfix chaos`).
+//! over the corpus scenarios and asserts their invariants (`txfix chaos`);
+//! the [`workload`] module is the open-loop generator (seeded Zipfian
+//! keys, mixed op ratios, bursty phases, a simulated-user session model)
+//! the [`kv`] module drives through the sharded transactional KV store
+//! under the deterministic scheduler (`txfix kv`).
 
 #![warn(missing_docs)]
 
 pub mod cases;
 pub mod chaos;
+pub mod kv;
 pub mod pool;
 pub mod stress;
+pub mod workload;
 
 pub use cases::{
     apache_i_comparison, apache_ii_comparison, mozilla_i_comparison, mysql_i_comparison,

@@ -1,0 +1,460 @@
+//! The store-level crash-recovery checker behind `txfix crash kvstore`.
+//!
+//! Same discipline as `txfix_wal::checker`, pointed at the full store: a
+//! record pass runs a scripted workload (puts, deletes, atomic groups,
+//! checkpoints with and without log truncation) and learns every crash
+//! point the script crosses — the WAL append path (`xfile_apply`,
+//! `wal_after_commit_write`, the simos syscall points) *and* the
+//! buffer-pool flush path ([`KV_POOL_FLUSH`][crate::page::KV_POOL_FLUSH],
+//! `simos_file_truncate`). Then, for every `(label, hit)` × image seed,
+//! an armed pass crashes there, takes a seeded crash image, recovers
+//! with [`KvStore::open`], and checks the per-shard prefix invariant:
+//!
+//! * **atomicity** — the recovered shard equals the oracle state after
+//!   some whole number of batches (no torn batch, no torn group);
+//! * **durability** — that number covers every batch acknowledged before
+//!   the crash;
+//! * **no resurrection** — a prefix state can never exhibit a deleted
+//!   key's old value or a pre-checkpoint record replayed over a newer
+//!   one (stale redo records are fenced by the checkpoint's `next_txid`).
+//!
+//! The store always runs the fixed WAL protocol, so *every* mode must be
+//! clean at *every* crash point — unlike the WAL sweep, there is no
+//! planted bug here, and a single flagged label fails the sweep.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::store::{shard_placement, KvConfig, KvStore, Mode};
+use txfix_core::json::{Json, ToJson};
+use txfix_stm::chaos::{self, splitmix64, FaultPlan, InjectionPoint, Trigger};
+use txfix_wal::WalOp;
+use txfix_xcall::{crashpoint, SimFs, BLOCK_BYTES};
+
+/// Artifact schema marker.
+pub const SCHEMA: &str = "txfix-crash-kv-v1";
+
+/// Default sweep seed.
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// Crash point crossed once after the script completes, so the sweep
+/// also proves the quiescent store recovers completely.
+pub const KV_QUIESCE: &str = "kv_quiesce";
+
+const SHARDS: usize = 2;
+
+/// The fault backdrop a cell runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// No injected faults: crashes only.
+    Clean,
+    /// Transient x-call I/O faults during the workload — ops retry
+    /// through them, and the crash sweep proves retries don't widen any
+    /// crash window.
+    XcallFaults,
+}
+
+impl Schedule {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Clean => "clean",
+            Schedule::XcallFaults => "xcall_faults",
+        }
+    }
+}
+
+fn plan_for(schedule: Schedule, seed: u64) -> Option<FaultPlan> {
+    match schedule {
+        Schedule::Clean => None,
+        Schedule::XcallFaults => Some(
+            FaultPlan::new(splitmix64(seed ^ 0xFA01_7AB1E))
+                .with(InjectionPoint::XcallFile, Trigger::EveryNth(7)),
+        ),
+    }
+}
+
+/// Sweep configuration.
+pub struct KvCrashConfig {
+    /// Seed for fault plans and crash images.
+    pub seed: u64,
+    /// Crash images drawn per `(label, hit)`.
+    pub images_per_point: u64,
+    /// Store modes to sweep.
+    pub modes: Vec<Mode>,
+    /// Fault backdrops to sweep.
+    pub schedules: Vec<Schedule>,
+}
+
+impl KvCrashConfig {
+    /// Every mode × every schedule.
+    pub fn full(seed: u64) -> KvCrashConfig {
+        KvCrashConfig {
+            seed,
+            images_per_point: 2,
+            modes: Mode::ALL.to_vec(),
+            schedules: vec![Schedule::Clean, Schedule::XcallFaults],
+        }
+    }
+}
+
+/// One scripted store transaction and whether the client saw it commit
+/// before the crash froze the world.
+struct BatchFact {
+    shard: usize,
+    ops: Vec<WalOp>,
+    acked: bool,
+}
+
+fn put(k: &str, v: &str) -> Vec<WalOp> {
+    vec![WalOp::Put(k.to_string(), v.to_string())]
+}
+
+fn del(k: &str) -> Vec<WalOp> {
+    vec![WalOp::Delete(k.to_string())]
+}
+
+/// First `n` probe keys that hash to `shard`.
+fn keys_for(shard: usize, n: usize) -> Vec<String> {
+    (0..).map(|i| format!("c{i}")).filter(|k| shard_placement(k, SHARDS) == shard).take(n).collect()
+}
+
+fn config(mode: Mode) -> KvConfig {
+    // A deliberately tiny pool so checkpoints exercise eviction
+    // write-backs, not just the final flush.
+    KvConfig { shards: SHARDS, buckets_per_shard: 4, mode, pool_pages: 2 }
+}
+
+/// Run the scripted workload against a fresh store. Deterministic: the
+/// same mode (and fault plan) produces the same syscall and crash-point
+/// sequence on every run, which is what makes `(label, hit)` a
+/// replayable coordinate.
+fn execute_workload(mode: Mode) -> (Arc<SimFs>, Vec<BatchFact>) {
+    let fs = SimFs::new();
+    let mut kv = KvStore::open(&fs, config(mode));
+    let a = keys_for(0, 4);
+    let b = keys_for(1, 4);
+    // Values long enough to span several simos blocks and more than one
+    // buffer-pool page, so torn records and torn checkpoint pages are
+    // both reachable.
+    let long = "L".repeat(3 * BLOCK_BYTES);
+    let mut facts: Vec<BatchFact> = Vec::new();
+    let mut exec = |kv: &KvStore, ops: Vec<WalOp>| {
+        kv.apply_group(&ops).expect("script ops are valid single-shard tokens");
+        let shard = match &ops[0] {
+            WalOp::Put(k, _) | WalOp::Delete(k) => shard_placement(k, SHARDS),
+        };
+        facts.push(BatchFact { shard, ops, acked: !crashpoint::is_frozen() });
+    };
+    exec(&kv, put(&a[0], "alpha"));
+    exec(&kv, put(&b[0], "beta"));
+    exec(&kv, put(&a[1], &long));
+    exec(
+        &kv,
+        vec![
+            WalOp::Put(a[2].clone(), "g1".to_string()),
+            WalOp::Delete(a[0].clone()),
+            WalOp::Put(a[3].clone(), "g2".to_string()),
+        ],
+    );
+    kv.checkpoint(0);
+    exec(&kv, put(&b[1], &long));
+    kv.checkpoint_and_truncate(1);
+    exec(&kv, del(&b[0]));
+    exec(&kv, put(&a[0], "back"));
+    exec(
+        &kv,
+        vec![
+            WalOp::Put(b[2].clone(), "h1".to_string()),
+            WalOp::Put(b[0].clone(), "h2".to_string()),
+        ],
+    );
+    kv.checkpoint_and_truncate(0);
+    exec(&kv, put(&a[1], "rewritten"));
+    exec(&kv, del(&a[3]));
+    kv.checkpoint(1);
+    exec(&kv, put(&b[3], "tail"));
+    crashpoint::crash_point(KV_QUIESCE);
+    (fs, facts)
+}
+
+/// The per-shard prefix invariant (see module docs).
+fn check(facts: &[BatchFact], recovered: &[BTreeMap<String, String>]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (shard, recovered_shard) in recovered.iter().enumerate().take(SHARDS) {
+        let shard_facts: Vec<&BatchFact> = facts.iter().filter(|f| f.shard == shard).collect();
+        // Acked batches must form a prefix: once the world froze, no
+        // later batch can have been acknowledged.
+        let acked = shard_facts.iter().take_while(|f| f.acked).count();
+        if shard_facts.iter().skip(acked).any(|f| f.acked) {
+            violations.push(format!("harness: shard {shard} acked a batch after a crash froze"));
+            continue;
+        }
+        let mut states: Vec<BTreeMap<String, String>> = vec![BTreeMap::new()];
+        for f in &shard_facts {
+            let mut next = states.last().unwrap().clone();
+            for op in &f.ops {
+                match op {
+                    WalOp::Put(k, v) => {
+                        next.insert(k.clone(), v.clone());
+                    }
+                    WalOp::Delete(k) => {
+                        next.remove(k);
+                    }
+                }
+            }
+            states.push(next);
+        }
+        // The highest matching prefix decides: torn or reordered batches
+        // match nothing, a lost acked batch matches only a too-short one.
+        match states.iter().rposition(|s| s == recovered_shard) {
+            None => violations.push(format!(
+                "atomicity: shard {shard} recovered to a state that is no batch prefix \
+                 (torn batch, torn group, or resurrected value): {recovered_shard:?}"
+            )),
+            Some(j) if j < acked => violations.push(format!(
+                "durability: shard {shard} recovered only {j} of {acked} acknowledged batches"
+            )),
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+fn run_armed(
+    mode: Mode,
+    plan: Option<&FaultPlan>,
+    label: &str,
+    hit: u64,
+    seed: u64,
+    image: u64,
+) -> Vec<String> {
+    let _chaos = plan.map(chaos::scoped);
+    let session = crashpoint::arm(label, seed, Trigger::Nth(hit));
+    let (fs, facts) = execute_workload(mode);
+    let fired = crashpoint::fired();
+    let image_seed = splitmix64(
+        seed ^ crashpoint::label_hash(label) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ image,
+    );
+    fs.crash(image_seed);
+    drop(session); // thaw: recovery is post-crash code and runs unfrozen
+    let kv = KvStore::open(&fs, config(mode));
+    let recovered: Vec<BTreeMap<String, String>> =
+        (0..SHARDS).map(|s| kv.shard_snapshot(s)).collect();
+    let mut violations = check(&facts, &recovered);
+    // Recovery must be idempotent: opening the crashed image again (no
+    // writes happened in between) reconstructs the same state.
+    drop(kv);
+    let again = KvStore::open(&fs, config(mode));
+    for (s, rec) in recovered.iter().enumerate().take(SHARDS) {
+        if &again.shard_snapshot(s) != rec {
+            violations.push(format!("recovery of shard {s} is not idempotent"));
+        }
+    }
+    if fired.is_none() {
+        violations.push(format!(
+            "harness: crash point {label} hit {hit} did not fire (nondeterministic workload?)"
+        ));
+    }
+    violations
+}
+
+// ---- report ---------------------------------------------------------------
+
+/// One `(hit, image)` draw that violated an invariant.
+pub struct Failure {
+    /// Which hit ordinal of the label crashed.
+    pub hit: u64,
+    /// Which crash-image draw.
+    pub image: u64,
+    /// The invariant violations recovery exhibited.
+    pub violations: Vec<String>,
+}
+
+/// All draws for one crash-point label.
+pub struct PointOutcome {
+    /// The crash-point label.
+    pub label: String,
+    /// Hits the label received in the record pass.
+    pub hits: u64,
+    /// The draws that violated an invariant (empty = clean label).
+    pub failures: Vec<Failure>,
+}
+
+/// One mode × schedule cell of the sweep.
+pub struct ScheduleOutcome {
+    /// The fault backdrop.
+    pub schedule: Schedule,
+    /// Total armed crash runs executed.
+    pub runs: u64,
+    /// Per-label outcomes, in first-seen order.
+    pub points: Vec<PointOutcome>,
+    /// Labels with at least one failing draw.
+    pub flagged: Vec<String>,
+    /// Verdict: the store must be clean at every crash point.
+    pub ok: bool,
+}
+
+/// One store mode's outcomes across the schedules.
+pub struct ModeOutcome {
+    /// The concurrency mode driven.
+    pub mode: Mode,
+    /// One outcome per schedule.
+    pub schedules: Vec<ScheduleOutcome>,
+    /// All schedules were clean.
+    pub ok: bool,
+}
+
+/// The `txfix-crash-kv-v1` report.
+pub struct KvCrashReport {
+    /// Run seed.
+    pub seed: u64,
+    /// Crash images drawn per `(label, hit)`.
+    pub images_per_point: u64,
+    /// Shards the scripted store runs with.
+    pub shards: u64,
+    /// Per-mode outcomes.
+    pub modes: Vec<ModeOutcome>,
+    /// Every mode was clean everywhere.
+    pub ok: bool,
+}
+
+impl ToJson for KvCrashReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("seed", Json::int(self.seed)),
+            ("block_bytes", Json::int(BLOCK_BYTES as u64)),
+            ("images_per_point", Json::int(self.images_per_point)),
+            ("shards", Json::int(self.shards)),
+            (
+                "modes",
+                Json::list(self.modes.iter().map(|m| {
+                    Json::obj([
+                        ("mode", Json::str(m.mode.name())),
+                        ("expected_clean", Json::Bool(true)),
+                        (
+                            "schedules",
+                            Json::list(m.schedules.iter().map(|s| {
+                                Json::obj([
+                                    ("schedule", Json::str(s.schedule.name())),
+                                    ("runs", Json::int(s.runs)),
+                                    (
+                                        "points",
+                                        Json::list(s.points.iter().map(|p| {
+                                            Json::obj([
+                                                ("label", Json::str(&p.label)),
+                                                ("hits", Json::int(p.hits)),
+                                                (
+                                                    "failures",
+                                                    Json::list(p.failures.iter().map(|f| {
+                                                        Json::obj([
+                                                            ("hit", Json::int(f.hit)),
+                                                            ("image", Json::int(f.image)),
+                                                            (
+                                                                "violations",
+                                                                Json::strings(&f.violations),
+                                                            ),
+                                                        ])
+                                                    })),
+                                                ),
+                                            ])
+                                        })),
+                                    ),
+                                    ("flagged", Json::strings(&s.flagged)),
+                                    ("ok", Json::Bool(s.ok)),
+                                ])
+                            })),
+                        ),
+                        ("ok", Json::Bool(m.ok)),
+                    ])
+                })),
+            ),
+            ("ok", Json::Bool(self.ok)),
+        ])
+    }
+}
+
+impl KvCrashReport {
+    /// Human-readable table, one row per mode × schedule.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:<13} {:>6} {:>6} {:>8}  {}\n",
+            "mode", "schedule", "points", "runs", "failures", "verdict"
+        ));
+        for m in &self.modes {
+            for s in &m.schedules {
+                let failures: usize = s.points.iter().map(|p| p.failures.len()).sum();
+                let verdict = if s.ok {
+                    "ok (clean at every crash point)".to_owned()
+                } else {
+                    format!("FAIL (flagged: {})", s.flagged.join(", "))
+                };
+                out.push_str(&format!(
+                    "{:<8} {:<13} {:>6} {:>6} {:>8}  {}\n",
+                    m.mode.name(),
+                    s.schedule.name(),
+                    s.points.len(),
+                    s.runs,
+                    failures,
+                    verdict
+                ));
+            }
+        }
+        out.push_str(&format!("\nkv crash sweep: {}", if self.ok { "ok" } else { "FAILED" }));
+        out
+    }
+}
+
+/// Run the store crash-recovery sweep. Takes process-global crash-point
+/// and chaos state; callers must not run it concurrently with other
+/// armed harnesses.
+pub fn run_kv_crash_check(cfg: &KvCrashConfig) -> KvCrashReport {
+    let mut modes = Vec::new();
+    for &mode in &cfg.modes {
+        let mut schedules = Vec::new();
+        for &schedule in &cfg.schedules {
+            let plan = plan_for(schedule, cfg.seed);
+            // Record pass: learn the crash-point universe of this cell.
+            let universe = {
+                let _chaos = plan.as_ref().map(chaos::scoped);
+                let session = crashpoint::record();
+                let _ = execute_workload(mode);
+                let u = crashpoint::recording();
+                drop(session);
+                u
+            };
+            let mut points = Vec::new();
+            let mut runs = 0u64;
+            for (label, hits) in &universe {
+                let mut failures = Vec::new();
+                for hit in 1..=*hits {
+                    for image in 0..cfg.images_per_point {
+                        runs += 1;
+                        let violations =
+                            run_armed(mode, plan.as_ref(), label, hit, cfg.seed, image);
+                        if !violations.is_empty() {
+                            failures.push(Failure { hit, image, violations });
+                        }
+                    }
+                }
+                points.push(PointOutcome { label: label.clone(), hits: *hits, failures });
+            }
+            let flagged: Vec<String> =
+                points.iter().filter(|p| !p.failures.is_empty()).map(|p| p.label.clone()).collect();
+            let ok = flagged.is_empty();
+            schedules.push(ScheduleOutcome { schedule, runs, points, flagged, ok });
+        }
+        let ok = schedules.iter().all(|s| s.ok);
+        modes.push(ModeOutcome { mode, schedules, ok });
+    }
+    let ok = modes.iter().all(|m| m.ok);
+    KvCrashReport {
+        seed: cfg.seed,
+        images_per_point: cfg.images_per_point,
+        shards: SHARDS as u64,
+        modes,
+        ok,
+    }
+}

@@ -1,0 +1,27 @@
+//! # txfix-kvstore: a sharded transactional key-value store
+//!
+//! The production-shaped application tier the corpus scenarios are not:
+//! a KV store built entirely out of the repo's substrates, so the fix
+//! recipes, escalation ladder, crash checker and chaos layer finally
+//! meet contended, skewed, mixed read/write load at macro scale.
+//!
+//! * [`KvStore`] — keys hash across shards; each shard owns a hash index
+//!   of bucket maps in [`TVar`](txfix_stm::TVar)s, a redo log
+//!   ([`txfix_wal::Wal`], fixed protocol), and a double-buffered
+//!   checkpoint pair behind a [`page::BufferPool`].
+//! * [`Mode`] — per-shard concurrency: `dev` (coarse revocable lock),
+//!   `tm` (optimistic STM with backoff), `hybrid` (STM plus the
+//!   escalation ladder on read-only ops).
+//! * [`model`] — the deterministic-scheduler harness and BTreeMap-oracle
+//!   history checker behind the differential tests.
+//! * [`crash`] — the store-level crash-recovery sweep
+//!   (`txfix crash kvstore`).
+
+#![warn(missing_docs)]
+
+pub mod crash;
+pub mod model;
+pub mod page;
+mod store;
+
+pub use store::{shard_placement, KvConfig, KvError, KvStore, Mode, OpStats, Reply};

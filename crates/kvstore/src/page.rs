@@ -1,0 +1,320 @@
+//! The checkpoint page layer: a bounded buffer pool of fixed-size pages
+//! over a simos file, plus the double-buffered checkpoint file format.
+//!
+//! Checkpoints are the store's second durability channel (the first is
+//! the redo log): a shard snapshot is serialized, paginated through the
+//! pool, flushed page-by-page (each write-back crossing the
+//! [`KV_POOL_FLUSH`] crash point), and committed by an fsync. Validity is
+//! decided by a checksum trailer, so a crash torn anywhere inside the
+//! flush leaves a checkpoint that recovery *rejects* — it falls back to
+//! the other buffer of the pair and the full WAL replay.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use txfix_xcall::{crashpoint, SimFile};
+
+/// Bytes per buffer-pool page — a small multiple of the simos block size
+/// (32), so one page write dirties a deterministic set of blocks.
+pub const PAGE_BYTES: usize = 64;
+
+/// Crash point crossed before every dirty-page write-back (flush and
+/// eviction alike): the window where a torn checkpoint is manufactured.
+pub const KV_POOL_FLUSH: &str = "kv_pool_flush";
+
+/// Cumulative buffer-pool counters — pure functions of the access
+/// sequence, so they are safe to put in deterministic artifacts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page accesses served from a resident frame.
+    pub hits: u64,
+    /// Page accesses that had to load from the file.
+    pub misses: u64,
+    /// Frames recycled by the clock hand.
+    pub evictions: u64,
+    /// Dirty pages written back (flush and eviction write-backs).
+    pub flushed_pages: u64,
+}
+
+struct Frame {
+    page_no: usize,
+    data: [u8; PAGE_BYTES],
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A bounded page cache over one simos file: clock eviction, dirty
+/// tracking, and an explicit [`flush`](BufferPool::flush) that makes the
+/// file durable.
+pub struct BufferPool {
+    file: Arc<SimFile>,
+    capacity: usize,
+    frames: Vec<Frame>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool of at most `capacity` resident pages over `file`.
+    pub fn new(file: Arc<SimFile>, capacity: usize) -> BufferPool {
+        assert!(capacity >= 1, "a buffer pool needs at least one frame");
+        BufferPool { file, capacity, frames: Vec::new(), hand: 0, stats: PoolStats::default() }
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &Arc<SimFile> {
+        &self.file
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    fn load_page(file: &SimFile, page_no: usize) -> [u8; PAGE_BYTES] {
+        let bytes = file.read_all();
+        let mut data = [0u8; PAGE_BYTES];
+        let from = (page_no * PAGE_BYTES).min(bytes.len());
+        let to = ((page_no + 1) * PAGE_BYTES).min(bytes.len());
+        data[..to - from].copy_from_slice(&bytes[from..to]);
+        data
+    }
+
+    fn write_back(file: &SimFile, frame: &mut Frame, stats: &mut PoolStats) {
+        crashpoint::crash_point(KV_POOL_FLUSH);
+        file.write_at(frame.page_no * PAGE_BYTES, &frame.data);
+        frame.dirty = false;
+        stats.flushed_pages += 1;
+    }
+
+    /// Index of the frame holding `page_no`, faulting it in (and possibly
+    /// evicting) if absent.
+    fn frame_of(&mut self, page_no: usize) -> usize {
+        if let Some(i) = self.frames.iter().position(|f| f.page_no == page_no) {
+            self.stats.hits += 1;
+            self.frames[i].referenced = true;
+            return i;
+        }
+        self.stats.misses += 1;
+        let data = Self::load_page(&self.file, page_no);
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame { page_no, data, dirty: false, referenced: true });
+            return self.frames.len() - 1;
+        }
+        // Clock: sweep, clearing reference bits, until an unreferenced
+        // frame comes around; write it back if dirty (no fsync — an
+        // eviction write-back is not yet durable).
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.frames[i].referenced {
+                self.frames[i].referenced = false;
+                continue;
+            }
+            if self.frames[i].dirty {
+                Self::write_back(&self.file, &mut self.frames[i], &mut self.stats);
+            }
+            self.stats.evictions += 1;
+            self.frames[i] = Frame { page_no, data, dirty: false, referenced: true };
+            return i;
+        }
+    }
+
+    /// Read `len` bytes starting at `offset` through the pool.
+    pub fn read_at(&mut self, offset: usize, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while pos < offset + len {
+            let page_no = pos / PAGE_BYTES;
+            let in_page = pos % PAGE_BYTES;
+            let take = (PAGE_BYTES - in_page).min(offset + len - pos);
+            let i = self.frame_of(page_no);
+            out.extend_from_slice(&self.frames[i].data[in_page..in_page + take]);
+            pos += take;
+        }
+        out
+    }
+
+    /// Write `bytes` at `offset` through the pool (buffered: reaches the
+    /// file only on eviction or [`flush`](BufferPool::flush)).
+    pub fn write_at(&mut self, offset: usize, bytes: &[u8]) {
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let abs = offset + pos;
+            let page_no = abs / PAGE_BYTES;
+            let in_page = abs % PAGE_BYTES;
+            let take = (PAGE_BYTES - in_page).min(bytes.len() - pos);
+            let i = self.frame_of(page_no);
+            self.frames[i].data[in_page..in_page + take].copy_from_slice(&bytes[pos..pos + take]);
+            self.frames[i].dirty = true;
+            pos += take;
+        }
+    }
+
+    /// Write back every dirty frame in page order, then fsync the file.
+    /// Each write-back crosses [`KV_POOL_FLUSH`]; a crash armed there
+    /// leaves a torn, checksum-invalid checkpoint.
+    pub fn flush(&mut self) {
+        let mut order: Vec<usize> = (0..self.frames.len()).collect();
+        order.sort_by_key(|&i| self.frames[i].page_no);
+        for i in order {
+            if self.frames[i].dirty {
+                Self::write_back(&self.file, &mut self.frames[i], &mut self.stats);
+            }
+        }
+        self.file.sync_all();
+    }
+
+    /// Drop every cached frame (dirty ones included — the caller is
+    /// abandoning buffered writes, e.g. after recovery chose the other
+    /// checkpoint buffer).
+    pub fn discard(&mut self) {
+        self.frames.clear();
+        self.hand = 0;
+    }
+}
+
+/// FNV-1a over `bytes` — the checkpoint checksum. Plain integer
+/// arithmetic: deterministic on every platform.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A decoded, checksum-valid checkpoint image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic checkpoint generation; the valid buffer with the
+    /// highest epoch wins at recovery.
+    pub epoch: u64,
+    /// One past the highest txid the snapshot covers.
+    pub next_txid: u64,
+    /// The snapshot itself.
+    pub map: BTreeMap<String, String>,
+}
+
+/// Serialize `cp` to the on-disk checkpoint format:
+///
+/// ```text
+/// KVCP <epoch> <next_txid> <payload_len> ;\n
+/// S <key> <value> ;\n        (payload, one line per entry)
+/// KVEND <epoch> <fnv64-hex> ;\n
+/// ```
+pub fn encode_checkpoint(cp: &Checkpoint) -> Vec<u8> {
+    let mut payload = String::new();
+    for (k, v) in &cp.map {
+        payload.push_str(&format!("S {k} {v} ;\n"));
+    }
+    let mut out = format!("KVCP {} {} {} ;\n", cp.epoch, cp.next_txid, payload.len());
+    out.push_str(&payload);
+    out.push_str(&format!("KVEND {} {:016x} ;\n", cp.epoch, fnv64(payload.as_bytes())));
+    out.into_bytes()
+}
+
+/// Decode and validate a checkpoint image. `None` for anything torn:
+/// unparseable header or trailer, epoch mismatch between them, short
+/// payload, or checksum mismatch.
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let (header, rest) = text.split_once('\n')?;
+    let head: Vec<&str> = header.split(' ').collect();
+    let (epoch, next_txid, payload_len) = match head.as_slice() {
+        ["KVCP", e, t, l, ";"] => (e.parse().ok()?, t.parse().ok()?, l.parse::<usize>().ok()?),
+        _ => return None,
+    };
+    if rest.len() < payload_len {
+        return None;
+    }
+    let payload = &rest[..payload_len];
+    let trailer = rest[payload_len..].lines().next()?;
+    match trailer.split(' ').collect::<Vec<&str>>().as_slice() {
+        ["KVEND", e, sum, ";"] => {
+            if e.parse::<u64>().ok()? != epoch
+                || u64::from_str_radix(sum, 16).ok()? != fnv64(payload.as_bytes())
+            {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    let mut map = BTreeMap::new();
+    for line in payload.lines() {
+        match line.split(' ').collect::<Vec<&str>>().as_slice() {
+            ["S", k, v, ";"] => {
+                map.insert((*k).to_string(), (*v).to_string());
+            }
+            _ => return None,
+        }
+    }
+    Some(Checkpoint { epoch, next_txid, map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txfix_xcall::SimFs;
+
+    #[test]
+    fn pool_round_trips_and_counts_hits() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("p");
+        let mut pool = BufferPool::new(f, 2);
+        pool.write_at(10, b"hello");
+        assert_eq!(pool.read_at(10, 5), b"hello");
+        assert_eq!(pool.stats().misses, 1);
+        assert!(pool.stats().hits >= 1);
+        // Not yet on the file.
+        assert!(pool.file().read_all().is_empty());
+        pool.flush();
+        assert_eq!(&pool.file().read_all()[10..15], b"hello");
+        assert_eq!(pool.file().durable_snapshot(), pool.file().read_all());
+    }
+
+    #[test]
+    fn clock_eviction_writes_back_dirty_frames() {
+        let fs = SimFs::new();
+        let f = fs.open_or_create("p");
+        let mut pool = BufferPool::new(f, 2);
+        pool.write_at(0, b"aa"); // page 0, dirty
+        pool.write_at(PAGE_BYTES, b"bb"); // page 1, dirty
+                                          // Faulting page 2 must evict one of them, writing it back.
+        pool.read_at(2 * PAGE_BYTES, 1);
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().flushed_pages, 1);
+        // The evicted page's contents are readable through the pool again.
+        assert_eq!(pool.read_at(0, 2), b"aa");
+        assert_eq!(pool.read_at(PAGE_BYTES, 2), b"bb");
+    }
+
+    #[test]
+    fn checkpoint_encoding_round_trips_and_rejects_tears() {
+        let cp = Checkpoint {
+            epoch: 7,
+            next_txid: 42,
+            map: BTreeMap::from([
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "2".to_string()),
+            ]),
+        };
+        let bytes = encode_checkpoint(&cp);
+        assert_eq!(decode_checkpoint(&bytes), Some(cp.clone()));
+        // Any single corrupted byte in the payload fails the checksum.
+        for i in 0..bytes.len() {
+            let mut torn = bytes.clone();
+            torn[i] ^= 0x40;
+            assert_ne!(decode_checkpoint(&torn), Some(cp.clone()), "byte {i}");
+        }
+        // A truncated image never validates — except for dropping only
+        // the final newline, which leaves the trailer line complete.
+        for cut in 0..bytes.len() - 1 {
+            assert_eq!(decode_checkpoint(&bytes[..cut]), None, "cut {cut}");
+        }
+        assert_eq!(decode_checkpoint(&bytes[..bytes.len() - 1]), Some(cp.clone()));
+        // The empty checkpoint round-trips too.
+        let empty = Checkpoint { epoch: 1, next_txid: 1, map: BTreeMap::new() };
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&empty)), Some(empty));
+    }
+}

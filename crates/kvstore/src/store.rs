@@ -1,0 +1,607 @@
+//! The sharded transactional KV store.
+//!
+//! Keys hash to a shard; each shard owns a hash index of bucket maps, a
+//! redo log ([`Wal`], always the fixed protocol), and a double-buffered
+//! checkpoint pair behind [`BufferPool`]s. Concurrency within a shard is
+//! selected by [`Mode`]:
+//!
+//! | mode     | write path                                  | read path |
+//! |----------|---------------------------------------------|-----------|
+//! | `dev`    | coarse per-shard [`TxMutex`] around the op  | same lock |
+//! | `tm`     | optimistic STM, backoff only (no serial)    | optimistic STM |
+//! | `hybrid` | optimistic STM, backoff only (no serial)    | full escalation ladder |
+//!
+//! Write transactions enlist the shard's WAL inside the same STM
+//! transaction, so the redo records of an aborted op never reach the log
+//! and the log's append order equals the commit order (the WAL file's
+//! isolation lock is held to commit). Writers must never take the serial
+//! rung: a serial (irrevocable) attempt could wait on the WAL file lock
+//! held by an optimistic transaction that cannot finish its commit while
+//! the serial lock is held (DESIGN §8) — hence `serial_after: u64::MAX`
+//! on every write path. Read-only transactions touch no x-call locks, so
+//! the hybrid mode lets them climb all the way to serial.
+//!
+//! ## Durability and recovery
+//!
+//! Every committed write is in the WAL before the client sees its reply.
+//! [`KvStore::checkpoint`] snapshots a shard into the inactive buffer of
+//! its checkpoint pair (crash-atomic via the checksum trailer — see
+//! [`crate::page`]); [`KvStore::checkpoint_and_truncate`] additionally
+//! empties the WAL, and takes `&mut self` because log truncation is only
+//! sound while no op is in flight. Recovery takes the newest valid
+//! checkpoint and replays committed WAL transactions with
+//! `txid >= checkpoint.next_txid` in txid order — so redo records of
+//! pre-checkpoint transactions resurrected by a torn truncation can never
+//! roll a key back.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::page::{decode_checkpoint, encode_checkpoint, BufferPool, Checkpoint, PoolStats};
+use txfix_stm::chaos::splitmix64;
+use txfix_stm::{EscalationPolicy, EscalationRung, TVar, Txn, TxnBuilder};
+use txfix_txlock::TxMutex;
+use txfix_wal::{is_token, recover, Wal, WalOp, WalVariant};
+use txfix_xcall::{SimFile, SimFs};
+
+/// The per-shard concurrency discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Developer-style coarse locking: one revocable [`TxMutex`] per
+    /// shard, held across the whole op.
+    Dev,
+    /// Pure optimistic TM: conflicts resolved by retry and backoff.
+    Tm,
+    /// TM plus the escalation ladder where it is sound: read-only ops may
+    /// degrade to the serial rung, writes stay optimistic.
+    Hybrid,
+}
+
+impl Mode {
+    /// Every mode, in report order.
+    pub const ALL: [Mode; 3] = [Mode::Dev, Mode::Tm, Mode::Hybrid];
+
+    /// Stable CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Dev => "dev",
+            Mode::Tm => "tm",
+            Mode::Hybrid => "hybrid",
+        }
+    }
+
+    /// Inverse of [`name`](Mode::name).
+    pub fn parse(s: &str) -> Option<Mode> {
+        Mode::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// Store shape and concurrency configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KvConfig {
+    /// Number of shards (keys hash across them).
+    pub shards: usize,
+    /// Bucket maps per shard (the hash index fan-out; finer buckets mean
+    /// fewer false TM conflicts).
+    pub buckets_per_shard: usize,
+    /// Concurrency discipline.
+    pub mode: Mode,
+    /// Buffer-pool frames per checkpoint file.
+    pub pool_pages: usize,
+}
+
+impl KvConfig {
+    /// A config with the default index fan-out and pool size.
+    pub fn new(mode: Mode, shards: usize) -> KvConfig {
+        assert!(shards >= 1);
+        KvConfig { shards, buckets_per_shard: 4, mode, pool_pages: 4 }
+    }
+}
+
+/// Why an op was rejected before executing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// Key or value is not a WAL token (`[A-Za-z0-9_]+`).
+    InvalidToken(String),
+    /// A group op named keys on different shards; groups are atomic only
+    /// within one shard.
+    CrossShard(String),
+    /// The dev-mode shard lock reported a deadlock cycle.
+    Deadlock(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::InvalidToken(t) => write!(f, "not a WAL token: {t:?}"),
+            KvError::CrossShard(m) => write!(f, "cross-shard group: {m}"),
+            KvError::Deadlock(m) => write!(f, "deadlock: {m}"),
+        }
+    }
+}
+
+/// Execution facts for one committed op — everything the differential
+/// harness and the bench need to order and account for it.
+#[derive(Clone, Copy, Debug)]
+pub struct OpStats {
+    /// The shard the op ran on.
+    pub shard: usize,
+    /// The shard's history version at the op's serialization point:
+    /// writes return the version their commit produced (each write bumps
+    /// it by one), reads return the version they observed.
+    pub version: u64,
+    /// STM attempts the op took (1 = first-try commit).
+    pub attempts: u64,
+    /// Ladder escalations across those attempts.
+    pub escalations: u64,
+    /// Whether the op committed on the serial rung.
+    pub serialized: bool,
+}
+
+/// An op result plus its [`OpStats`].
+#[derive(Clone, Debug)]
+pub struct Reply<T> {
+    /// The op's return value.
+    pub value: T,
+    /// Execution facts.
+    pub stats: OpStats,
+}
+
+struct CkptState {
+    epoch: u64,
+    /// Buffer index holding the newest valid checkpoint.
+    active: usize,
+    pools: [BufferPool; 2],
+}
+
+struct Shard {
+    wal: Wal,
+    /// Next WAL txid — allocated *inside* the write transaction, so txid
+    /// order equals commit order equals WAL append order.
+    next_txid: TVar<u64>,
+    /// History version: bumped by every write commit, observed by reads.
+    version: TVar<u64>,
+    buckets: Vec<TVar<BTreeMap<String, String>>>,
+    /// Dev-mode coarse lock (unused by tm/hybrid).
+    dev: TxMutex<()>,
+    ckpt: TxMutex<CkptState>,
+}
+
+/// The store. See the module docs for the architecture.
+pub struct KvStore {
+    cfg: KvConfig,
+    shards: Vec<Shard>,
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    crate::page::fnv64(bytes)
+}
+
+impl KvStore {
+    /// Open the store over `fs`, recovering every shard from its
+    /// checkpoint pair and WAL. A fresh filesystem yields an empty store.
+    pub fn open(fs: &Arc<SimFs>, cfg: KvConfig) -> KvStore {
+        assert!(cfg.shards >= 1 && cfg.buckets_per_shard >= 1);
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                let wal = Wal::open(fs, &format!("kv_shard{i}.wal"), WalVariant::Fixed);
+                let mut pools = [
+                    BufferPool::new(
+                        fs.open_or_create(&format!("kv_shard{i}.pages0")),
+                        cfg.pool_pages,
+                    ),
+                    BufferPool::new(
+                        fs.open_or_create(&format!("kv_shard{i}.pages1")),
+                        cfg.pool_pages,
+                    ),
+                ];
+                // Newest valid checkpoint wins; a torn buffer decodes to
+                // None and is simply not a candidate.
+                let mut base = Checkpoint { epoch: 0, next_txid: 1, map: BTreeMap::new() };
+                let mut active = 0;
+                for (b, pool) in pools.iter_mut().enumerate() {
+                    let len = pool.file().len();
+                    let img = pool.read_at(0, len);
+                    pool.discard();
+                    if let Some(cp) = decode_checkpoint(&img) {
+                        if cp.epoch > base.epoch {
+                            active = b;
+                            base = cp;
+                        }
+                    }
+                }
+                // Redo: committed WAL transactions the checkpoint does not
+                // already cover, in txid order.
+                let rec = recover(wal.file().file());
+                let mut map = base.map;
+                for txid in &rec.committed {
+                    if *txid < base.next_txid {
+                        continue;
+                    }
+                    for op in rec.ops.get(txid).into_iter().flatten() {
+                        match op {
+                            WalOp::Put(k, v) => {
+                                map.insert(k.clone(), v.clone());
+                            }
+                            WalOp::Delete(k) => {
+                                map.remove(k);
+                            }
+                        }
+                    }
+                }
+                let next_txid = base.next_txid.max(rec.next_txid);
+                let mut buckets: Vec<BTreeMap<String, String>> =
+                    vec![BTreeMap::new(); cfg.buckets_per_shard];
+                for (k, v) in map {
+                    let b = bucket_of(&k, cfg.buckets_per_shard);
+                    buckets[b].insert(k, v);
+                }
+                Shard {
+                    wal,
+                    next_txid: TVar::new(next_txid),
+                    version: TVar::new(0),
+                    buckets: buckets.into_iter().map(TVar::new).collect(),
+                    dev: TxMutex::new(&format!("kv_shard{i}.dev"), ()),
+                    ckpt: TxMutex::new(
+                        &format!("kv_shard{i}.ckpt"),
+                        CkptState { epoch: base.epoch, active, pools },
+                    ),
+                }
+            })
+            .collect();
+        KvStore { cfg, shards }
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> KvConfig {
+        self.cfg
+    }
+
+    /// Which shard `key` lives on.
+    pub fn shard_of(&self, key: &str) -> usize {
+        shard_placement(key, self.cfg.shards)
+    }
+
+    fn builder(&self, site: &'static str, writes: bool) -> TxnBuilder {
+        let policy = match (self.cfg.mode, writes) {
+            // Writers hold the WAL file's isolation lock to commit, so
+            // the serial rung is off-limits for them in every mode.
+            (_, true) | (Mode::Tm, false) => {
+                EscalationPolicy { backoff_after: 4, serial_after: u64::MAX, deadline: None }
+            }
+            // Hybrid read-only ops get the full ladder. (Dev ops run
+            // under the shard lock and never conflict; the policy is
+            // irrelevant there.)
+            (Mode::Dev | Mode::Hybrid, false) => EscalationPolicy::default(),
+        };
+        Txn::build().site(site).escalation(policy)
+    }
+
+    /// Run `body` as one shard-local transaction under the mode's
+    /// discipline, returning its value and version via [`Reply`].
+    fn run_op<T>(
+        &self,
+        shard_idx: usize,
+        site: &'static str,
+        writes: bool,
+        mut body: impl FnMut(&Shard, &mut Txn) -> txfix_stm::StmResult<(T, u64)>,
+    ) -> Result<Reply<T>, KvError> {
+        let shard = &self.shards[shard_idx];
+        let _guard = match self.cfg.mode {
+            Mode::Dev => Some(shard.dev.lock().map_err(|e| KvError::Deadlock(e.to_string()))?),
+            Mode::Tm | Mode::Hybrid => None,
+        };
+        let ((value, version), report) = self.builder(site, writes).run(|txn| body(shard, txn));
+        Ok(Reply {
+            value,
+            stats: OpStats {
+                shard: shard_idx,
+                version,
+                attempts: report.attempts,
+                escalations: report.escalations,
+                serialized: report.committed_rung == EscalationRung::Serial,
+            },
+        })
+    }
+
+    /// Apply `ops` (all on `shard_idx`) as one transaction: mutate the
+    /// bucket maps, bump the shard version, and log to the WAL. Returns
+    /// the displaced value per op.
+    fn write_ops(
+        &self,
+        shard_idx: usize,
+        site: &'static str,
+        ops: &[WalOp],
+    ) -> Result<Reply<Vec<Option<String>>>, KvError> {
+        let buckets = self.cfg.buckets_per_shard;
+        self.run_op(shard_idx, site, true, |shard, txn| {
+            let txid = shard.next_txid.read(txn)?;
+            shard.next_txid.write(txn, txid + 1)?;
+            let mut displaced = Vec::with_capacity(ops.len());
+            for op in ops {
+                let key = match op {
+                    WalOp::Put(k, _) | WalOp::Delete(k) => k,
+                };
+                let b = bucket_of(key, buckets);
+                let mut m = shard.buckets[b].read(txn)?;
+                displaced.push(match op {
+                    WalOp::Put(k, v) => m.insert(k.clone(), v.clone()),
+                    WalOp::Delete(k) => m.remove(k),
+                });
+                shard.buckets[b].write(txn, m)?;
+            }
+            let version = shard.version.read(txn)? + 1;
+            shard.version.write(txn, version)?;
+            shard.wal.x_log_ops(txn, txid, ops)?;
+            Ok((displaced, version))
+        })
+    }
+
+    /// Read `key`. The reply's value is the current mapping, if any.
+    pub fn get(&self, key: &str) -> Result<Reply<Option<String>>, KvError> {
+        check_token(key)?;
+        let buckets = self.cfg.buckets_per_shard;
+        self.run_op(self.shard_of(key), "kv_get", false, |shard, txn| {
+            let version = shard.version.read(txn)?;
+            let m = shard.buckets[bucket_of(key, buckets)].read(txn)?;
+            Ok((m.get(key).cloned(), version))
+        })
+    }
+
+    /// Set `key` to `value`; the reply carries the displaced value.
+    pub fn put(&self, key: &str, value: &str) -> Result<Reply<Option<String>>, KvError> {
+        check_token(key)?;
+        check_token(value)?;
+        let ops = [WalOp::Put(key.to_string(), value.to_string())];
+        let reply = self.write_ops(self.shard_of(key), "kv_put", &ops)?;
+        Ok(Reply { value: reply.value.into_iter().next().unwrap(), stats: reply.stats })
+    }
+
+    /// Remove `key`; the reply carries the removed value, if any.
+    pub fn delete(&self, key: &str) -> Result<Reply<Option<String>>, KvError> {
+        check_token(key)?;
+        let ops = [WalOp::Delete(key.to_string())];
+        let reply = self.write_ops(self.shard_of(key), "kv_delete", &ops)?;
+        Ok(Reply { value: reply.value.into_iter().next().unwrap(), stats: reply.stats })
+    }
+
+    /// Apply a group of puts/deletes atomically. All keys must hash to
+    /// the same shard — the group is one shard-local transaction (and one
+    /// WAL transaction), so recovery can never observe it torn.
+    pub fn apply_group(&self, ops: &[WalOp]) -> Result<Reply<()>, KvError> {
+        let mut shard = None;
+        for op in ops {
+            let (k, v) = match op {
+                WalOp::Put(k, v) => (k, Some(v)),
+                WalOp::Delete(k) => (k, None),
+            };
+            check_token(k)?;
+            if let Some(v) = v {
+                check_token(v)?;
+            }
+            let s = self.shard_of(k);
+            if *shard.get_or_insert(s) != s {
+                return Err(KvError::CrossShard(format!("{ops:?}")));
+            }
+        }
+        let shard = match shard {
+            Some(s) => s,
+            None => return Err(KvError::CrossShard("empty group".to_string())),
+        };
+        let reply = self.write_ops(shard, "kv_group", ops)?;
+        Ok(Reply { value: (), stats: reply.stats })
+    }
+
+    /// Snapshot every key on `shard_idx`, in key order, as one
+    /// transaction (hybrid mode may serialize it under contention).
+    pub fn scan(&self, shard_idx: usize) -> Result<Reply<Vec<(String, String)>>, KvError> {
+        assert!(shard_idx < self.cfg.shards);
+        self.run_op(shard_idx, "kv_scan", false, |shard, txn| {
+            let version = shard.version.read(txn)?;
+            let mut out = BTreeMap::new();
+            for b in &shard.buckets {
+                out.extend(b.read(txn)?);
+            }
+            Ok((out.into_iter().collect::<Vec<_>>(), version))
+        })
+    }
+
+    /// Checkpoint `shard_idx` into the inactive buffer of its pair. Safe
+    /// concurrently with ops in every mode: the snapshot is one STM
+    /// transaction, and the WAL is left alone (full replay over a newer
+    /// base is idempotent because records carry absolute values).
+    pub fn checkpoint(&self, shard_idx: usize) {
+        self.ckpt_inner(shard_idx, false);
+    }
+
+    /// [`checkpoint`](KvStore::checkpoint), then truncate the WAL.
+    /// Requires `&mut self`: truncation is only sound with no op in
+    /// flight, and exclusive access is the static proof of that.
+    pub fn checkpoint_and_truncate(&mut self, shard_idx: usize) {
+        self.ckpt_inner(shard_idx, true);
+    }
+
+    fn ckpt_inner(&self, shard_idx: usize, truncate: bool) {
+        let shard = &self.shards[shard_idx];
+        let ((map, next_txid), _) = Txn::build().site("kv_ckpt").run(|txn| {
+            let mut map = BTreeMap::new();
+            for b in &shard.buckets {
+                map.extend(b.read(txn)?);
+            }
+            Ok((map, shard.next_txid.read(txn)?))
+        });
+        let mut ck = shard.ckpt.lock().expect("checkpoint lock cycle");
+        ck.epoch += 1;
+        let cp = Checkpoint { epoch: ck.epoch, next_txid, map };
+        let target = 1 - ck.active;
+        let pool = &mut ck.pools[target];
+        pool.discard();
+        pool.write_at(0, &encode_checkpoint(&cp));
+        // Page-by-page write-back (each page crosses KV_POOL_FLUSH), then
+        // the fsync that commits the checkpoint.
+        pool.flush();
+        ck.active = target;
+        if truncate {
+            let file: &SimFile = shard.wal.file().file();
+            file.truncate(0);
+            file.sync_all();
+        }
+    }
+
+    /// Current shard contents, read non-transactionally. Only meaningful
+    /// at quiescence (tests, recovery assertions).
+    pub fn shard_snapshot(&self, shard_idx: usize) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for b in &self.shards[shard_idx].buckets {
+            out.extend(b.load());
+        }
+        out
+    }
+
+    /// Current shard history version (non-transactional; quiescence only).
+    pub fn shard_version(&self, shard_idx: usize) -> u64 {
+        self.shards[shard_idx].version.load()
+    }
+
+    /// Combined buffer-pool counters for `shard_idx`'s checkpoint pair.
+    pub fn pool_stats(&self, shard_idx: usize) -> PoolStats {
+        let ck = self.shards[shard_idx].ckpt.lock().expect("checkpoint lock cycle");
+        let [a, b] = [ck.pools[0].stats(), ck.pools[1].stats()];
+        PoolStats {
+            hits: a.hits + b.hits,
+            misses: a.misses + b.misses,
+            evictions: a.evictions + b.evictions,
+            flushed_pages: a.flushed_pages + b.flushed_pages,
+        }
+    }
+}
+
+/// Which shard `key` hashes to in a store of `shards` shards — pure, so
+/// harnesses can plan single-shard groups without a store in hand.
+pub fn shard_placement(key: &str, shards: usize) -> usize {
+    (splitmix64(fnv64(key.as_bytes())) % shards as u64) as usize
+}
+
+fn check_token(s: &str) -> Result<(), KvError> {
+    if is_token(s) {
+        Ok(())
+    } else {
+        Err(KvError::InvalidToken(s.to_string()))
+    }
+}
+
+fn bucket_of(key: &str, buckets: usize) -> usize {
+    (splitmix64(fnv64(key.as_bytes()) ^ 0x0B0C_4E75).wrapping_rem(buckets as u64)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(mode: Mode, shards: usize) -> (Arc<SimFs>, KvStore) {
+        let fs = SimFs::new();
+        let kv = KvStore::open(&fs, KvConfig::new(mode, shards));
+        (fs, kv)
+    }
+
+    #[test]
+    fn basic_ops_round_trip_in_every_mode() {
+        for mode in Mode::ALL {
+            let (_fs, kv) = store(mode, 2);
+            assert_eq!(kv.get("a").unwrap().value, None);
+            assert_eq!(kv.put("a", "1").unwrap().value, None);
+            assert_eq!(kv.put("a", "2").unwrap().value, Some("1".to_string()));
+            assert_eq!(kv.get("a").unwrap().value, Some("2".to_string()));
+            assert_eq!(kv.delete("a").unwrap().value, Some("2".to_string()));
+            assert_eq!(kv.get("a").unwrap().value, None, "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn versions_order_writes_per_shard() {
+        let (_fs, kv) = store(Mode::Tm, 1);
+        let v1 = kv.put("a", "1").unwrap().stats.version;
+        let v2 = kv.put("b", "2").unwrap().stats.version;
+        let v3 = kv.delete("a").unwrap().stats.version;
+        assert_eq!((v1, v2, v3), (1, 2, 3));
+        assert_eq!(kv.get("b").unwrap().stats.version, 3);
+        assert_eq!(kv.shard_version(0), 3);
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_over_the_newest_checkpoint() {
+        let fs = SimFs::new();
+        let cfg = KvConfig::new(Mode::Tm, 2);
+        let mut kv = KvStore::open(&fs, cfg);
+        for i in 0..8 {
+            kv.put(&format!("k{i}"), &format!("v{i}")).unwrap();
+        }
+        kv.checkpoint_and_truncate(0);
+        kv.checkpoint_and_truncate(1);
+        kv.put("k1", "after").unwrap();
+        kv.delete("k2").unwrap();
+        let want: Vec<BTreeMap<String, String>> = (0..2).map(|s| kv.shard_snapshot(s)).collect();
+        drop(kv);
+        let kv2 = KvStore::open(&fs, cfg);
+        for (s, w) in want.iter().enumerate() {
+            assert_eq!(&kv2.shard_snapshot(s), w, "shard {s}");
+        }
+        // And a second checkpoint generation still recovers.
+        kv2.put("zz", "last").unwrap();
+        kv2.checkpoint(kv2.shard_of("zz"));
+        let want: Vec<BTreeMap<String, String>> = (0..2).map(|s| kv2.shard_snapshot(s)).collect();
+        drop(kv2);
+        let kv3 = KvStore::open(&fs, cfg);
+        for (s, w) in want.iter().enumerate() {
+            assert_eq!(&kv3.shard_snapshot(s), w, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn groups_are_single_shard_only() {
+        let (_fs, kv) = store(Mode::Tm, 4);
+        // Find two keys on the same shard and one elsewhere.
+        let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); 4];
+        for i in 0..64 {
+            let k = format!("g{i}");
+            by_shard[kv.shard_of(&k)].push(k);
+        }
+        let same = by_shard.iter().find(|v| v.len() >= 2).unwrap();
+        let other = by_shard
+            .iter()
+            .find(|v| !v.is_empty() && kv.shard_of(&v[0]) != kv.shard_of(&same[0]))
+            .unwrap();
+        let ok = kv.apply_group(&[
+            WalOp::Put(same[0].clone(), "x".to_string()),
+            WalOp::Put(same[1].clone(), "y".to_string()),
+        ]);
+        assert!(ok.is_ok());
+        let err = kv.apply_group(&[
+            WalOp::Put(same[0].clone(), "x".to_string()),
+            WalOp::Put(other[0].clone(), "y".to_string()),
+        ]);
+        assert!(matches!(err, Err(KvError::CrossShard(_))));
+        assert!(matches!(kv.apply_group(&[]), Err(KvError::CrossShard(_))));
+    }
+
+    #[test]
+    fn non_token_keys_and_values_are_rejected() {
+        let (_fs, kv) = store(Mode::Dev, 1);
+        assert!(matches!(kv.get("no space"), Err(KvError::InvalidToken(_))));
+        assert!(matches!(kv.put("k", "bad;"), Err(KvError::InvalidToken(_))));
+        assert!(matches!(kv.delete(""), Err(KvError::InvalidToken(_))));
+    }
+
+    #[test]
+    fn scan_returns_the_whole_shard_in_key_order() {
+        let (_fs, kv) = store(Mode::Hybrid, 1);
+        kv.put("b", "2").unwrap();
+        kv.put("a", "1").unwrap();
+        let scan = kv.scan(0).unwrap();
+        assert_eq!(
+            scan.value,
+            vec![("a".to_string(), "1".to_string()), ("b".to_string(), "2".to_string())]
+        );
+        assert_eq!(scan.stats.version, 2);
+    }
+}

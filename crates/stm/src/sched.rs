@@ -357,6 +357,14 @@ pub fn is_controlled() -> bool {
         && SUPPRESS.with(|s| s.get() == 0)
 }
 
+/// Scheduling steps taken so far in the active run, or 0 when no run is
+/// active. Harnesses use this as a deterministic virtual clock: elapsed
+/// steps across an operation are a pure function of the schedule, so
+/// latency measured in steps survives byte-compare across machines.
+pub fn current_steps() -> u64 {
+    STATE.lock().as_ref().map(|i| i.steps).unwrap_or(0)
+}
+
 #[inline]
 fn controlled_slot() -> Option<usize> {
     if !ACTIVE.load(Ordering::Relaxed) {

@@ -28,6 +28,7 @@
 //!
 //! ```text
 //! P <txid> <key> <value> ;
+//! D <txid> <key> ;
 //! C <txid> ;
 //! ```
 //!
@@ -43,4 +44,6 @@ mod kv;
 mod redo;
 
 pub use kv::DurableKv;
-pub use redo::{recover, recover_and_compact, Recovery, Wal, WalVariant, AFTER_COMMIT_WRITE};
+pub use redo::{
+    is_token, recover, recover_and_compact, Recovery, Wal, WalOp, WalVariant, AFTER_COMMIT_WRITE,
+};

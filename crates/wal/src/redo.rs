@@ -44,6 +44,22 @@ fn token_ok(s: &str) -> bool {
     !s.is_empty() && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
 }
 
+/// Whether `s` is a legal WAL token (`[A-Za-z0-9_]+`). Layers that store
+/// user-facing keys/values in the log (the kvstore) validate against this
+/// before accepting an operation.
+pub fn is_token(s: &str) -> bool {
+    token_ok(s)
+}
+
+/// One logical redo record inside a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// Set `key` to `value`.
+    Put(String, String),
+    /// Remove `key`.
+    Delete(String),
+}
+
 /// A write-ahead redo log over a transactional file.
 pub struct Wal {
     file: XFile,
@@ -77,9 +93,25 @@ impl Wal {
     ///
     /// Propagates lock conflicts/preemption as [`Abort`](txfix_stm::Abort).
     pub fn x_log_txn(&self, txn: &mut Txn, txid: u64, puts: &[(String, String)]) -> StmResult<()> {
-        for (k, v) in puts {
-            debug_assert!(token_ok(k) && token_ok(v), "invalid WAL token in {k:?}={v:?}");
-            let line = format!("P {txid} {k} {v} ;\n");
+        let ops: Vec<WalOp> = puts.iter().map(|(k, v)| WalOp::Put(k.clone(), v.clone())).collect();
+        self.x_log_ops(txn, txid, &ops)
+    }
+
+    /// Like [`x_log_txn`](Wal::x_log_txn), but accepts deletes as well as
+    /// puts: `P txid k v ;` / `D txid k ;` records followed by the
+    /// protocol's commit marker and syncs.
+    pub fn x_log_ops(&self, txn: &mut Txn, txid: u64, ops: &[WalOp]) -> StmResult<()> {
+        for op in ops {
+            let line = match op {
+                WalOp::Put(k, v) => {
+                    debug_assert!(token_ok(k) && token_ok(v), "invalid WAL token in {k:?}={v:?}");
+                    format!("P {txid} {k} {v} ;\n")
+                }
+                WalOp::Delete(k) => {
+                    debug_assert!(token_ok(k), "invalid WAL token in {k:?}");
+                    format!("D {txid} {k} ;\n")
+                }
+            };
             self.file.x_append(txn, line.as_bytes())?;
         }
         if self.variant == WalVariant::Fixed {
@@ -105,6 +137,9 @@ pub struct Recovery {
     /// transactions without a commit marker — the checker compares the
     /// committed ones against the workload oracle).
     pub records: BTreeMap<u64, Vec<(String, String)>>,
+    /// Every well-formed record (puts *and* deletes) per transaction id,
+    /// in log order — the replay source for delete-aware consumers.
+    pub ops: BTreeMap<u64, Vec<WalOp>>,
     /// Non-empty lines that failed to parse — crash holes, torn tails.
     pub skipped_lines: usize,
     /// One past the highest txid seen in any well-formed record.
@@ -118,6 +153,15 @@ fn parse_line(line: &[u8], out: &mut Recovery) -> Option<()> {
         ["P", txid, key, value, ";"] if token_ok(key) && token_ok(value) => {
             let txid: u64 = txid.parse().ok()?;
             out.records.entry(txid).or_default().push(((*key).to_owned(), (*value).to_owned()));
+            out.ops
+                .entry(txid)
+                .or_default()
+                .push(WalOp::Put((*key).to_owned(), (*value).to_owned()));
+            out.next_txid = out.next_txid.max(txid + 1);
+        }
+        ["D", txid, key, ";"] if token_ok(key) => {
+            let txid: u64 = txid.parse().ok()?;
+            out.ops.entry(txid).or_default().push(WalOp::Delete((*key).to_owned()));
             out.next_txid = out.next_txid.max(txid + 1);
         }
         ["C", txid, ";"] => {
@@ -141,9 +185,16 @@ fn recover_bytes(bytes: &[u8]) -> Recovery {
         }
     }
     for txid in &rec.committed {
-        if let Some(puts) = rec.records.get(txid) {
-            for (k, v) in puts {
-                rec.map.insert(k.clone(), v.clone());
+        if let Some(ops) = rec.ops.get(txid) {
+            for op in ops {
+                match op {
+                    WalOp::Put(k, v) => {
+                        rec.map.insert(k.clone(), v.clone());
+                    }
+                    WalOp::Delete(k) => {
+                        rec.map.remove(k);
+                    }
+                }
             }
         }
     }
@@ -199,6 +250,32 @@ mod tests {
         assert_eq!(rec.map.get("a").map(String::as_str), Some("a1"));
         assert_eq!(rec.skipped_lines, 0);
         assert_eq!(rec.next_txid, 3);
+    }
+
+    #[test]
+    fn deletes_replay_in_txid_order_and_uncommitted_deletes_are_ignored() {
+        let fs = SimFs::new();
+        let wal = Wal::open(&fs, "wal", WalVariant::Fixed);
+        log_one(&wal, 1, &[("a", "a1"), ("b", "b1")]);
+        atomic(|txn| {
+            wal.x_log_ops(
+                txn,
+                2,
+                &[WalOp::Delete("a".to_owned()), WalOp::Put("c".to_owned(), "c2".to_owned())],
+            )
+        });
+        // Uncommitted delete of `b`, as a crash mid-protocol would leave.
+        wal.file().file().append(b"D 3 b ;\n");
+        let rec = recover(wal.file().file());
+        assert_eq!(rec.committed, BTreeSet::from([1, 2]));
+        assert!(!rec.map.contains_key("a"), "committed delete must replay");
+        assert_eq!(rec.map.get("b").map(String::as_str), Some("b1"));
+        assert_eq!(rec.map.get("c").map(String::as_str), Some("c2"));
+        assert_eq!(rec.next_txid, 4);
+        assert_eq!(
+            rec.ops[&2],
+            vec![WalOp::Delete("a".to_owned()), WalOp::Put("c".to_owned(), "c2".to_owned())]
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("lint") => lint_cmd(&args[1..]),
         Some("stress") => sweep_cmd(&mut StressSweep::default(), &args[1..]),
+        Some("kv") => sweep_cmd(&mut KvSweep::default(), &args[1..]),
         Some("chaos") => sweep_cmd(&mut ChaosSweep::default(), &args[1..]),
         Some("explore") => sweep_cmd(&mut ExploreSweep::default(), &args[1..]),
         Some("autofix") => sweep_cmd(&mut AutofixSweep::default(), &args[1..]),
@@ -102,6 +103,17 @@ fn usage() {
          \x20                              fix variants under each version-clock scheme,\n\
          \x20                              report throughput / abort rate / latency\n\
          \x20                              percentiles, and write BENCH_stm.json\n\
+         \x20 kv [dev|tm|hybrid|--all] [--shards 2,4] [--theta T] [--mix G:P:D:S]\n\
+         \x20    [--clock gv1|gv5] [--threads N] [--ops N]\n\
+         \x20    [--keys N] [--users N] [--seed S]\n\
+         \x20                              drive the sharded transactional KV store\n\
+         \x20                              (dev locks / TM / hybrid escalation) with the\n\
+         \x20                              open-loop Zipfian workload under the\n\
+         \x20                              deterministic scheduler; reports virtual-time\n\
+         \x20                              throughput, abort/escalation counts and latency\n\
+         \x20                              percentiles per mode x shard count, verifies\n\
+         \x20                              checkpoint+WAL recovery per cell, and writes\n\
+         \x20                              BENCH_kv.json; bit-for-bit reproducible per seed\n\
          \x20 chaos [<key>|--all] [--seed S] [--threads N] [--ops N]\n\
          \x20                              sweep seeded fault-injection schedules over the\n\
          \x20                              corpus scenarios (dev and tm) under concurrent\n\
@@ -123,7 +135,7 @@ fn usage() {
          \x20                              widenings vs the hand-written TM variant; writes\n\
          \x20                              AUTOFIX_stm.json; exits nonzero on any\n\
          \x20                              unverified fix\n\
-         \x20 crash [<variant>|--all] [--seed S] [--images N]\n\
+         \x20 crash [<variant>|kvstore|--all] [--seed S] [--images N]\n\
          \x20                              sweep every crash point of the WAL workload:\n\
          \x20                              freeze the durable world at the point, take a\n\
          \x20                              seeded crash image, recover, and assert\n\
@@ -522,6 +534,134 @@ impl SweepRunner for StressSweep {
     }
 }
 
+struct KvSweep {
+    cfg: txfix::bench::kv::KvBenchConfig,
+}
+
+impl Default for KvSweep {
+    fn default() -> KvSweep {
+        use txfix::bench::kv::{KvBenchConfig, DEFAULT_SEED};
+        // `select` fills in the swept modes; everything else starts at the
+        // committed-artifact defaults.
+        KvSweep { cfg: KvBenchConfig { modes: Vec::new(), ..KvBenchConfig::full(DEFAULT_SEED) } }
+    }
+}
+
+impl SweepRunner for KvSweep {
+    fn name(&self) -> &'static str {
+        "kv"
+    }
+
+    fn artifact(&self) -> Option<&'static str> {
+        Some("BENCH_kv.json")
+    }
+
+    fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
+        use txfix::bench::workload::Mix;
+        use txfix::stm::ClockMode;
+        match flag {
+            "--shards" => {
+                let parsed: Option<Vec<usize>> = value
+                    .map(|list| list.split(',').map(|t| t.trim().parse::<usize>().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(s) if !s.is_empty() && s.iter().all(|&n| n > 0) => {
+                        self.cfg.shard_counts = s;
+                        Ok(Flag::SeenWithValue)
+                    }
+                    _ => Err("--shards takes a comma-separated list, e.g. 2,4".into()),
+                }
+            }
+            "--theta" => match value.and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if (0.0..=8.0).contains(&t) => {
+                    self.cfg.workload.theta = t;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--theta takes a skew in 0..=8, e.g. 0.9".into()),
+            },
+            "--mix" => match value.and_then(Mix::parse) {
+                Some(m) => {
+                    self.cfg.workload.mix = m;
+                    Ok(Flag::SeenWithValue)
+                }
+                None => Err("--mix takes get:put:delete:scan weights, e.g. 80:15:3:2".into()),
+            },
+            "--clock" => match value.and_then(ClockMode::parse) {
+                Some(c) => {
+                    self.cfg.clock = c;
+                    Ok(Flag::SeenWithValue)
+                }
+                None => Err("--clock takes gv1|gv5".into()),
+            },
+            "--threads" => match value.and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.threads = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--threads takes a positive integer".into()),
+            },
+            "--ops" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.ops_per_thread = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--ops takes a positive integer".into()),
+            },
+            "--keys" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.workload.keys = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--keys takes a positive integer".into()),
+            },
+            "--users" => match value.and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => {
+                    self.cfg.workload.users = n;
+                    Ok(Flag::SeenWithValue)
+                }
+                _ => Err("--users takes a positive integer".into()),
+            },
+            _ => Ok(Flag::Unknown),
+        }
+    }
+
+    fn select(&mut self, args: &SweepArgs) -> Result<(), String> {
+        use txfix::kvstore::Mode;
+        if args.all {
+            self.cfg.modes = Mode::ALL.to_vec();
+            return Ok(());
+        }
+        if args.keys.is_empty() {
+            return Err("kv needs a mode or --all, e.g. `txfix kv --all`".into());
+        }
+        for k in &args.keys {
+            let Some(m) = Mode::parse(k) else {
+                return Err(format!(
+                    "no kv mode `{k}` (available: {})",
+                    Mode::ALL.map(Mode::name).join(", ")
+                ));
+            };
+            self.cfg.modes.push(m);
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
+        use txfix::bench::kv;
+        if let Some(s) = args.seed {
+            self.cfg.seed = s;
+        }
+        let cells = kv::run_kv_bench(&self.cfg);
+        let report = kv::kv_report(&self.cfg, cells);
+        Ok(SweepOutput {
+            rendered: report.to_json(),
+            table: report.table(),
+            ok: report.ok,
+            failure: "kv sweep: a cell did not run clean or did not recover",
+        })
+    }
+}
+
 #[derive(Default)]
 struct ChaosSweep {
     cfg: txfix::bench::chaos::ChaosConfig,
@@ -812,6 +952,10 @@ impl SweepRunner for AutofixSweep {
 
 struct CrashSweep {
     cfg: txfix::wal::checker::CrashConfig,
+    /// `txfix crash kvstore` redirects the sweep at the KV store subject
+    /// (its own artifact; `--all` stays WAL-only so CRASH_stm.json keeps
+    /// its meaning).
+    kvstore: bool,
 }
 
 impl Default for CrashSweep {
@@ -819,7 +963,10 @@ impl Default for CrashSweep {
         use txfix::wal::checker::{CrashConfig, DEFAULT_SEED};
         // `select` fills in the swept variants; everything else starts at
         // the full-matrix defaults.
-        CrashSweep { cfg: CrashConfig { variants: Vec::new(), ..CrashConfig::full(DEFAULT_SEED) } }
+        CrashSweep {
+            cfg: CrashConfig { variants: Vec::new(), ..CrashConfig::full(DEFAULT_SEED) },
+            kvstore: false,
+        }
     }
 }
 
@@ -829,7 +976,7 @@ impl SweepRunner for CrashSweep {
     }
 
     fn artifact(&self) -> Option<&'static str> {
-        Some("CRASH_stm.json")
+        Some(if self.kvstore { "CRASH_kv.json" } else { "CRASH_stm.json" })
     }
 
     fn flag(&mut self, flag: &str, value: Option<&str>) -> Result<Flag, String> {
@@ -852,12 +999,21 @@ impl SweepRunner for CrashSweep {
             return Ok(());
         }
         if args.keys.is_empty() {
-            return Err("crash needs a WAL variant or --all, e.g. `txfix crash --all`".into());
+            return Err("crash needs a WAL variant, `kvstore`, or --all".into());
+        }
+        if args.keys.iter().any(|k| k == "kvstore") {
+            if args.keys.len() > 1 {
+                return Err("`kvstore` is its own crash subject; don't mix it with WAL \
+                            variants"
+                    .into());
+            }
+            self.kvstore = true;
+            return Ok(());
         }
         for k in &args.keys {
             let Some(v) = WalVariant::parse(k) else {
                 return Err(format!(
-                    "no WAL variant `{k}` (available: {})",
+                    "no crash subject `{k}` (available: {}, kvstore)",
                     WalVariant::ALL.map(WalVariant::name).join(", ")
                 ));
             };
@@ -868,6 +1024,20 @@ impl SweepRunner for CrashSweep {
 
     fn execute(&mut self, args: &SweepArgs) -> Result<SweepOutput, String> {
         use txfix::wal::checker;
+        if self.kvstore {
+            use txfix::kvstore::crash::{run_kv_crash_check, KvCrashConfig, DEFAULT_SEED};
+            let cfg = KvCrashConfig {
+                images_per_point: self.cfg.images_per_point,
+                ..KvCrashConfig::full(args.seed.unwrap_or(DEFAULT_SEED))
+            };
+            let report = run_kv_crash_check(&cfg);
+            return Ok(SweepOutput {
+                rendered: report.to_json(),
+                table: report.table(),
+                ok: report.ok,
+                failure: "kv crash sweep: recovery invariants not met at some crash point",
+            });
+        }
         if let Some(s) = args.seed {
             self.cfg.seed = s;
         }
@@ -937,6 +1107,13 @@ impl SweepRunner for ListSweep {
         let subject_variants: Vec<&str> =
             txfix::wal::WalVariant::ALL.iter().map(|v| v.name()).collect();
         let subject_cov = [false, false, false, false, false, false, true];
+        // The sharded KV store (crates/kvstore): chaos via its seeded
+        // fault-plan backdrop tests, stress via the `txfix kv` macro-bench,
+        // crash via `txfix crash kvstore`. The static layers (analyze,
+        // lint, explore, autofix) target corpus scenarios, not the store.
+        let kv_key = "kvstore";
+        let kv_variants: Vec<&str> = txfix::kvstore::Mode::ALL.iter().map(|m| m.name()).collect();
+        let kv_cov = [false, false, false, true, true, false, true];
 
         let layer_obj = |cov: [bool; 7]| {
             Json::obj(LIST_LAYERS.iter().zip(cov).map(|(&l, c)| (l, Json::Bool(c))))
@@ -955,11 +1132,18 @@ impl SweepRunner for ListSweep {
             ),
             (
                 "subjects",
-                Json::list([Json::obj([
-                    ("key", Json::str(subject_key)),
-                    ("variants", Json::strings(subject_variants.iter().copied())),
-                    ("layers", layer_obj(subject_cov)),
-                ])]),
+                Json::list([
+                    Json::obj([
+                        ("key", Json::str(subject_key)),
+                        ("variants", Json::strings(subject_variants.iter().copied())),
+                        ("layers", layer_obj(subject_cov)),
+                    ]),
+                    Json::obj([
+                        ("key", Json::str(kv_key)),
+                        ("variants", Json::strings(kv_variants.iter().copied())),
+                        ("layers", layer_obj(kv_cov)),
+                    ]),
+                ]),
             ),
         ]);
         let mut table = format!(
@@ -994,6 +1178,7 @@ impl SweepRunner for ListSweep {
             row(key, &variants.join(","), coverage(key));
         }
         row(subject_key, &subject_variants.join(","), subject_cov);
+        row(kv_key, &kv_variants.join(","), kv_cov);
         Ok(SweepOutput { rendered: doc.to_json(), table, ok: true, failure: "" })
     }
 }

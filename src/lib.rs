@@ -45,6 +45,12 @@ pub use txfix_htm as htm;
 /// serialization, and ad hoc synchronization primitives.
 pub use txfix_tmsync as tmsync;
 
+/// The sharded transactional KV store: hash-index buckets and a
+/// buffer-pool page layer over simos files, durability through the redo
+/// log, and per-shard concurrency in dev-lock / TM / hybrid modes
+/// (`txfix kv`, `txfix crash kvstore`).
+pub use txfix_kvstore as kvstore;
+
 /// The paper's contribution: the four fix recipes, the bug model, the
 /// applicability analysis and the difficulty model.
 pub use txfix_core as recipes;

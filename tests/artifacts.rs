@@ -111,6 +111,73 @@ fn crash_artifact_is_clean_on_fixed_and_flags_the_planted_bug() {
 }
 
 #[test]
+fn kv_bench_artifact_covers_every_mode_at_two_shard_counts() {
+    let doc = load("BENCH_kv.json");
+    let obj = check_schema("BENCH_kv.json", &doc, "txfix-kv-v1");
+    assert!(get(obj, "ok").unwrap().bool("ok").unwrap(), "committed kv sweep failed");
+    assert!(get(obj, "host_cores").unwrap().number("host_cores").unwrap() >= 1.0);
+    assert_eq!(get(obj, "clock").unwrap().string("clock").unwrap(), "gv1");
+    let w = get(obj, "workload").unwrap().object("workload").unwrap();
+    for field in ["keys", "users", "theta_milli", "session_len", "burst_period", "burst_len"] {
+        get(w, field).unwrap().number(field).unwrap();
+    }
+    get(w, "mix").unwrap().string("mix").unwrap();
+    let cells = get(obj, "cells").unwrap().array("cells").unwrap();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut shard_counts = std::collections::BTreeSet::new();
+    for c in cells {
+        let cell = c.object("cell").unwrap();
+        let mode = get(cell, "mode").unwrap().string("mode").unwrap().to_string();
+        let shards = get(cell, "shards").unwrap().number("shards").unwrap() as u64;
+        seen.insert(mode.clone());
+        shard_counts.insert(shards);
+        for field in [
+            "ops",
+            "aborts",
+            "escalations",
+            "serial_commits",
+            "steps",
+            "ops_per_kstep",
+            "p50_steps",
+            "p99_steps",
+        ] {
+            get(cell, field).unwrap().number(field).unwrap();
+        }
+        assert!(
+            get(cell, "recovered_ok").unwrap().bool("recovered_ok").unwrap(),
+            "{mode}/{shards}: recovery diverged"
+        );
+        assert!(
+            get(cell, "clean_run").unwrap().bool("clean_run").unwrap(),
+            "{mode}/{shards}: schedule did not finish"
+        );
+    }
+    let want: std::collections::BTreeSet<String> = ["dev", "tm", "hybrid"].map(String::from).into();
+    assert_eq!(seen, want, "every mode must be swept");
+    assert!(shard_counts.len() >= 2, "at least two shard counts must be swept");
+}
+
+#[test]
+fn kv_crash_artifact_is_clean_in_every_mode() {
+    let doc = load("CRASH_kv.json");
+    let obj = check_schema("CRASH_kv.json", &doc, "txfix-crash-kv-v1");
+    assert!(get(obj, "ok").unwrap().bool("ok").unwrap(), "committed kv crash sweep failed");
+    let modes = get(obj, "modes").unwrap().array("modes").unwrap();
+    assert_eq!(modes.len(), 3, "all three store modes swept");
+    for m in modes {
+        let row = m.object("mode").unwrap();
+        let name = get(row, "mode").unwrap().string("mode").unwrap();
+        assert!(get(row, "ok").unwrap().bool("ok").unwrap(), "{name} missed its verdict");
+        for s in get(row, "schedules").unwrap().array("schedules").unwrap() {
+            let sched = s.object("schedule").unwrap();
+            let flagged = get(sched, "flagged").unwrap().array("flagged").unwrap();
+            assert!(flagged.is_empty(), "{name}: store flagged at {flagged:?}");
+            assert!(get(sched, "runs").unwrap().number("runs").unwrap() > 0.0, "{name}");
+        }
+    }
+}
+
+#[test]
 fn canary_artifact_has_no_uncaught_canary() {
     let doc = load("CANARY_stm.json");
     let obj = check_schema("CANARY_stm.json", &doc, "txfix-canary-v1");
